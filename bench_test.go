@@ -1,0 +1,344 @@
+package optinline
+
+// Benchmark harness: one Benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md section 3 for the experiment index), plus
+// micro-benchmarks of the underlying machinery and the ablations DESIGN.md
+// calls out. The experiment benches run the same code paths as
+// cmd/inlinebench but on a scaled-down corpus so `go test -bench=.`
+// finishes in minutes; regenerate the full-scale numbers with the CLI.
+
+import (
+	"fmt"
+	"testing"
+
+	"optinline/internal/autotune"
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/experiments"
+	"optinline/internal/graph"
+	"optinline/internal/heuristic"
+	"optinline/internal/inline"
+	"optinline/internal/interp"
+	"optinline/internal/ir"
+	"optinline/internal/search"
+	"optinline/internal/workload"
+)
+
+// benchExperiment rebuilds a fresh harness every iteration so the measured
+// work is real (harnesses memoize aggressively).
+func benchExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := experiments.NewHarness(cfg)
+		res, err := h.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Text == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+var (
+	cheapCfg      = experiments.Config{Scale: 0.3, Rounds: 2, ExhaustiveCap: 1 << 10}
+	exhaustiveCfg = experiments.Config{Scale: 0.2, Rounds: 2, ExhaustiveCap: 1 << 10}
+	tuneCfg       = experiments.Config{Scale: 0.2, Rounds: 2, ExhaustiveCap: 1 << 8}
+	caseCfg       = experiments.Config{Scale: 0.1, Rounds: 1, ExhaustiveCap: 1 << 8}
+)
+
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1", cheapCfg) }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3", cheapCfg) }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1", cheapCfg) }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7", exhaustiveCfg) }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2", exhaustiveCfg) }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8", exhaustiveCfg) }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9", exhaustiveCfg) }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10", tuneCfg) }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11", tuneCfg) }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12", tuneCfg) }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3", tuneCfg) }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13", tuneCfg) }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14", tuneCfg) }
+func BenchmarkFig15(b *testing.B)  { benchExperiment(b, "fig15", tuneCfg) }
+func BenchmarkFig16(b *testing.B)  { benchExperiment(b, "fig16", tuneCfg) }
+func BenchmarkFig17(b *testing.B)  { benchExperiment(b, "fig17", tuneCfg) }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "tab4", tuneCfg) }
+func BenchmarkFig18(b *testing.B)  { benchExperiment(b, "fig18", tuneCfg) }
+func BenchmarkFig19(b *testing.B)  { benchExperiment(b, "fig19", tuneCfg) }
+
+func BenchmarkLLVMCase(b *testing.B)   { benchExperiment(b, "llvm-case", caseCfg) }
+func BenchmarkSQLiteCase(b *testing.B) { benchExperiment(b, "sqlite-case", caseCfg) }
+
+func BenchmarkMLGoCase(b *testing.B)    { benchExperiment(b, "mlgo-case", exhaustiveCfg) }
+func BenchmarkOutlineCase(b *testing.B) { benchExperiment(b, "outline-case", tuneCfg) }
+func BenchmarkPerfCase(b *testing.B)    { benchExperiment(b, "perf-case", tuneCfg) }
+
+// --- micro-benchmarks of the machinery --------------------------------------
+
+// benchFile returns a moderately sized generated translation unit.
+func benchFile(edges int) workload.File {
+	p := workload.Profile{
+		Name: "bench", Files: 1, TotalEdges: edges,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.35,
+		RecProb: 0.08, BranchProb: 0.45, MultiRootPct: 0.12,
+	}
+	return workload.Generate(p).Files[0]
+}
+
+// BenchmarkCompileAndMeasureSize measures one full pipeline evaluation
+// (clone, inline, optimize, DFE, encode) — the unit of cost every search
+// and tuning step pays.
+func BenchmarkCompileAndMeasureSize(b *testing.B) {
+	f := benchFile(40)
+	comp := compile.New(f.Module, codegen.TargetX86)
+	hc := heuristic.OsConfig(comp.Module(), comp.Graph())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := comp.Build(hc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if codegen.ModuleSize(m, codegen.TargetX86) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}
+
+func BenchmarkInlineApply(b *testing.B) {
+	f := benchFile(40)
+	g := callgraph.Build(f.Module)
+	cfg := callgraph.NewConfig()
+	for i, e := range g.Edges {
+		if i%2 == 0 {
+			cfg.Set(e.Site, true)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := f.Module.Clone()
+		if err := inline.Apply(m, cfg, inline.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModuleClone(b *testing.B) {
+	f := benchFile(60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f.Module.Clone() == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+func BenchmarkHeuristicDecisions(b *testing.B) {
+	f := benchFile(60)
+	g := callgraph.Build(f.Module)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if heuristic.OsConfig(f.Module, g).InlineCount() < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkCallGraphBuild(b *testing.B) {
+	f := benchFile(80)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(callgraph.Build(f.Module).Edges) == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkBridges(b *testing.B) {
+	f := benchFile(80)
+	mg := callgraph.Build(f.Module).Undirected()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.Bridges()
+	}
+}
+
+func BenchmarkOptimalSearch(b *testing.B) {
+	// A file small enough to certify each iteration.
+	var f workload.File
+	for e := 8; ; e++ {
+		f = benchFile(e)
+		c := compile.New(f.Module, codegen.TargetX86)
+		if n, capped := search.RecursiveSpaceSize(c.Graph(), 1<<10); !capped && n >= 64 {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp := compile.New(f.Module, codegen.TargetX86)
+		if _, ok := search.Optimal(comp, search.Options{}); !ok {
+			b.Fatal("aborted")
+		}
+	}
+}
+
+func BenchmarkAutotuneRound(b *testing.B) {
+	f := benchFile(40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp := compile.New(f.Module, codegen.TargetX86)
+		res := autotune.CleanSlate(comp, autotune.Options{Rounds: 1})
+		if res.Size <= 0 {
+			b.Fatal("no size")
+		}
+	}
+}
+
+// BenchmarkParallelScaling exercises the embarrassingly parallel tuner at
+// different worker counts (DESIGN.md ablation 5).
+func BenchmarkParallelScaling(b *testing.B) {
+	f := benchFile(80)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comp := compile.New(f.Module, codegen.TargetX86)
+				autotune.CleanSlate(comp, autotune.Options{Rounds: 1, Workers: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartition compares the paper's partition-edge heuristic
+// against a structure-blind baseline by explored-configuration count
+// (DESIGN.md ablation 1). The reported metric configs/op is the search
+// space size — lower is better.
+func BenchmarkAblationPartition(b *testing.B) {
+	mg := &graph.Multigraph{N: 15}
+	for i := 0; i < 14; i++ {
+		mg.Edges = append(mg.Edges, graph.Edge{ID: i + 1, U: i, V: i + 1})
+	}
+	gwrap := pathWrap{mg}
+	b.Run("paper-heuristic", func(b *testing.B) {
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			n, _ = search.SpaceSizeWith(gwrap, 0, search.SelectPartitionEdge)
+		}
+		b.ReportMetric(float64(n), "configs/op")
+	})
+	b.Run("first-edge", func(b *testing.B) {
+		var n uint64
+		for i := 0; i < b.N; i++ {
+			n, _ = search.SpaceSizeWith(gwrap, 0, search.SelectFirstEdge)
+		}
+		b.ReportMetric(float64(n), "configs/op")
+	})
+}
+
+type pathWrap struct{ mg *graph.Multigraph }
+
+func (p pathWrap) Undirected() *graph.Multigraph { return p.mg }
+
+// BenchmarkAblationGroupToggles compares the plain autotuner with the
+// group-callee extension (paper §5.2.1) on a hub-heavy unit. The reported
+// bytes/op metric is the tuned size — lower is better.
+func BenchmarkAblationGroupToggles(b *testing.B) {
+	p := workload.Profile{
+		Name: "bench-hubs", Files: 1, TotalEdges: 50,
+		ConstArgProb: 0.3, HubProb: 0.5, BigBodyProb: 0.2, LoopProb: 0.3,
+		RecProb: 0, BranchProb: 0.4, MultiRootPct: 0.1,
+	}
+	f := workload.Generate(p).Files[0]
+	run := func(b *testing.B, grouped bool) {
+		var size int
+		for i := 0; i < b.N; i++ {
+			comp := compile.New(f.Module, codegen.TargetX86)
+			res := autotune.TuneExtended(comp, nil, autotune.ExtOptions{
+				Options: autotune.Options{Rounds: 2}, GroupCallees: grouped,
+			})
+			size = res.Size
+		}
+		b.ReportMetric(float64(size), "tuned-bytes")
+	}
+	b.Run("plain", func(b *testing.B) { run(b, false) })
+	b.Run("grouped", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationIncremental compares full rounds with incremental
+// re-tuning (paper §6). The evals/op metric counts real compilations —
+// lower is cheaper.
+func BenchmarkAblationIncremental(b *testing.B) {
+	f := benchFile(60)
+	run := func(b *testing.B, incr bool) {
+		var evals int64
+		for i := 0; i < b.N; i++ {
+			comp := compile.New(f.Module, codegen.TargetX86)
+			autotune.TuneExtended(comp, nil, autotune.ExtOptions{
+				Options: autotune.Options{Rounds: 4}, Incremental: incr,
+			})
+			evals = comp.Evaluations()
+		}
+		b.ReportMetric(float64(evals), "evals")
+	}
+	b.Run("full-rounds", func(b *testing.B) { run(b, false) })
+	b.Run("incremental", func(b *testing.B) { run(b, true) })
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	src := `
+export func main(n) {
+  var acc = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    acc = acc + i * i % 7;
+  }
+  return acc;
+}
+`
+	p, err := Compile("bench.minc", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := p.NoInlining()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(d, "main", 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIRParse(b *testing.B) {
+	f := benchFile(40)
+	text := f.Module.String()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Parse("bench", text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpICache(b *testing.B) {
+	f := benchFile(20)
+	m := f.Module
+	sizeOf := codegen.SizeOf(m, codegen.TargetX86)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := interp.Run(m, "entry", []int64{5}, interp.Options{SizeOf: sizeOf, Fuel: 10_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package optinline
+
+// End-to-end tests of the command-line tools, driven through `go run`.
+// They are skipped in -short mode (each invocation compiles the tool).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestMinccCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	out := runCLI(t, "./cmd/mincc", "-inline", "os", "-run", "trace", "-arg", "4", "testdata/matrixsum.minc")
+	for _, want := range []string{"inlinable calls", ".text", "trace([4]) ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("mincc output missing %q:\n%s", want, out)
+		}
+	}
+	// All strategies must report the same program behaviour.
+	ret := func(mode string) string {
+		o := runCLI(t, "./cmd/mincc", "-inline", mode, "-run", "trace", "-arg", "4", "testdata/matrixsum.minc")
+		i := strings.Index(o, "trace([4]) = ")
+		if i < 0 {
+			t.Fatalf("no run output for %s:\n%s", mode, o)
+		}
+		return strings.Fields(o[i+len("trace([4]) = "):])[0]
+	}
+	base := ret("none")
+	for _, mode := range []string{"os", "tune", "optimal"} {
+		if got := ret(mode); got != base {
+			t.Fatalf("mode %s changed behaviour: %s vs %s", mode, got, base)
+		}
+	}
+}
+
+func TestMinccListingAndOutline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	out := runCLI(t, "./cmd/mincc", "-inline", "tune", "-outline", "-S", "testdata/matrixsum.minc")
+	if !strings.Contains(out, "; target x86") {
+		t.Fatalf("listing missing:\n%s", out)
+	}
+}
+
+func TestInlineSearchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	out := runCLI(t, "./cmd/inlinesearch", "-dot", "testdata/matrixsum.minc")
+	for _, want := range []string{"naive space", "recursively partitioned", "optimal:", "agreement", "digraph"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inlinesearch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInlineTuneCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	out := runCLI(t, "./cmd/inlinetune", "-rounds", "2", "-groups", "-incremental", "testdata/matrixsum.minc")
+	for _, want := range []string{"clean slate", "-Os initialized", "final:", "compilations"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inlinetune output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInlineBenchCLIList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	out := runCLI(t, "./cmd/inlinebench", "-list")
+	for _, want := range []string{"fig1", "fig19", "tab4", "sqlite-case", "mlgo-case"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inlinebench -list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInlineBenchCLISingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	out := runCLI(t, "./cmd/inlinebench", "-exp", "fig3", "-scale", "0.15")
+	if !strings.Contains(out, "log2") || !strings.Contains(out, "parest") {
+		t.Fatalf("inlinebench fig3 output:\n%s", out)
+	}
+}

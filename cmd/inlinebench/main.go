@@ -1,0 +1,80 @@
+// Command inlinebench regenerates the paper's tables and figures against
+// the synthetic corpus (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	inlinebench [flags]
+//
+//	-exp id       experiment to run: fig1..fig19, tab1..tab4,
+//	              llvm-case, sqlite-case, or "all" (default all)
+//	-list         list experiment IDs and exit
+//	-scale F      workload scale, 1.0 = full corpus (default 1.0)
+//	-rounds N     autotuning rounds (default 4)
+//	-cap N        recursive-space cap for exhaustive experiments (default 2^14)
+//	-workers N    parallelism (default GOMAXPROCS)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"optinline/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inlinebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		scale   = flag.Float64("scale", 1.0, "workload scale")
+		rounds  = flag.Int("rounds", 4, "autotuning rounds")
+		cap     = flag.Uint64("cap", 1<<14, "recursive-space cap for exhaustive experiments")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	start := time.Now()
+	h := experiments.NewHarness(experiments.Config{
+		Scale:         *scale,
+		Workers:       *workers,
+		ExhaustiveCap: *cap,
+		Rounds:        *rounds,
+	})
+	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
+
+	var results []experiments.Result
+	if *exp == "all" {
+		results = h.RunAll()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			r, err := h.Run(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	}
+	for _, r := range results {
+		fmt.Printf("\n================================================================\n")
+		fmt.Printf("%s — %s\n", r.ID, r.Title)
+		fmt.Printf("================================================================\n\n")
+		fmt.Println(r.Text)
+	}
+	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command inlinesearch exhaustively searches the recursively partitioned
+// inlining space of one translation unit and reports the optimal
+// configuration, comparing it with the -Os heuristic (the paper's roofline
+// analysis for a single file).
+//
+// Usage:
+//
+//	inlinesearch [flags] file.minc
+//
+//	-target x86|wasm    size model (default x86)
+//	-max-space N        abort if the recursive space exceeds N evaluations
+//	-workers N          parallel subtree evaluations
+//	-dot                print optimal-vs-heuristic call graphs as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/search"
+	"optinline/internal/source"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inlinesearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		targetName = flag.String("target", "x86", "size model: x86|wasm")
+		maxSpace   = flag.Uint64("max-space", 1<<20, "abort beyond this many evaluations")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel subtree evaluations")
+		dot        = flag.Bool("dot", false, "print DOT call graphs (optimal vs heuristic)")
+		tree       = flag.Bool("tree", false, "print the materialized inlining tree (paper Figure 6)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: inlinesearch [flags] file.minc")
+	}
+	target := codegen.TargetX86
+	if *targetName == "wasm" {
+		target = codegen.TargetWASM
+	}
+	mod, err := source.Load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	comp := compile.New(mod, target)
+	g := comp.Graph()
+	fmt.Printf("%s: %d functions, %d inlinable call sites\n", flag.Arg(0), len(g.Nodes), len(g.Edges))
+	fmt.Printf("naive space: 2^%.0f configurations\n", search.NaiveSpaceLog2(g))
+	rec, capped := search.RecursiveSpaceSize(g, *maxSpace)
+	if capped {
+		return fmt.Errorf("recursive space exceeds %d evaluations; raise -max-space", *maxSpace)
+	}
+	fmt.Printf("recursively partitioned space: %d evaluations (2^%.1f)\n", rec, math.Log2(float64(rec)))
+
+	res, ok := search.Optimal(comp, search.Options{Workers: *workers, MaxSpace: *maxSpace})
+	if !ok {
+		return fmt.Errorf("search aborted")
+	}
+	noInline := comp.Size(callgraph.NewConfig())
+	hc := heuristic.OsConfig(comp.Module(), g)
+	heurSize := comp.Size(hc)
+
+	fmt.Printf("\nno inlining:    %6d bytes\n", noInline)
+	fmt.Printf("-Os heuristic:  %6d bytes (%.1f%% of optimal)\n", heurSize, f(heurSize, res.Size))
+	fmt.Printf("optimal:        %6d bytes, inlining %d of %d sites\n", res.Size, res.Config.InlineCount(), len(g.Edges))
+	fmt.Printf("evaluations: %d real compilations (cache hits %d)\n", res.Evaluations, comp.CacheHits())
+	fmt.Printf("optimal inline sites: %v\n", res.Config.InlineSites())
+
+	matrix := callgraph.Agreement(g.Sites(), res.Config, hc)
+	fmt.Printf("agreement optimal-vs-heuristic: both-no %d, heur-only %d, opt-only %d, both %d\n",
+		matrix[0][0], matrix[0][1], matrix[1][0], matrix[1][1])
+
+	if *dot {
+		fmt.Println()
+		fmt.Println(g.SideBySideDOT(flag.Arg(0), "optimal", res.Config, "heuristic", hc))
+	}
+	if *tree {
+		root, err := search.BuildTree(g, 1<<12)
+		if err != nil {
+			fmt.Printf("\ninlining tree: %v (too large to materialize)\n", err)
+		} else {
+			fmt.Printf("\ninlining tree (Figure 6 view):\n%s", root.String())
+		}
+	}
+	return nil
+}
+
+func f(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

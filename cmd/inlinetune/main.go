@@ -1,0 +1,120 @@
+// Command inlinetune runs the paper's local inlining autotuner on one
+// translation unit and reports per-round progress.
+//
+// Usage:
+//
+//	inlinetune [flags] file.minc
+//
+//	-init clean|os|both   starting configuration(s) (default both)
+//	-rounds N             tuning rounds (default 4)
+//	-target x86|wasm      size model (default x86)
+//	-workers N            parallel per-edge evaluations
+//	-dot                  print the tuned call graph as DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"optinline/internal/autotune"
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/source"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inlinetune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		initMode   = flag.String("init", "both", "starting point: clean|os|both")
+		rounds     = flag.Int("rounds", 4, "tuning rounds")
+		targetName = flag.String("target", "x86", "size model: x86|wasm")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel per-edge evaluations")
+		dot        = flag.Bool("dot", false, "print tuned call graph as DOT")
+		groups     = flag.Bool("groups", false, "also test per-callee group inlining (paper 5.2.1 extension)")
+		incr       = flag.Bool("incremental", false, "incremental rounds: only re-tune changed regions (paper 6 extension)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: inlinetune [flags] file.minc")
+	}
+	target := codegen.TargetX86
+	if *targetName == "wasm" {
+		target = codegen.TargetWASM
+	}
+	mod, err := source.Load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	comp := compile.New(mod, target)
+	g := comp.Graph()
+	osCfg := heuristic.OsConfig(comp.Module(), g)
+	osSize := comp.Size(osCfg)
+	noInline := comp.Size(callgraph.NewConfig())
+	fmt.Printf("%s: %d inlinable calls; no-inline %d bytes, -Os %d bytes\n",
+		flag.Arg(0), len(g.Edges), noInline, osSize)
+
+	opts := autotune.Options{Rounds: *rounds, Workers: *workers}
+	tune := func(init *callgraph.Config) autotune.Result {
+		if *groups || *incr {
+			return autotune.TuneExtended(comp, init, autotune.ExtOptions{
+				Options: opts, GroupCallees: *groups, Incremental: *incr,
+			})
+		}
+		return autotune.Tune(comp, init, opts)
+	}
+	report := func(name string, res autotune.Result) {
+		fmt.Printf("\n%s (init %d bytes):\n", name, res.InitSize)
+		for _, r := range res.Rounds {
+			fmt.Printf("  round %d: %d bytes (%.1f%% of -Os), %d inlined / %d not, %d toggles\n",
+				r.Round, r.Size, pct(r.Size, osSize), r.Inlined, r.NotInlined, r.Toggles)
+		}
+		fmt.Printf("  best: %d bytes (%.1f%% of -Os), inlining %v\n",
+			res.Size, pct(res.Size, osSize), res.Config.InlineSites())
+	}
+
+	var best autotune.Result
+	switch *initMode {
+	case "clean":
+		best = tune(nil)
+		report("clean slate", best)
+	case "os":
+		best = tune(osCfg)
+		report("-Os initialized", best)
+	case "both":
+		clean := tune(nil)
+		inited := tune(osCfg)
+		report("clean slate", clean)
+		report("-Os initialized", inited)
+		best = clean
+		if inited.Size < best.Size {
+			best = inited
+		}
+	default:
+		return fmt.Errorf("unknown init mode %q", *initMode)
+	}
+
+	fmt.Printf("\nfinal: %d bytes = %.1f%% of -Os (%.1f%% of no-inline), %d compilations\n",
+		best.Size, pct(best.Size, osSize), pct(best.Size, noInline), comp.Evaluations())
+	if *dot {
+		fmt.Println()
+		fmt.Println(g.DOT(flag.Arg(0), best.Config))
+	}
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b) * 100
+}

@@ -1,0 +1,139 @@
+// Command mincc compiles a MinC source file (or textual IR) down to the
+// toy ISA and reports code size. It exposes the inlining strategies of the
+// library: none, the -Os-style heuristic, the local autotuner, or the
+// exhaustive optimum.
+//
+// Usage:
+//
+//	mincc [flags] file.minc
+//
+//	-inline none|os|tune|optimal   inlining strategy (default os)
+//	-target x86|wasm               size model (default x86)
+//	-S                             print the pseudo-assembly listing
+//	-emit-ir                       print the optimized IR
+//	-run <entry>                   interpret entry after compiling
+//	-arg N                         integer argument for -run (repeatable)
+//	-rounds N                      autotuner rounds for -inline tune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"optinline/internal/autotune"
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/interp"
+	"optinline/internal/outline"
+	"optinline/internal/search"
+	"optinline/internal/source"
+)
+
+type intList []int64
+
+func (l *intList) String() string { return fmt.Sprint(*l) }
+func (l *intList) Set(s string) error {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mincc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inlineMode = flag.String("inline", "os", "inlining strategy: none|os|tune|optimal")
+		targetName = flag.String("target", "x86", "size model: x86|wasm")
+		listing    = flag.Bool("S", false, "print pseudo-assembly listing")
+		emitIR     = flag.Bool("emit-ir", false, "print optimized IR")
+		entry      = flag.String("run", "", "interpret this entry function after compiling")
+		rounds     = flag.Int("rounds", 1, "autotuner rounds for -inline tune")
+		doOutline  = flag.Bool("outline", false, "run the size outliner after inlining")
+		args       intList
+	)
+	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: mincc [flags] file.minc")
+	}
+	target := codegen.TargetX86
+	switch *targetName {
+	case "x86":
+	case "wasm":
+		target = codegen.TargetWASM
+	default:
+		return fmt.Errorf("unknown target %q", *targetName)
+	}
+
+	mod, err := source.Load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	comp := compile.New(mod, target)
+	g := comp.Graph()
+
+	var cfg *callgraph.Config
+	switch *inlineMode {
+	case "none":
+		cfg = callgraph.NewConfig()
+	case "os":
+		cfg = heuristic.OsConfig(comp.Module(), g)
+	case "tune":
+		init := heuristic.OsConfig(comp.Module(), g)
+		best, _, _ := autotune.Combined(comp, init, autotune.Options{Rounds: *rounds})
+		cfg = best.Config
+	case "optimal":
+		res, ok := search.Optimal(comp, search.Options{MaxSpace: 1 << 22})
+		if !ok {
+			return fmt.Errorf("search space too large for exhaustive search (%d+ evaluations); use -inline tune", res.SpaceSize)
+		}
+		cfg = res.Config
+	default:
+		return fmt.Errorf("unknown inline mode %q", *inlineMode)
+	}
+
+	built, err := comp.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if *doOutline {
+		st := outline.Module(built, outline.Options{Target: target})
+		if st.FunctionsCreated > 0 {
+			fmt.Printf("outliner: %d functions extracted, %d calls inserted\n",
+				st.FunctionsCreated, st.CallsInserted)
+		}
+	}
+	size := codegen.ModuleSize(built, target)
+	fmt.Printf("%s: %d inlinable calls, %d inlined, .text %d bytes (%s, -inline %s)\n",
+		flag.Arg(0), len(g.Edges), cfg.InlineCount(), size, target, *inlineMode)
+
+	if *emitIR {
+		fmt.Println(built.String())
+	}
+	if *listing {
+		fmt.Println(codegen.Listing(built, target))
+	}
+	if *entry != "" {
+		res, err := interp.Run(built, *entry, args, interp.Options{
+			SizeOf: codegen.SizeOf(built, target),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s(%v) = %d  [%d steps, %d cycles, %d outputs]\n",
+			*entry, []int64(args), res.Ret, res.Steps, res.Cycles, res.OutputLen)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package optinline_test
+
+import (
+	"fmt"
+
+	"optinline"
+)
+
+// The doubler program: a trivial wrapper the autotuner should inline.
+const exampleSrc = `
+func double(x) {
+  return x + x;
+}
+
+export func quadruple(n) {
+  return double(double(n));
+}
+`
+
+func ExampleCompile() {
+	p, err := optinline.Compile("doubler.minc", exampleSrc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("functions:", p.NumFunctions())
+	fmt.Println("inlinable call sites:", p.NumCallSites())
+	// Output:
+	// functions: 2
+	// inlinable call sites: 2
+}
+
+func ExampleProgram_Autotune() {
+	p, err := optinline.Compile("doubler.minc", exampleSrc)
+	if err != nil {
+		panic(err)
+	}
+	tuned := p.Autotune(optinline.TuneOptions{Rounds: 2})
+	opt, ok := p.Optimal(1 << 10)
+	if !ok {
+		panic("space too large")
+	}
+	fmt.Println("autotuned matches certified optimum:", tuned.Size == opt.Size)
+	fmt.Println("both call sites inlined:", len(tuned.Decisions.InlinedSites()) == 2)
+	// Output:
+	// autotuned matches certified optimum: true
+	// both call sites inlined: true
+}
+
+func ExampleProgram_Run() {
+	p, err := optinline.Compile("doubler.minc", exampleSrc)
+	if err != nil {
+		panic(err)
+	}
+	before, _ := p.Run(p.NoInlining(), "quadruple", 5)
+	tuned := p.Autotune(optinline.TuneOptions{Rounds: 2})
+	after, _ := p.Run(tuned.Decisions, "quadruple", 5)
+	fmt.Println("quadruple(5) =", before.Ret, "both ways:", before.Ret == after.Ret)
+	fmt.Println("dynamic calls removed:", before.DynCalls-after.DynCalls)
+	// Output:
+	// quadruple(5) = 20 both ways: true
+	// dynamic calls removed: 2
+}
+
+func ExampleProgram_Space() {
+	p, err := optinline.Compile("doubler.minc", exampleSrc)
+	if err != nil {
+		panic(err)
+	}
+	s := p.Space(0)
+	fmt.Printf("naive 2^%.0f, recursively partitioned %d evaluations\n", s.NaiveLog2, s.Recursive)
+	// Output:
+	// naive 2^2, recursively partitioned 4 evaluations
+}

@@ -1,0 +1,86 @@
+// learnedpolicy demonstrates the paper's Section 6 research direction:
+// using exhaustive optimal-inlining search as a *training-data generator*
+// for a learned inlining heuristic. Half the corpus is searched exhaustively
+// and its optimal decisions train a logistic-regression policy; the policy
+// then competes against the hand-written -Os heuristic on held-out files.
+//
+// Run with: go run ./examples/learnedpolicy [-files 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/mlheur"
+	"optinline/internal/search"
+	"optinline/internal/stats"
+	"optinline/internal/workload"
+)
+
+func main() {
+	files := flag.Int("files", 16, "corpus size")
+	flag.Parse()
+
+	p := workload.Profile{
+		Name: "learned", Files: *files, TotalEdges: *files * 7,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.35,
+		RecProb: 0.06, BranchProb: 0.5, MultiRootPct: 0.12,
+	}
+	bench := workload.Generate(p)
+
+	var train, test []mlheur.Example
+	type testCase struct {
+		comp    *compile.Compiler
+		optSize int
+	}
+	var cases []testCase
+	searched := 0
+	for _, f := range bench.Files {
+		comp := compile.New(f.Module, codegen.TargetX86)
+		g := comp.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		res, ok := search.Optimal(comp, search.Options{MaxSpace: 1 << 13})
+		if !ok {
+			continue
+		}
+		ds := mlheur.Dataset(comp.Module(), g, res.Config)
+		if searched%2 == 0 {
+			train = append(train, ds...)
+		} else {
+			test = append(test, ds...)
+			cases = append(cases, testCase{comp: comp, optSize: res.Size})
+		}
+		searched++
+	}
+	fmt.Printf("exhaustively searched %d files; %d training decisions, %d held-out\n",
+		searched, len(train), len(test))
+
+	model, err := mlheur.Train(train, mlheur.TrainOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("held-out decision accuracy: %.1f%% (majority baseline %.1f%%)\n\n",
+		model.Accuracy(test)*100, mlheur.MajorityBaseline(test)*100)
+
+	fmt.Println("learned feature weights (standardized):")
+	for j, name := range mlheur.FeatureNames {
+		fmt.Printf("  %-24s %+0.3f\n", name, model.W[j])
+	}
+
+	var relLearned, relHeur []float64
+	for _, tc := range cases {
+		g := tc.comp.Graph()
+		learned := tc.comp.Size(model.Config(tc.comp.Module(), g))
+		heur := tc.comp.Size(heuristic.OsConfig(tc.comp.Module(), g))
+		relLearned = append(relLearned, float64(learned)/float64(tc.optSize)*100)
+		relHeur = append(relHeur, float64(heur)/float64(tc.optSize)*100)
+	}
+	fmt.Printf("\nsize vs certified optimal (median over %d held-out files):\n", len(cases))
+	fmt.Printf("  -Os heuristic:  %.1f%%\n", stats.Median(relHeur))
+	fmt.Printf("  learned policy: %.1f%%\n", stats.Median(relLearned))
+}

@@ -1,0 +1,97 @@
+// Quickstart: compile a MinC program, measure its size under different
+// inlining strategies, and certify the autotuner against the exhaustive
+// optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optinline"
+)
+
+const src = `
+// A little fixed-point evaluator with the structures that make inlining
+// interesting: a trivial wrapper, a foldable guard, and a heavyweight
+// helper with two callers.
+
+global steps;
+
+func square(x) {
+  return x * x;
+}
+
+func clamp(x, lo, hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}
+
+func step(x) {
+  var y = (square(x) + 3 * x) >> 1;
+  return clamp(y, 0, 1000);
+}
+
+export func iterate(x0, n) {
+  var x = x0;
+  for (var i = 0; i < n; i = i + 1) {
+    x = step(x);
+    steps = steps + 1;
+  }
+  output x;
+  return x;
+}
+`
+
+func main() {
+	p, err := optinline.Compile("fixedpoint.minc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d functions, %d inlinable call sites\n",
+		p.NumFunctions(), p.NumCallSites())
+
+	space := p.Space(0)
+	fmt.Printf("search space: naive 2^%.0f, recursively partitioned %d evaluations\n\n",
+		space.NaiveLog2, space.Recursive)
+
+	noInline := p.NoInlineSize()
+	osSize := p.HeuristicSize()
+	fmt.Printf("no inlining:   %4d bytes\n", noInline)
+	fmt.Printf("-Os heuristic: %4d bytes (%.1f%%)\n", osSize, pct(osSize, noInline))
+
+	tuned := p.Autotune(optinline.TuneOptions{Rounds: 4})
+	fmt.Printf("autotuned:     %4d bytes (%.1f%%) after %d compilations\n",
+		tuned.Size, pct(tuned.Size, noInline), tuned.Compilations)
+
+	opt, ok := p.Optimal(1 << 20)
+	if !ok {
+		log.Fatal("search space unexpectedly large")
+	}
+	fmt.Printf("optimal:       %4d bytes (%.1f%%), certified with %d compilations\n",
+		opt.Size, pct(opt.Size, noInline), opt.Evaluations)
+	if tuned.Size == opt.Size {
+		fmt.Println("\nthe autotuner found a provably optimal configuration ✓")
+	} else {
+		fmt.Printf("\nautotuner is %.1f%% above optimal\n", pct(tuned.Size, opt.Size)-100)
+	}
+
+	// Behaviour is preserved whatever the decisions.
+	a, err := p.Run(p.NoInlining(), "iterate", 7, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := p.Run(tuned.Decisions, "iterate", 7, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\niterate(7,5) = %d in both builds; dynamic calls %d -> %d\n",
+		a.Ret, a.DynCalls, b.DynCalls)
+
+	fmt.Println("\ncall graph under the tuned decisions (Graphviz):")
+	fmt.Println(tuned.Decisions.DOT("fixedpoint"))
+}
+
+func pct(a, b int) float64 { return float64(a) / float64(b) * 100 }

@@ -1,0 +1,85 @@
+// roundtuning shows why multiple autotuning rounds matter (the paper's
+// Section 5.2.2 and Table 4): certain inlining decisions only pay off in
+// the presence of others, so one local round gets stuck while successive
+// rounds keep extending the scope.
+//
+// Run with: go run ./examples/roundtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optinline"
+)
+
+// The program is built so that the profitable configuration inlines a
+// whole chain: inlining dispatch's call into process lets the constant
+// mode fold, which exposes handler_a's guard, which only folds once
+// handler_a is inlined too. Single toggles from a clean slate cannot see
+// the combined win.
+const src = `
+func handler_a(x, mode) {
+  if (mode == 1) { return x + 1; }
+  var acc = x;
+  for (var i = 0; i < 6; i = i + 1) { acc = acc * 3 + i; }
+  return acc;
+}
+
+func handler_b(x) {
+  var acc = 0;
+  for (var i = 0; i < 4; i = i + 1) { acc = acc + x * i; }
+  return acc;
+}
+
+func dispatch(x, mode) {
+  if (mode == 1) { return handler_a(x, mode); }
+  return handler_b(x);
+}
+
+func process(x) {
+  return dispatch(x, 1);
+}
+
+export func main(n) {
+  var total = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    total = total + process(i);
+  }
+  output total;
+  return total;
+}
+`
+
+func main() {
+	p, err := optinline.Compile("rounds.minc", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	osSize := p.HeuristicSize()
+	fmt.Printf("%d call sites; -Os heuristic: %d bytes\n\n", p.NumCallSites(), osSize)
+
+	for _, rounds := range []int{1, 2, 3, 4} {
+		res := p.Autotune(optinline.TuneOptions{Rounds: rounds, Init: optinline.InitHeuristic})
+		fmt.Printf("rounds=%d:", rounds)
+		for _, r := range res.Rounds {
+			fmt.Printf("  [r%d %d bytes, %d inlined]", r.Round, r.Size, r.Inlined)
+		}
+		fmt.Printf("  -> best %d bytes (%.1f%% of -Os)\n",
+			res.Size, float64(res.Size)/float64(osSize)*100)
+	}
+
+	opt, ok := p.Optimal(1 << 20)
+	if !ok {
+		log.Fatal("space too large")
+	}
+	fmt.Printf("\ncertified optimum: %d bytes, inlining sites %v\n", opt.Size, opt.Decisions.InlinedSites())
+
+	best := p.Autotune(optinline.TuneOptions{Rounds: 4})
+	fmt.Printf("combined 4-round autotuner: %d bytes", best.Size)
+	if best.Size == opt.Size {
+		fmt.Println(" — optimal ✓")
+	} else {
+		fmt.Printf(" — %.1f%% above optimal\n", float64(best.Size)/float64(opt.Size)*100-100)
+	}
+}

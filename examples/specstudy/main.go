@@ -1,0 +1,91 @@
+// specstudy reproduces the paper's Section 4 roofline analysis on a slice
+// of the synthetic SPEC2017-like corpus: for every exhaustively searchable
+// file it compares the -Os heuristic against certified optimal inlining,
+// then tallies the agreement matrix (Table 2) and the inlined call-chain
+// census (Figure 9).
+//
+// Run with: go run ./examples/specstudy [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/search"
+	"optinline/internal/stats"
+	"optinline/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "corpus scale (1.0 = full)")
+	flag.Parse()
+
+	profiles := workload.SPECProfiles()
+	var matrix [2][2]int
+	files, optimalHits := 0, 0
+	var overheads []float64
+	chainHist := map[int]int{}
+
+	for _, p := range profiles {
+		p.Files = int(float64(p.Files)**scale) + 1
+		p.TotalEdges = int(float64(p.TotalEdges)**scale) + 1
+		bench := workload.Generate(p)
+		for _, f := range bench.Files {
+			comp := compile.New(f.Module, codegen.TargetX86)
+			g := comp.Graph()
+			if len(g.Edges) == 0 {
+				continue
+			}
+			res, ok := search.Optimal(comp, search.Options{MaxSpace: 1 << 12})
+			if !ok {
+				continue // too large to certify; the harness covers these
+			}
+			files++
+			hc := heuristic.OsConfig(comp.Module(), g)
+			heurSize := comp.Size(hc)
+			if heurSize <= res.Size {
+				optimalHits++
+			} else {
+				overheads = append(overheads, (float64(heurSize)/float64(res.Size)-1)*100)
+			}
+			m := callgraph.Agreement(g.Sites(), res.Config, hc)
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					matrix[a][b] += m[a][b]
+				}
+			}
+			for l, n := range search.ChainHistogram(search.ChainLengths(g, res.Config)) {
+				chainHist[l] += n
+			}
+		}
+	}
+
+	fmt.Printf("exhaustively searched files: %d\n", files)
+	fmt.Printf("heuristic finds the optimum in %d (%.0f%%); paper: 46%%\n",
+		optimalHits, float64(optimalHits)/float64(files)*100)
+	fmt.Printf("median overhead when non-optimal: %.2f%%; paper: 2.37%%\n\n", stats.Median(overheads))
+
+	total := 0
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			total += matrix[a][b]
+		}
+	}
+	fmt.Println("decision agreement (rows: optimal, cols: heuristic):")
+	fmt.Printf("              no-inline  inline\n")
+	fmt.Printf("  no-inline   %9d  %6d\n", matrix[0][0], matrix[0][1])
+	fmt.Printf("  inline      %9d  %6d\n", matrix[1][0], matrix[1][1])
+	fmt.Printf("agreement: %.1f%% of %d decisions (paper: 72.7%%)\n\n",
+		float64(matrix[0][0]+matrix[1][1])/float64(total)*100, total)
+
+	fmt.Println("optimally inlined call-chain lengths (paper: length 1 dominates):")
+	for l := 1; l <= 6; l++ {
+		if chainHist[l] > 0 {
+			fmt.Printf("  length %d: %d chains\n", l, chainHist[l])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module optinline
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package autotune implements the paper's local inlining autotuner for size
+// (Section 5, Algorithm 3) and its variants: clean-slate, heuristic-
+// initialized, round-based, and best-of combination.
+//
+// One round evaluates, for every candidate edge independently and in
+// parallel, the configuration that differs from the round's starting point
+// only in that edge's label, and keeps the toggles that helped. The round
+// costs n+2 compilations for n candidate edges. Rounds extend the scope:
+// decisions that only pay off together (e.g. inlining every caller of a
+// callee so the callee itself dies) can be discovered incrementally.
+package autotune
+
+import (
+	"optinline/internal/callgraph"
+	"optinline/internal/compile"
+)
+
+// Options configures a tuning session.
+type Options struct {
+	// Rounds is the number of autotuning rounds; 0 means 1. The session
+	// stops early at a fixpoint (a round that keeps no toggles).
+	Rounds int
+	// Workers bounds the concurrent per-edge evaluations; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+// RoundTrace records one round's outcome (paper Table 4).
+type RoundTrace struct {
+	Round      int
+	Size       int // size of the configuration produced by this round
+	Inlined    int // inline-labeled candidate edges after the round
+	NotInlined int
+	Toggles    int // edges whose label this round changed
+}
+
+// Result is the outcome of a tuning session.
+type Result struct {
+	// Config is the best configuration seen across all rounds (successive
+	// rounds do not always improve; the paper recommends keeping the best).
+	Config *callgraph.Config
+	Size   int
+	// InitSize is the size of the initial configuration.
+	InitSize int
+	// Final is the configuration produced by the last executed round; it
+	// may be worse than Config.
+	Final     *callgraph.Config
+	FinalSize int
+	Rounds    []RoundTrace
+	// Evaluations is the compiler's real-compilation counter at the end.
+	Evaluations int64
+}
+
+// Tune runs a tuning session starting from init (nil means clean slate).
+func Tune(c *compile.Compiler, init *callgraph.Config, opts Options) Result {
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	g := c.Graph()
+	sites := g.Sites()
+
+	base := callgraph.NewConfig()
+	if init != nil {
+		base = init.Clone()
+	}
+	baseSize := c.Size(base)
+
+	res := Result{
+		Config:   base.Clone(),
+		Size:     baseSize,
+		InitSize: baseSize,
+	}
+	for round := 1; round <= rounds; round++ {
+		next, toggles := tuneRound(c, g, base, baseSize, sites, opts.Workers)
+		nextSize := c.Size(next)
+		res.Rounds = append(res.Rounds, RoundTrace{
+			Round:      round,
+			Size:       nextSize,
+			Inlined:    next.InlineCount(),
+			NotInlined: len(sites) - next.InlineCount(),
+			Toggles:    toggles,
+		})
+		if nextSize < res.Size {
+			res.Config, res.Size = next.Clone(), nextSize
+		}
+		res.Final, res.FinalSize = next, nextSize
+		if toggles == 0 {
+			break // fixpoint
+		}
+		base, baseSize = next, nextSize
+	}
+	if res.Final == nil {
+		res.Final, res.FinalSize = res.Config, res.Size
+	}
+	res.Evaluations = c.Evaluations()
+	return res
+}
+
+// tuneRound is Algorithm 3 generalized to an arbitrary starting point:
+// every edge is toggled against the same base; beneficial toggles are kept.
+// Matching Algorithm 3's tie handling, a toggle *to* inline is kept on
+// ties, while a toggle away from inline must strictly shrink the program.
+func tuneRound(c *compile.Compiler, g *callgraph.Graph, base *callgraph.Config, baseSize int, sites []int, workers int) (*callgraph.Config, int) {
+	cfgs := make([]*callgraph.Config, len(sites))
+	for i, s := range sites {
+		cfgs[i] = base.Clone().Set(s, !base.Inline(s))
+	}
+	sizes := c.SizeParallel(cfgs, workers)
+
+	next := base.Clone()
+	toggles := 0
+	for i, s := range sites {
+		toInline := !base.Inline(s)
+		keep := false
+		if toInline {
+			keep = sizes[i] <= baseSize
+		} else {
+			keep = sizes[i] < baseSize
+		}
+		if keep {
+			next.Set(s, toInline)
+			toggles++
+		}
+	}
+	return next, toggles
+}
+
+// CleanSlate tunes from the all-no-inline configuration.
+func CleanSlate(c *compile.Compiler, opts Options) Result {
+	return Tune(c, nil, opts)
+}
+
+// Combined runs both a clean-slate and an init-initialized session and
+// returns the better result (paper Figure 15); the second return values
+// expose the two sessions for analysis.
+func Combined(c *compile.Compiler, init *callgraph.Config, opts Options) (best, clean, inited Result) {
+	clean = Tune(c, nil, opts)
+	inited = Tune(c, init, opts)
+	if clean.Size <= inited.Size {
+		best = clean
+	} else {
+		best = inited
+	}
+	return best, clean, inited
+}

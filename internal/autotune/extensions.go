@@ -1,0 +1,183 @@
+package autotune
+
+import (
+	"optinline/internal/callgraph"
+	"optinline/internal/compile"
+)
+
+// The paper points at two straightforward extensions of the local
+// autotuner; both are implemented here.
+//
+// Group toggles (Section 5.2.1): "for each callee with internal linkage and
+// many callers, an additional configuration with all of them inlined must
+// be checked" — the win of inlining *every* caller of a callee (which
+// deletes the callee) is invisible to one-edge-at-a-time toggling.
+//
+// Incremental rounds (Section 6): "a practical implementation can take
+// advantage of multiple properties to reduce the number of necessary
+// evaluations, e.g. only re-tuning parts of call graphs that change between
+// rounds" — after round one, only edges adjacent to functions touched by a
+// kept toggle can have a changed cost, so only those need re-evaluation.
+
+// ExtOptions configures TuneExtended.
+type ExtOptions struct {
+	Options
+	// GroupCallees additionally evaluates, per internal multi-caller
+	// callee, the configuration that inlines every call site targeting it.
+	GroupCallees bool
+	// Incremental restricts rounds after the first to edges in the
+	// neighbourhood of the previous round's kept toggles.
+	Incremental bool
+}
+
+// TuneExtended runs the autotuner with the paper's suggested extensions.
+// With both extensions disabled it is equivalent to Tune.
+func TuneExtended(c *compile.Compiler, init *callgraph.Config, opts ExtOptions) Result {
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	g := c.Graph()
+	allSites := g.Sites()
+
+	base := callgraph.NewConfig()
+	if init != nil {
+		base = init.Clone()
+	}
+	baseSize := c.Size(base)
+	res := Result{Config: base.Clone(), Size: baseSize, InitSize: baseSize}
+
+	active := allSites // sites to evaluate this round
+	for round := 1; round <= rounds; round++ {
+		next, toggled := extRound(c, g, base, baseSize, active, opts)
+		nextSize := c.Size(next)
+		res.Rounds = append(res.Rounds, RoundTrace{
+			Round:      round,
+			Size:       nextSize,
+			Inlined:    next.InlineCount(),
+			NotInlined: len(allSites) - next.InlineCount(),
+			Toggles:    len(toggled),
+		})
+		if nextSize < res.Size {
+			res.Config, res.Size = next.Clone(), nextSize
+		}
+		res.Final, res.FinalSize = next, nextSize
+		if len(toggled) == 0 {
+			break
+		}
+		base, baseSize = next, nextSize
+		if opts.Incremental {
+			active = neighbourhood(g, toggled)
+		}
+	}
+	if res.Final == nil {
+		res.Final, res.FinalSize = res.Config, res.Size
+	}
+	res.Evaluations = c.Evaluations()
+	return res
+}
+
+// extRound evaluates single-edge toggles over the active sites plus,
+// optionally, per-callee group configurations. It returns the next
+// configuration and the toggled sites.
+func extRound(c *compile.Compiler, g *callgraph.Graph, base *callgraph.Config, baseSize int, active []int, opts ExtOptions) (*callgraph.Config, []int) {
+	cfgs := make([]*callgraph.Config, 0, len(active)+8)
+	for _, s := range active {
+		cfgs = append(cfgs, base.Clone().Set(s, !base.Inline(s)))
+	}
+
+	// Group candidates: internal callees with >= 2 call sites not yet all
+	// inlined. The group configuration inlines all of them at once.
+	type group struct {
+		callee string
+		sites  []int
+	}
+	var groups []group
+	if opts.GroupCallees {
+		activeSet := make(map[int]bool, len(active))
+		for _, s := range active {
+			activeSet[s] = true
+		}
+		byCallee := make(map[string][]int)
+		for _, e := range g.Edges {
+			callee := c.Module().Func(e.Callee)
+			if callee == nil || callee.Exported {
+				continue
+			}
+			byCallee[e.Callee] = append(byCallee[e.Callee], e.Site)
+		}
+		for callee, sites := range byCallee {
+			if len(sites) < 2 {
+				continue
+			}
+			allIn, touchesActive := true, false
+			for _, s := range sites {
+				if !base.Inline(s) {
+					allIn = false
+				}
+				if activeSet[s] {
+					touchesActive = true
+				}
+			}
+			if allIn || !touchesActive {
+				continue
+			}
+			cfg := base.Clone()
+			for _, s := range sites {
+				cfg.Set(s, true)
+			}
+			groups = append(groups, group{callee: callee, sites: sites})
+			cfgs = append(cfgs, cfg)
+		}
+	}
+
+	sizes := c.SizeParallel(cfgs, opts.Workers)
+
+	next := base.Clone()
+	var toggled []int
+	for i, s := range active {
+		toInline := !base.Inline(s)
+		keep := false
+		if toInline {
+			keep = sizes[i] <= baseSize
+		} else {
+			keep = sizes[i] < baseSize
+		}
+		if keep {
+			next.Set(s, toInline)
+			toggled = append(toggled, s)
+		}
+	}
+	// Apply winning groups (strict improvement only; group toggles are
+	// additions, so later groups see earlier ones' edges already set).
+	for gi, grp := range groups {
+		if sizes[len(active)+gi] < baseSize {
+			for _, s := range grp.sites {
+				if !next.Inline(s) {
+					next.Set(s, true)
+					toggled = append(toggled, s)
+				}
+			}
+		}
+	}
+	return next, toggled
+}
+
+// neighbourhood returns the sites adjacent (sharing a caller or callee
+// function) to any of the toggled sites.
+func neighbourhood(g *callgraph.Graph, toggled []int) []int {
+	touched := make(map[string]bool)
+	for _, s := range toggled {
+		if e := g.Edge(s); e != nil {
+			touched[e.Caller] = true
+			touched[e.Callee] = true
+		}
+	}
+	var out []int
+	for _, e := range g.Edges {
+		if touched[e.Caller] || touched[e.Callee] {
+			out = append(out, e.Site)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package autotune
+
+import (
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/interp"
+	"optinline/internal/ir"
+)
+
+func TestObjectiveMatchesSizeTuner(t *testing.T) {
+	// With the objective set to compiled size, TuneObjective must agree
+	// with the dedicated size tuner.
+	c1, c2 := newCompiler(t), newCompiler(t)
+	sizeObj := func(cfg *callgraph.Config) int64 { return int64(c2.Size(cfg)) }
+	a := Tune(c1, nil, Options{Rounds: 3})
+	b := TuneObjective(c2.Graph(), sizeObj, nil, Options{Rounds: 3})
+	if a.Size != b.Size || !a.Config.Equal(b.Config) {
+		t.Fatalf("objective tuner diverged from size tuner: %d vs %d", a.Size, b.Size)
+	}
+}
+
+func TestObjectiveMemoizes(t *testing.T) {
+	c := newCompiler(t)
+	calls := 0
+	obj := func(cfg *callgraph.Config) int64 {
+		calls++
+		return int64(c.Size(cfg))
+	}
+	res := TuneObjective(c.Graph(), obj, nil, Options{Rounds: 4, Workers: 1})
+	n := len(c.Graph().Sites())
+	// Rounds after a fixpoint stop; every evaluated config is unique.
+	if int(res.Evaluations) != calls {
+		t.Fatalf("evaluation accounting wrong: %d vs %d", res.Evaluations, calls)
+	}
+	if calls > 4*(n+2) {
+		t.Fatalf("memoization broken: %d objective calls", calls)
+	}
+}
+
+// cyclesSrc: a hot loop calling a tiny helper — inlining removes dynamic
+// call overhead, so tuning for cycles must inline it even though tuning
+// for size might not.
+const cyclesSrc = `
+func helper(%x) {
+entry:
+  %one = const 1
+  %a = add %x, %one
+  %b = mul %a, %a
+  %c = xor %b, %x
+  %d = add %c, %b
+  %e = mul %d, %x
+  %f = add %e, %d
+  ret %f
+}
+
+export func main(%n) {
+entry:
+  %zero = const 0
+  br head(%zero, %zero)
+head(%i, %acc):
+  %c = lt %i, %n
+  condbr %c, body, exit
+body:
+  %h = call @helper(%i) !site 1
+  %na = add %acc, %h
+  %one = const 1
+  %ni = add %i, %one
+  br head(%ni, %na)
+exit:
+  ret %acc
+}
+`
+
+func TestTuneForCycles(t *testing.T) {
+	m := ir.MustParse("cyc", cyclesSrc)
+	c := compile.New(m, codegen.TargetX86)
+	g := c.Graph()
+
+	cycles := func(cfg *callgraph.Config) int64 {
+		built, err := c.Build(cfg)
+		if err != nil {
+			return 1 << 40
+		}
+		res, err := interp.Run(built, "main", []int64{200}, interp.Options{
+			SizeOf: codegen.SizeOf(built, codegen.TargetX86),
+		})
+		if err != nil {
+			return 1 << 40
+		}
+		return res.Cycles
+	}
+	res := TuneObjective(g, cycles, nil, Options{Rounds: 2})
+	if !res.Config.Inline(1) {
+		t.Fatal("cycle tuning should inline the hot helper")
+	}
+	if int64(res.Size) >= cycles(callgraph.NewConfig()) {
+		t.Fatal("cycle tuning did not reduce cycles")
+	}
+	// Behaviour must be preserved under the chosen configuration.
+	built, err := c.Build(res.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := interp.Run(m, "main", []int64{37}, interp.Options{})
+	got, _ := interp.Run(built, "main", []int64{37}, interp.Options{})
+	if want.Observable() != got.Observable() {
+		t.Fatal("behaviour changed")
+	}
+}
+
+func TestObjectiveWithInitAndParallel(t *testing.T) {
+	c := newCompiler(t)
+	obj := func(cfg *callgraph.Config) int64 { return int64(c.Size(cfg)) }
+	init := callgraph.NewConfig().Set(1, true)
+	seq := TuneObjective(c.Graph(), obj, init, Options{Rounds: 2, Workers: 1})
+	par := TuneObjective(c.Graph(), obj, init, Options{Rounds: 2, Workers: 8})
+	if seq.Size != par.Size || !seq.Config.Equal(par.Config) {
+		t.Fatal("parallel objective tuning diverged")
+	}
+	if seq.Size > seq.InitSize {
+		t.Fatal("regressed from init")
+	}
+}

@@ -1,0 +1,249 @@
+// Package callgraph builds the call graph of a module and defines inlining
+// configurations over its edges. Following the paper, a call-graph edge is
+// one call site (so two calls from A to B are two edges), and an inlining
+// configuration assigns {inline, no-inline} to every inlinable call site.
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"optinline/internal/graph"
+	"optinline/internal/ir"
+)
+
+// Edge is an inlining candidate: a call site whose callee is defined in the
+// same module. The Site ID is the stable identity shared with the IR call
+// instruction (and all of its inlining-produced clones).
+type Edge struct {
+	Site      int
+	Caller    string
+	Callee    string
+	NumArgs   int
+	ConstArgs int  // arguments that are constants at the call site
+	Recursive bool // the edge closes a cycle through the static call graph
+}
+
+// Graph is the inlining-candidate call graph of one module.
+type Graph struct {
+	Nodes []string       // function names in module order
+	Index map[string]int // name -> node index
+	Edges []Edge         // candidates, ordered by Site
+
+	// ExternalCalls counts call sites whose callee is not defined in the
+	// module; they are not candidates (the paper's "not inlinable").
+	ExternalCalls int
+}
+
+// Build constructs the call graph of m. Call sites must already carry site
+// IDs (ir.Module.AssignSites).
+func Build(m *ir.Module) *Graph {
+	g := &Graph{Index: make(map[string]int, len(m.Funcs))}
+	for i, f := range m.Funcs {
+		g.Nodes = append(g.Nodes, f.Name)
+		g.Index[f.Name] = i
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				if m.Func(in.Callee) == nil {
+					g.ExternalCalls++
+					continue
+				}
+				if in.Site == 0 {
+					panic(fmt.Sprintf("callgraph: call to %s in %s has no site ID", in.Callee, f.Name))
+				}
+				e := Edge{
+					Site:    in.Site,
+					Caller:  f.Name,
+					Callee:  in.Callee,
+					NumArgs: len(in.Args),
+				}
+				for _, a := range in.Args {
+					if a.Def != nil && a.Def.Op == ir.OpConst {
+						e.ConstArgs++
+					}
+				}
+				g.Edges = append(g.Edges, e)
+			}
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool { return g.Edges[i].Site < g.Edges[j].Site })
+	g.markRecursive()
+	return g
+}
+
+// markRecursive flags edges that participate in a directed cycle of the
+// static call graph (including self-calls).
+func (g *Graph) markRecursive() {
+	// Tarjan SCC over function nodes.
+	n := len(g.Nodes)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[g.Index[e.Caller]] = append(adj[g.Index[e.Caller]], g.Index[e.Callee])
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i], comp[i] = -1, -1
+	}
+	var stack []int
+	next, ncomp := 0, 0
+	type frame struct{ v, ci int }
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ci < len(adj[f.v]) {
+				w := adj[f.v][f.ci]
+				f.ci++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	selfCall := make(map[int]bool)
+	sccSize := make(map[int]int)
+	for i := 0; i < n; i++ {
+		sccSize[comp[i]]++
+	}
+	for _, e := range g.Edges {
+		if e.Caller == e.Callee {
+			selfCall[e.Site] = true
+		}
+	}
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		cu, cv := comp[g.Index[e.Caller]], comp[g.Index[e.Callee]]
+		e.Recursive = selfCall[e.Site] || (cu == cv && sccSize[cu] > 1)
+	}
+}
+
+// Edge returns the edge with the given site ID, or nil.
+func (g *Graph) Edge(site int) *Edge {
+	for i := range g.Edges {
+		if g.Edges[i].Site == site {
+			return &g.Edges[i]
+		}
+	}
+	return nil
+}
+
+// Sites returns all candidate site IDs in ascending order.
+func (g *Graph) Sites() []int {
+	out := make([]int, len(g.Edges))
+	for i, e := range g.Edges {
+		out[i] = e.Site
+	}
+	return out
+}
+
+// OutDegree and InDegree return the directed degrees of the named function
+// in the candidate graph.
+func (g *Graph) OutDegree(name string) int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.Caller == name {
+			n++
+		}
+	}
+	return n
+}
+
+// InDegree returns the number of candidate call sites targeting name.
+func (g *Graph) InDegree(name string) int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.Callee == name {
+			n++
+		}
+	}
+	return n
+}
+
+// Undirected returns the undirected multigraph view used by the search
+// space partitioning. Edge IDs are call-site IDs.
+func (g *Graph) Undirected() *graph.Multigraph {
+	mg := &graph.Multigraph{N: len(g.Nodes)}
+	for _, e := range g.Edges {
+		mg.Edges = append(mg.Edges, graph.Edge{
+			ID: e.Site,
+			U:  g.Index[e.Caller],
+			V:  g.Index[e.Callee],
+		})
+	}
+	return mg
+}
+
+// CalleesAllInline reports, per function name, whether every incoming
+// candidate edge of the function is labeled inline in cfg AND none of them
+// is recursive. This is the removability predicate for label-based
+// dead-function elimination (see DESIGN.md).
+//
+// The recursion exclusion is essential for correctness, not just
+// optimality: an inline-labeled recursive edge is expanded at most once
+// (the Trail bound), so a residual call to the function always survives
+// inside the expansion and the function must stay. Non-recursive edges can
+// never be blocked by the trail, so "all incoming edges inlined" does
+// guarantee zero surviving calls for acyclic callees. The predicate stays a
+// pure function of the labels of edges incident to the callee, which keeps
+// the search-space partition exact.
+func (g *Graph) CalleesAllInline(cfg *Config) map[string]bool {
+	in := make(map[string]int)
+	inlined := make(map[string]int)
+	recursive := make(map[string]bool)
+	for _, e := range g.Edges {
+		in[e.Callee]++
+		if cfg.Inline(e.Site) {
+			inlined[e.Callee]++
+		}
+		if e.Recursive {
+			recursive[e.Callee] = true
+		}
+	}
+	out := make(map[string]bool, len(in))
+	for name, total := range in {
+		out[name] = inlined[name] == total && !recursive[name]
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is an inlining configuration: a label assignment over call sites.
+// Sites absent from the map are no-inline — the paper's "clean slate" is
+// the empty configuration. Configurations are value-like: use Clone before
+// mutating a shared one.
+type Config struct {
+	inline map[int]bool
+}
+
+// NewConfig returns the empty (clean-slate) configuration.
+func NewConfig() *Config {
+	return &Config{inline: make(map[int]bool)}
+}
+
+// Clone returns an independent copy.
+func (c *Config) Clone() *Config {
+	nc := &Config{inline: make(map[int]bool, len(c.inline))}
+	for k, v := range c.inline {
+		nc.inline[k] = v
+	}
+	return nc
+}
+
+// Set assigns a label to a site.
+func (c *Config) Set(site int, inline bool) *Config {
+	if inline {
+		c.inline[site] = true
+	} else {
+		delete(c.inline, site)
+	}
+	return c
+}
+
+// Inline reports whether the site is labeled inline.
+func (c *Config) Inline(site int) bool { return c.inline[site] }
+
+// InlineSites returns the inline-labeled sites in ascending order.
+func (c *Config) InlineSites() []int {
+	out := make([]int, 0, len(c.inline))
+	for s := range c.inline {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InlineCount returns the number of inline-labeled sites.
+func (c *Config) InlineCount() int { return len(c.inline) }
+
+// Merge copies all inline labels of other into c (used to combine the
+// independent-component partial configurations of Algorithm 1).
+func (c *Config) Merge(other *Config) *Config {
+	for s := range other.inline {
+		c.inline[s] = true
+	}
+	return c
+}
+
+// Key returns a canonical string identity: two configurations with the same
+// inline-labeled site set evaluate identically, so the compile cache is
+// keyed on this.
+func (c *Config) Key() string {
+	sites := c.InlineSites()
+	var sb strings.Builder
+	for i, s := range sites {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	return sb.String()
+}
+
+// Equal reports whether two configurations label the same sites inline.
+func (c *Config) Equal(other *Config) bool {
+	if len(c.inline) != len(other.inline) {
+		return false
+	}
+	for s := range c.inline {
+		if !other.inline[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Config) String() string {
+	if len(c.inline) == 0 {
+		return "{clean slate}"
+	}
+	return "{inline: " + c.Key() + "}"
+}
+
+// Agreement tallies how two configurations relate over a site universe:
+// the 2x2 matrix of the paper's Table 2. The first index is a's label, the
+// second is b's (false = no-inline, true = inline).
+func Agreement(sites []int, a, b *Config) (matrix [2][2]int) {
+	for _, s := range sites {
+		ai, bi := 0, 0
+		if a.Inline(s) {
+			ai = 1
+		}
+		if b.Inline(s) {
+			bi = 1
+		}
+		matrix[ai][bi]++
+	}
+	return matrix
+}

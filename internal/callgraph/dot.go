@@ -1,0 +1,60 @@
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the call graph in Graphviz syntax, in the style of the
+// paper's figures: solid edges are inlined, dashed edges are not. A nil
+// config renders every edge dashed.
+func (g *Graph) DOT(title string, cfg *Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", title)
+	sb.WriteString("  node [shape=box, fontsize=10];\n")
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	referenced := make(map[string]bool)
+	for _, e := range g.Edges {
+		referenced[e.Caller] = true
+		referenced[e.Callee] = true
+	}
+	for _, n := range nodes {
+		if referenced[n] {
+			fmt.Fprintf(&sb, "  %q;\n", n)
+		}
+	}
+	for _, e := range g.Edges {
+		style := "dashed"
+		if cfg != nil && cfg.Inline(e.Site) {
+			style = "solid"
+		}
+		fmt.Fprintf(&sb, "  %q -> %q [style=%s, label=\"s%d\"];\n", e.Caller, e.Callee, style, e.Site)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// SideBySideDOT renders two labelings of the same graph (e.g. optimal vs
+// the heuristic) as two clusters in one digraph, for the case-study figures.
+func (g *Graph) SideBySideDOT(title, aName string, a *Config, bName string, b *Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", title)
+	for i, part := range []struct {
+		name string
+		cfg  *Config
+	}{{aName, a}, {bName, b}} {
+		fmt.Fprintf(&sb, "  subgraph cluster_%d {\n    label=%q;\n", i, part.name)
+		for _, e := range g.Edges {
+			style := "dashed"
+			if part.cfg != nil && part.cfg.Inline(e.Site) {
+				style = "solid"
+			}
+			fmt.Fprintf(&sb, "    \"%s_%d\" -> \"%s_%d\" [style=%s];\n", e.Caller, i, e.Callee, i, style)
+		}
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package callgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the canonical key identifies exactly the inline-labeled set,
+// regardless of insertion order and of no-inline assignments.
+func TestConfigKeyCanonicalProperty(t *testing.T) {
+	f := func(sites []uint8, order []uint8) bool {
+		a, b := NewConfig(), NewConfig()
+		for _, s := range sites {
+			a.Set(int(s)+1, true)
+		}
+		// Insert into b in a permuted order with extra no-inline noise.
+		for i := len(sites) - 1; i >= 0; i-- {
+			b.Set(int(sites[i])+1, true)
+		}
+		for _, o := range order {
+			b.Set(int(o)+300, true)
+			b.Set(int(o)+300, false)
+		}
+		return a.Key() == b.Key() && a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge computes the union of inline sets.
+func TestConfigMergeUnionProperty(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewConfig(), NewConfig()
+		want := map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x)+1, true)
+			want[int(x)+1] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y)+1, true)
+			want[int(y)+1] = true
+		}
+		a.Merge(b)
+		if a.InlineCount() != len(want) {
+			return false
+		}
+		for s := range want {
+			if !a.Inline(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the agreement matrix partitions the site universe.
+func TestAgreementPartitionProperty(t *testing.T) {
+	f := func(universe []uint8, xs, ys []uint8) bool {
+		seen := map[int]bool{}
+		var sites []int
+		for _, u := range universe {
+			s := int(u) + 1
+			if !seen[s] {
+				seen[s] = true
+				sites = append(sites, s)
+			}
+		}
+		a, b := NewConfig(), NewConfig()
+		for _, x := range xs {
+			a.Set(int(x)+1, true)
+		}
+		for _, y := range ys {
+			b.Set(int(y)+1, true)
+		}
+		m := Agreement(sites, a, b)
+		return m[0][0]+m[0][1]+m[1][0]+m[1][1] == len(sites)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

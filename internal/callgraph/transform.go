@@ -1,0 +1,264 @@
+package callgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the paper's Figure 2 call-graph transformations as
+// an explicit, inspectable model: inlining an edge merges caller and callee
+// nodes (cloning the callee when it has other callers, and duplicating its
+// outgoing calls as coupled copies), while not-inlining marks the edge and
+// removes it from candidacy. The search itself uses the cheaper contracted
+// multigraph (see internal/search); this model exists for studying and
+// visualizing the graph evolution the paper describes, and for testing that
+// the contraction abstraction agrees with the cloning semantics on
+// connectivity.
+
+// TNode is a node of a transformed call graph: one or more original
+// functions merged by inlining.
+type TNode struct {
+	ID     int
+	Merged []string // original function names, sorted
+}
+
+// Label renders the merged-name label used in the paper's figures ("AB").
+func (n *TNode) Label() string { return strings.Join(n.Merged, "") }
+
+// TEdge is a (possibly cloned) call in a transformed graph. Clones keep the
+// Site of the original call, implementing the paper's coupled copies.
+type TEdge struct {
+	Site     int
+	From, To int  // TNode IDs
+	NoInline bool // labeled no-inline (kept, but no longer a candidate)
+}
+
+// TGraph is a call graph undergoing Figure 2 transformations.
+type TGraph struct {
+	Nodes  []*TNode
+	Edges  []TEdge
+	nextID int
+}
+
+// NewTGraph builds the transformation model from a candidate call graph.
+func NewTGraph(g *Graph) *TGraph {
+	tg := &TGraph{}
+	index := make(map[string]int, len(g.Nodes))
+	for _, name := range g.Nodes {
+		index[name] = tg.addNode([]string{name})
+	}
+	for _, e := range g.Edges {
+		tg.Edges = append(tg.Edges, TEdge{Site: e.Site, From: index[e.Caller], To: index[e.Callee]})
+	}
+	return tg
+}
+
+func (tg *TGraph) addNode(merged []string) int {
+	id := tg.nextID
+	tg.nextID++
+	names := append([]string(nil), merged...)
+	sort.Strings(names)
+	tg.Nodes = append(tg.Nodes, &TNode{ID: id, Merged: names})
+	return id
+}
+
+func (tg *TGraph) node(id int) *TNode {
+	for _, n := range tg.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Candidates returns the sites still open for a decision (not yet inlined,
+// not marked no-inline), deduplicated — coupled copies count once.
+func (tg *TGraph) Candidates() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range tg.Edges {
+		if !e.NoInline && !seen[e.Site] {
+			seen[e.Site] = true
+			out = append(out, e.Site)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MarkNoInline labels every copy of the site no-inline (Figure 2(b)): the
+// calls remain in the program but leave the candidate set.
+func (tg *TGraph) MarkNoInline(site int) error {
+	found := false
+	for i := range tg.Edges {
+		if tg.Edges[i].Site == site {
+			tg.Edges[i].NoInline = true
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("callgraph: no edge with site %d", site)
+	}
+	return nil
+}
+
+// InlineSite performs Figure 2(c) for every copy of the site: each copy's
+// callee is merged into its caller; if the callee node has other incoming
+// calls it is preserved (the merge uses a clone) and its outgoing calls are
+// duplicated onto the caller as coupled copies. Self-copies (recursive
+// sites) are expanded once: the edge disappears, matching the inline-once
+// bound.
+func (tg *TGraph) InlineSite(site int) error {
+	copies := -1
+	for i := range tg.Edges {
+		if tg.Edges[i].Site == site && !tg.Edges[i].NoInline {
+			copies = i
+			break
+		}
+	}
+	if copies == -1 {
+		return fmt.Errorf("callgraph: no open edge with site %d", site)
+	}
+	// Expand copies one at a time until none remain; each expansion may
+	// materialize new copies of *other* sites but never of this one
+	// (recursion is bounded, so a self-copy simply disappears).
+	for {
+		idx := -1
+		for i := range tg.Edges {
+			if tg.Edges[i].Site == site && !tg.Edges[i].NoInline {
+				idx = i
+				break
+			}
+		}
+		if idx == -1 {
+			return nil
+		}
+		e := tg.Edges[idx]
+		// Remove this copy.
+		tg.Edges = append(tg.Edges[:idx], tg.Edges[idx+1:]...)
+		if e.From == e.To {
+			continue // recursive copy: expanded once, no structural change
+		}
+		caller, callee := tg.node(e.From), tg.node(e.To)
+		// The caller node absorbs the callee's functions.
+		caller.Merged = mergeNames(caller.Merged, callee.Merged)
+		// Duplicate the callee's outgoing calls onto the caller (coupled).
+		var dup []TEdge
+		for _, oe := range tg.Edges {
+			if oe.From == e.To {
+				to := oe.To
+				if to == e.To {
+					to = e.From // calls back into the clone stay internal
+				}
+				dup = append(dup, TEdge{Site: oe.Site, From: e.From, To: to, NoInline: oe.NoInline})
+			}
+		}
+		tg.Edges = append(tg.Edges, dup...)
+		// If nothing else calls the callee, it is removed outright along
+		// with its outgoing calls (no other caller kept it alive).
+		hasOtherCaller := false
+		for _, oe := range tg.Edges {
+			if oe.To == e.To && oe.From != e.To {
+				hasOtherCaller = true
+				break
+			}
+		}
+		if !hasOtherCaller {
+			kept := tg.Edges[:0]
+			for _, oe := range tg.Edges {
+				if oe.From != e.To && oe.To != e.To {
+					kept = append(kept, oe)
+				}
+			}
+			tg.Edges = kept
+			for i, n := range tg.Nodes {
+				if n.ID == e.To {
+					tg.Nodes = append(tg.Nodes[:i], tg.Nodes[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+func mergeNames(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range a {
+		set[x] = true
+	}
+	for _, x := range b {
+		set[x] = true
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Components returns the node-ID sets of the independent inlining
+// components: connectivity over edges NOT marked no-inline.
+func (tg *TGraph) Components() [][]int {
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, n := range tg.Nodes {
+		parent[n.ID] = n.ID
+	}
+	for _, e := range tg.Edges {
+		if e.NoInline {
+			continue
+		}
+		a, b := find(e.From), find(e.To)
+		if a != b {
+			parent[b] = a
+		}
+	}
+	groups := map[int][]int{}
+	for _, n := range tg.Nodes {
+		r := find(n.ID)
+		groups[r] = append(groups[r], n.ID)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		ids := groups[r]
+		sort.Ints(ids)
+		out = append(out, ids)
+	}
+	return out
+}
+
+// String renders the transformed graph compactly, Figure 2 style.
+func (tg *TGraph) String() string {
+	var sb strings.Builder
+	for _, n := range tg.Nodes {
+		fmt.Fprintf(&sb, "node %s\n", n.Label())
+	}
+	edges := append([]TEdge(nil), tg.Edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Site != edges[j].Site {
+			return edges[i].Site < edges[j].Site
+		}
+		return edges[i].From < edges[j].From
+	})
+	for _, e := range edges {
+		style := ""
+		if e.NoInline {
+			style = " [no-inline]"
+		}
+		fmt.Fprintf(&sb, "%s -> %s (s%d)%s\n", tg.node(e.From).Label(), tg.node(e.To).Label(), e.Site, style)
+	}
+	return sb.String()
+}

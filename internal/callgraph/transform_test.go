@@ -1,0 +1,222 @@
+package callgraph
+
+import (
+	"strings"
+	"testing"
+
+	"optinline/internal/ir"
+)
+
+// figure2Module reproduces the paper's Figure 2: A calls B, B calls C,
+// D calls B.
+func figure2Module(t *testing.T) *Graph {
+	t.Helper()
+	src := `
+func @c(%x) {
+entry:
+  ret %x
+}
+func @b(%x) {
+entry:
+  %r = call @c(%x) !site 2
+  ret %r
+}
+export func @a(%x) {
+entry:
+  %r = call @b(%x) !site 1
+  ret %r
+}
+export func @d(%x) {
+entry:
+  %r = call @b(%x) !site 3
+  ret %r
+}
+`
+	m, err := ir.Parse("fig2", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(m)
+}
+
+func TestFigure2NotInlined(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	if err := tg.MarkNoInline(1); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2(b): the edge persists but is no longer a candidate.
+	if got := tg.Candidates(); len(got) != 2 {
+		t.Fatalf("candidates after no-inline: %v", got)
+	}
+	if len(tg.Edges) != 3 {
+		t.Fatalf("the call must be preserved: %d edges", len(tg.Edges))
+	}
+}
+
+func TestFigure2Inlined(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	if err := tg.InlineSite(1); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2(c): A and B merge into AB; B survives (D still calls it);
+	// the B->C call is duplicated from AB, coupled under site 2.
+	var ab, b *TNode
+	for _, n := range tg.Nodes {
+		switch n.Label() {
+		case "ab":
+			ab = n
+		case "b":
+			b = n
+		}
+	}
+	if ab == nil || b == nil {
+		t.Fatalf("expected nodes ab and b: %s", tg)
+	}
+	site2 := 0
+	for _, e := range tg.Edges {
+		if e.Site == 2 {
+			site2++
+		}
+	}
+	if site2 != 2 {
+		t.Fatalf("B->C should have 2 coupled copies, got %d:\n%s", site2, tg)
+	}
+}
+
+func TestInlineLastCallerRemovesCallee(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	// Inline both callers of b: b's original node must disappear.
+	if err := tg.InlineSite(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.InlineSite(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tg.Nodes {
+		if n.Label() == "b" {
+			t.Fatalf("callee should be removed after its last caller inlines:\n%s", tg)
+		}
+	}
+	// Both clones still call c, coupled under site 2.
+	site2 := 0
+	for _, e := range tg.Edges {
+		if e.Site == 2 {
+			site2++
+		}
+	}
+	if site2 != 2 {
+		t.Fatalf("coupled copies: %d\n%s", site2, tg)
+	}
+}
+
+func TestCoupledCopiesInlineTogether(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	if err := tg.InlineSite(1); err != nil {
+		t.Fatal(err)
+	}
+	// Now inline site 2: BOTH copies (from ab and from b) must expand.
+	if err := tg.InlineSite(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tg.Edges {
+		if e.Site == 2 {
+			t.Fatalf("a coupled copy of site 2 survived:\n%s", tg)
+		}
+	}
+	// c had two callers (ab and b); the last expansion removes it.
+	for _, n := range tg.Nodes {
+		if strings.Contains(n.Label(), "c") && len(n.Merged) == 1 {
+			t.Fatalf("c should have been absorbed:\n%s", tg)
+		}
+	}
+}
+
+func TestRecursiveSiteExpandsOnce(t *testing.T) {
+	src := `
+export func @r(%n) {
+entry:
+  %zero = const 0
+  %c = le %n, %zero
+  condbr %c, done, more
+done:
+  ret %zero
+more:
+  %one = const 1
+  %m = sub %n, %one
+  %v = call @r(%m) !site 1
+  ret %v
+}
+`
+	m := ir.MustParse("rec", src)
+	tg := NewTGraph(Build(m))
+	if err := tg.InlineSite(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Edges) != 0 {
+		t.Fatalf("self-edge should expand once and disappear:\n%s", tg)
+	}
+	if len(tg.Nodes) != 1 {
+		t.Fatalf("node set changed: %v", tg.Nodes)
+	}
+}
+
+func TestComponentsSplitAcrossNoInline(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	// Everything is one component initially.
+	if comps := tg.Components(); len(comps) != 1 {
+		t.Fatalf("components: %v", comps)
+	}
+	// Marking all of b's incident candidate edges no-inline isolates nodes.
+	tg.MarkNoInline(1)
+	tg.MarkNoInline(2)
+	tg.MarkNoInline(3)
+	if comps := tg.Components(); len(comps) != 4 {
+		t.Fatalf("expected 4 singleton components, got %v", comps)
+	}
+}
+
+// Property: the TGraph's independent-component structure agrees with the
+// contracted-multigraph abstraction the search uses.
+func TestTransformAgreesWithContraction(t *testing.T) {
+	g := figure2Module(t)
+
+	// Decide: inline site 1, no-inline sites 2 and 3.
+	tg := NewTGraph(g)
+	tg.InlineSite(1)
+	tg.MarkNoInline(2)
+	tg.MarkNoInline(3)
+
+	mg := g.Undirected().ContractEdge(1).RemoveEdge(2).RemoveEdge(3)
+	// Count edge-bearing components both ways: none remain in either model.
+	if n := len(tg.Candidates()); n != 0 {
+		t.Fatalf("tgraph candidates left: %d", n)
+	}
+	if len(mg.Edges) != 0 {
+		t.Fatalf("contracted graph edges left: %d", len(mg.Edges))
+	}
+}
+
+func TestTGraphErrors(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	if err := tg.MarkNoInline(99); err == nil {
+		t.Fatal("expected error for unknown site")
+	}
+	if err := tg.InlineSite(99); err == nil {
+		t.Fatal("expected error for unknown site")
+	}
+	tg.MarkNoInline(1)
+	if err := tg.InlineSite(1); err == nil {
+		t.Fatal("expected error inlining a no-inline edge")
+	}
+}
+
+func TestTGraphString(t *testing.T) {
+	tg := NewTGraph(figure2Module(t))
+	tg.MarkNoInline(2)
+	s := tg.String()
+	for _, want := range []string{"node a", "a -> b (s1)", "[no-inline]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

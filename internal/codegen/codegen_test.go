@@ -1,0 +1,156 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"optinline/internal/ir"
+)
+
+const src = `
+global @g
+
+func @leaf(%x) {
+entry:
+  %big = const 1000000
+  %r = add %x, %big
+  ret %r
+}
+
+export func @main(%n) {
+entry:
+  %a = call @leaf(%n) !site 1
+  %b = div %a, %n
+  storeg @g, %b
+  output %b
+  ret %b
+}
+`
+
+func mod(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse("cg", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestImmBytes(t *testing.T) {
+	cases := []struct {
+		c int64
+		w int
+	}{
+		{0, 1}, {127, 1}, {-128, 1}, {128, 2}, {-32768, 2},
+		{32768, 4}, {1 << 30, 4}, {1 << 40, 8}, {-(1 << 40), 8},
+	}
+	for _, c := range cases {
+		if got := immBytes(c.c); got != c.w {
+			t.Errorf("immBytes(%d)=%d want %d", c.c, got, c.w)
+		}
+	}
+}
+
+func TestModuleSizeIsAdditive(t *testing.T) {
+	m := mod(t)
+	sum := 0
+	for _, f := range m.Funcs {
+		sum += FunctionSize(f, TargetX86)
+	}
+	if got := ModuleSize(m, TargetX86); got != sum {
+		t.Fatalf("ModuleSize=%d, sum of functions=%d", got, sum)
+	}
+}
+
+func TestSizeDeterministic(t *testing.T) {
+	a, b := mod(t), mod(t)
+	if ModuleSize(a, TargetX86) != ModuleSize(b, TargetX86) {
+		t.Fatal("size not deterministic")
+	}
+	if ModuleSize(a, TargetWASM) != ModuleSize(b, TargetWASM) {
+		t.Fatal("wasm size not deterministic")
+	}
+}
+
+func TestRemovingInstructionsShrinks(t *testing.T) {
+	m := mod(t)
+	before := ModuleSize(m, TargetX86)
+	f := m.Func("leaf")
+	// Drop the big-constant add (keep the ret but retarget it).
+	f.Blocks[0].Instrs[2].Args[0] = f.Entry().Params[0]
+	f.Blocks[0].Instrs = f.Blocks[0].Instrs[2:]
+	if after := ModuleSize(m, TargetX86); after >= before {
+		t.Fatalf("size did not shrink: %d -> %d", before, after)
+	}
+}
+
+func TestConstantWidthMatters(t *testing.T) {
+	small := &ir.Instr{Op: ir.OpConst, Const: 1}
+	big := &ir.Instr{Op: ir.OpConst, Const: 1 << 40}
+	if InstrSize(small, TargetX86) >= InstrSize(big, TargetX86) {
+		t.Fatal("wide constants should encode longer")
+	}
+}
+
+func TestCallCostsScaleWithArgs(t *testing.T) {
+	c0 := &ir.Instr{Op: ir.OpCall, Callee: "f"}
+	v := &ir.Value{}
+	c2 := &ir.Instr{Op: ir.OpCall, Callee: "f", Args: []*ir.Value{v, v}}
+	if InstrSize(c2, TargetX86) <= InstrSize(c0, TargetX86) {
+		t.Fatal("call args should cost bytes")
+	}
+}
+
+func TestTargetsDiffer(t *testing.T) {
+	m := mod(t)
+	x86 := ModuleSize(m, TargetX86)
+	wasm := ModuleSize(m, TargetWASM)
+	if x86 == wasm {
+		t.Fatalf("targets should cost differently: %d vs %d", x86, wasm)
+	}
+	// The WASM model makes calls cheap relative to X86.
+	call := &ir.Instr{Op: ir.OpCall, Callee: "f", Args: []*ir.Value{{}}}
+	if InstrSize(call, TargetWASM) >= InstrSize(call, TargetX86) {
+		t.Fatal("wasm calls should be cheaper than x86 calls")
+	}
+}
+
+func TestAlignmentX86(t *testing.T) {
+	m := mod(t)
+	for _, f := range m.Funcs {
+		if FunctionSize(f, TargetX86)%4 != 0 {
+			t.Fatalf("function %s size not 4-aligned", f.Name)
+		}
+	}
+}
+
+func TestSizeOfLookup(t *testing.T) {
+	m := mod(t)
+	lookup := SizeOf(m, TargetX86)
+	if lookup("leaf") != FunctionSize(m.Func("leaf"), TargetX86) {
+		t.Fatal("lookup mismatch")
+	}
+	if lookup("nonexistent") <= 0 {
+		t.Fatal("external functions need a nominal size")
+	}
+}
+
+func TestListing(t *testing.T) {
+	m := mod(t)
+	l := Listing(m, TargetX86)
+	for _, want := range []string{"main:", "leaf:", "call", "ret", ".text", "(export)"} {
+		if !strings.Contains(l, want) {
+			t.Fatalf("listing missing %q:\n%s", want, l)
+		}
+	}
+}
+
+func TestBranchArgsCostBytes(t *testing.T) {
+	v := &ir.Value{}
+	dest := &ir.Block{Name: "b"}
+	plain := &ir.Instr{Op: ir.OpBr, Succs: []ir.Succ{{Dest: dest}}}
+	withArgs := &ir.Instr{Op: ir.OpBr, Succs: []ir.Succ{{Dest: dest, Args: []*ir.Value{v, v}}}}
+	if InstrSize(withArgs, TargetX86) <= InstrSize(plain, TargetX86) {
+		t.Fatal("branch args should cost bytes")
+	}
+}

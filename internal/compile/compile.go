@@ -1,0 +1,150 @@
+// Package compile is the driver that turns an inlining configuration into a
+// binary size: clone → inline → optimize → label-based dead-function
+// elimination → measure. It memoizes sizes by canonical configuration key
+// and is safe for concurrent use, which the search and the autotuner exploit
+// (the paper calls both "embarrassingly parallel").
+package compile
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/inline"
+	"optinline/internal/ir"
+	"optinline/internal/opt"
+)
+
+// InfSize is returned for configurations that fail to compile (the inliner's
+// growth bound tripped); it compares worse than any real size.
+const InfSize = math.MaxInt32
+
+// Compiler evaluates inlining configurations against a fixed base module.
+type Compiler struct {
+	base   *ir.Module
+	graph  *callgraph.Graph
+	target codegen.Target
+
+	mu    sync.Mutex
+	cache map[string]int
+
+	evals  atomic.Int64
+	hits   atomic.Int64
+	errors atomic.Int64
+}
+
+// New prepares a compiler for the module. The module is cloned defensively;
+// callers may keep using the original. Site IDs are assigned if absent.
+func New(m *ir.Module, target codegen.Target) *Compiler {
+	base := m.Clone()
+	base.AssignSites()
+	return &Compiler{
+		base:   base,
+		graph:  callgraph.Build(base),
+		target: target,
+		cache:  make(map[string]int),
+	}
+}
+
+// Graph returns the inlining-candidate call graph of the base module.
+func (c *Compiler) Graph() *callgraph.Graph { return c.graph }
+
+// Module returns the (site-assigned) base module.
+func (c *Compiler) Module() *ir.Module { return c.base }
+
+// Target returns the codegen target being measured.
+func (c *Compiler) Target() codegen.Target { return c.target }
+
+// Build runs the full pipeline for a configuration and returns the
+// optimized module. It does not consult or fill the size cache.
+func (c *Compiler) Build(cfg *callgraph.Config) (*ir.Module, error) {
+	m := c.base.Clone()
+	if err := inline.Apply(m, cfg, inline.Options{}); err != nil {
+		return nil, err
+	}
+	// Label-based dead-function elimination: an internal function whose
+	// every original call edge is labeled inline is removable. This
+	// predicate depends only on labels of edges incident to the function,
+	// which keeps independent components exactly independent (DESIGN.md).
+	removable := c.graph.CalleesAllInline(cfg)
+	opt.RemoveDeadFunctions(m, func(name string) bool { return removable[name] })
+	opt.Module(m)
+	return m, nil
+}
+
+// Size returns the .text size of the configuration, compiling at most once
+// per canonical configuration.
+func (c *Compiler) Size(cfg *callgraph.Config) int {
+	key := cfg.Key()
+	c.mu.Lock()
+	if s, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return s
+	}
+	c.mu.Unlock()
+
+	size := c.measure(cfg)
+
+	c.mu.Lock()
+	c.cache[key] = size
+	c.mu.Unlock()
+	return size
+}
+
+func (c *Compiler) measure(cfg *callgraph.Config) int {
+	c.evals.Add(1)
+	m, err := c.Build(cfg)
+	if err != nil {
+		c.errors.Add(1)
+		return InfSize
+	}
+	return codegen.ModuleSize(m, c.target)
+}
+
+// SizeParallel evaluates many configurations concurrently and returns their
+// sizes in order. workers <= 0 selects GOMAXPROCS.
+func (c *Compiler) SizeParallel(cfgs []*callgraph.Config, workers int) []int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	out := make([]int, len(cfgs))
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			out[i] = c.Size(cfg)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				out[i] = c.Size(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Evaluations returns the number of real (uncached) compilations so far.
+func (c *Compiler) Evaluations() int64 { return c.evals.Load() }
+
+// CacheHits returns the number of size requests served from the cache.
+func (c *Compiler) CacheHits() int64 { return c.hits.Load() }
+
+// Errors returns the number of configurations that failed to compile.
+func (c *Compiler) Errors() int64 { return c.errors.Load() }

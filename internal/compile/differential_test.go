@@ -1,0 +1,104 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/interp"
+	"optinline/internal/workload"
+)
+
+// TestFullPipelinePreservesSemanticsOnCorpus is the end-to-end differential
+// test: on generated translation units, the complete pipeline — inlining
+// under an arbitrary configuration, the optimizer, and label-based
+// dead-function elimination — must preserve observable behaviour of the
+// exported entry point.
+func TestFullPipelinePreservesSemanticsOnCorpus(t *testing.T) {
+	p := workload.Profile{
+		Name: "difftest", Files: 10, TotalEdges: 70,
+		ConstArgProb: 0.4, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.4,
+		RecProb: 0.12, BranchProb: 0.5, MultiRootPct: 0.15,
+	}
+	bench := workload.Generate(p)
+	rng := rand.New(rand.NewSource(31))
+	checked := 0
+	for _, f := range bench.Files {
+		if f.Module.Func("entry") == nil {
+			continue
+		}
+		c := New(f.Module, codegen.TargetX86)
+		g := c.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		base, err := interp.Run(f.Module, "entry", []int64{4}, interp.Options{Fuel: 10_000_000})
+		if err != nil {
+			continue // exponential dynamic call tree; size-only file
+		}
+		for trial := 0; trial < 6; trial++ {
+			cfg := callgraph.NewConfig()
+			for _, e := range g.Edges {
+				if rng.Intn(2) == 0 {
+					cfg.Set(e.Site, true)
+				}
+			}
+			m, err := c.Build(cfg)
+			if err != nil {
+				t.Fatalf("%s %v: %v", f.Name, cfg, err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("%s %v: post-pipeline verify: %v", f.Name, cfg, err)
+			}
+			got, err := interp.Run(m, "entry", []int64{4}, interp.Options{Fuel: 10_000_000})
+			if err != nil {
+				t.Fatalf("%s %v: run: %v", f.Name, cfg, err)
+			}
+			if got.Observable() != base.Observable() {
+				t.Fatalf("%s %v: pipeline changed behaviour", f.Name, cfg)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d configurations checked; corpus too hostile", checked)
+	}
+}
+
+// TestSizeMonotonicityUnderDFE: fully inlining every call edge of an
+// internal function can never be worse than inlining all of them except
+// leaving the function alive artificially — i.e., DFE only helps.
+func TestSizeMonotonicityUnderDFE(t *testing.T) {
+	p := workload.Profile{
+		Name: "dfemono", Files: 6, TotalEdges: 40,
+		ConstArgProb: 0.3, HubProb: 0.2, BigBodyProb: 0.2, LoopProb: 0.3,
+		RecProb: 0, BranchProb: 0.4, MultiRootPct: 0.1,
+	}
+	bench := workload.Generate(p)
+	for _, f := range bench.Files {
+		c := New(f.Module, codegen.TargetX86)
+		g := c.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		// All edges inlined: every internal callee with incoming edges dies.
+		all := callgraph.NewConfig()
+		for _, e := range g.Edges {
+			all.Set(e.Site, true)
+		}
+		m, err := c.Build(all)
+		if err != nil {
+			continue // growth bound; fine
+		}
+		removable := g.CalleesAllInline(all)
+		for name, ok := range removable {
+			if !ok {
+				continue
+			}
+			if fn := m.Func(name); fn != nil && !fn.Exported {
+				t.Fatalf("%s: fully inlined internal %s not eliminated", f.Name, name)
+			}
+		}
+	}
+}

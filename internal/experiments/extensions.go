@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optinline/internal/autotune"
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/interp"
+	"optinline/internal/mlheur"
+	"optinline/internal/outline"
+	"optinline/internal/stats"
+)
+
+// The experiments below cover the extensions the paper proposes beyond its
+// own evaluation: training a learned inlining policy on optimal decisions
+// (Section 6, "Learning inlining heuristics"), combining the autotuner with
+// an outliner (Section 7, "Outlining"), and tuning for runtime instead of
+// size (Section 6, "Exhaustive search for performance").
+
+// MLGoCase trains a logistic-regression policy on the optimal decisions of
+// half the exhaustive set and evaluates it on the held-out half, comparing
+// decision accuracy and resulting sizes against the hand-written heuristic.
+func (h *Harness) MLGoCase() Result {
+	set := h.exhaustiveSet()
+	if len(set) < 4 {
+		return Result{ID: "mlgo-case", Title: "Learned inlining policy (Section 6)", Text: "corpus too small\n"}
+	}
+	var train, test []mlheur.Example
+	var testFiles []*fileData
+	for i, fd := range set {
+		opt, _ := fd.optimal(h.cfg)
+		ds := mlheur.Dataset(fd.comp.Module(), fd.graph, opt.Config)
+		if i%2 == 0 {
+			train = append(train, ds...)
+		} else {
+			test = append(test, ds...)
+			testFiles = append(testFiles, fd)
+		}
+	}
+	model, err := mlheur.Train(train, mlheur.TrainOptions{})
+	if err != nil {
+		return Result{ID: "mlgo-case", Title: "Learned inlining policy (Section 6)", Text: err.Error() + "\n"}
+	}
+
+	var relLearned, relHeur []float64
+	learnedOptimal, heurOptimal := 0, 0
+	for _, fd := range testFiles {
+		opt, _ := fd.optimal(h.cfg)
+		cfg := model.Config(fd.comp.Module(), fd.graph)
+		size := fd.comp.Size(cfg)
+		relLearned = append(relLearned, float64(size)/float64(opt.Size)*100)
+		relHeur = append(relHeur, float64(fd.heurSize)/float64(opt.Size)*100)
+		if size <= opt.Size {
+			learnedOptimal++
+		}
+		if fd.heurSize <= opt.Size {
+			heurOptimal++
+		}
+	}
+	var tb stats.Table
+	tb.Header = []string{"policy", "median size vs optimal", "optimal found"}
+	tb.AddRow("-Os heuristic", fmt.Sprintf("%.1f%%", stats.Median(relHeur)),
+		pct(float64(heurOptimal), float64(len(testFiles))))
+	tb.AddRow("learned (trained on optimal)", fmt.Sprintf("%.1f%%", stats.Median(relLearned)),
+		pct(float64(learnedOptimal), float64(len(testFiles))))
+	text := fmt.Sprintf(
+		"Logistic regression over %d call-site features, trained on %d optimal\ndecisions, evaluated on %d held-out files (the data pipeline the paper's\nSection 6 proposes; decision accuracy on held-out sites: %.1f%%, majority\nbaseline %.1f%%).\n\n%s",
+		mlheur.NFeatures, len(train), len(testFiles),
+		model.Accuracy(test)*100, mlheur.MajorityBaseline(test)*100, tb.String())
+	return Result{ID: "mlgo-case", Title: "Learned inlining policy (Section 6)", Text: text}
+}
+
+// OutlineCase measures the additional size reduction of running the
+// outliner after autotuned inlining (the combination suggested in the
+// paper's Section 7).
+func (h *Harness) OutlineCase() Result {
+	h.ensureTuned()
+	var tunedTotal, outlinedTotal float64
+	improved, files := 0, 0
+	for _, fd := range h.files {
+		cfg := fd.clean.Config
+		if fd.init.Size < fd.clean.Size {
+			cfg = fd.init.Config
+		}
+		built, err := fd.comp.Build(cfg)
+		if err != nil {
+			continue
+		}
+		before := codegen.ModuleSize(built, codegen.TargetX86)
+		outline.Module(built, outline.Options{Target: codegen.TargetX86})
+		after := codegen.ModuleSize(built, codegen.TargetX86)
+		files++
+		tunedTotal += float64(before)
+		outlinedTotal += float64(after)
+		if after < before {
+			improved++
+		}
+	}
+	text := fmt.Sprintf(
+		"Outlining after combined autotuned inlining, %d files.\nFiles further reduced: %d. Additional size reduction: %.2f%%.\n(The paper's Section 7 cites Chabbi et al.'s outliner as combinable with\nits autotuner; here both run in one pipeline.)\n",
+		files, improved, (1-outlinedTotal/tunedTotal)*100)
+	return Result{ID: "outline-case", Title: "Autotuning + outlining (Section 7)", Text: text}
+}
+
+// PerfCase tunes a subset of files for interpreter cycles instead of bytes
+// (Section 6's "exhaustive search for performance" direction) and reports
+// the cycle/size trade against the -Os heuristic.
+func (h *Harness) PerfCase() Result {
+	h.ensureTuned()
+	var tb stats.Table
+	tb.Header = []string{"file", "cycles vs -Os", "size vs -Os"}
+	var cycleRels, sizeRels []float64
+	count := 0
+	for _, fd := range h.files {
+		if count >= 12 || fd.edges < 3 || fd.edges > 30 {
+			continue
+		}
+		obj := func(cfg *callgraph.Config) int64 {
+			built, err := fd.comp.Build(cfg)
+			if err != nil {
+				return 1 << 40
+			}
+			res, err := interp.Run(built, "entry", []int64{7}, interp.Options{
+				Fuel:   5_000_000,
+				SizeOf: codegen.SizeOf(built, codegen.TargetX86),
+			})
+			if err != nil {
+				return 1 << 40
+			}
+			return res.Cycles
+		}
+		baseCycles := obj(fd.heurCfg)
+		if baseCycles >= 1<<40 {
+			continue // not executable within fuel
+		}
+		res := autotune.TuneObjective(fd.graph, obj, fd.heurCfg, autotune.Options{
+			Rounds: 2, Workers: h.cfg.Workers,
+		})
+		tunedCycles := obj(res.Config)
+		tunedSize := fd.comp.Size(res.Config)
+		cr := float64(tunedCycles) / float64(baseCycles) * 100
+		sr := float64(tunedSize) / float64(fd.heurSize) * 100
+		cycleRels = append(cycleRels, cr)
+		sizeRels = append(sizeRels, sr)
+		tb.AddRow(fd.file.Name, fmt.Sprintf("%.1f%%", cr), fmt.Sprintf("%.1f%%", sr))
+		count++
+	}
+	text := fmt.Sprintf(
+		"Autotuning for cycles (interpreter cost model) instead of bytes,\nheuristic-initialized, on %d executable files.\n\n%s\nMedian: cycles %.1f%% of -Os, size %.1f%% of -Os — the dual of Figure 19:\ntuning the other metric trades it against the first.\n",
+		count, tb.String(), stats.Median(cycleRels), stats.Median(sizeRels))
+	return Result{ID: "perf-case", Title: "Tuning for performance (Section 6)", Text: text}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optinline/internal/autotune"
+	"optinline/internal/stats"
+)
+
+// perBenchmarkRel renders a per-benchmark table of autotuned size relative
+// to the -Os heuristic, given a per-file tuned-size selector.
+func (h *Harness) perBenchmarkRel(sizeOf func(fd *fileData) int) (*stats.Table, []float64, float64) {
+	var tb stats.Table
+	tb.Header = []string{"benchmark", "-Os size", "autotuned", "rel size"}
+	var rels []float64
+	var totalHeur, totalTuned float64
+	for _, bench := range h.order {
+		files := h.byName[bench]
+		if len(files) == 0 {
+			continue
+		}
+		var hsum, tsum float64
+		for _, fd := range files {
+			hsum += float64(fd.heurSize)
+			tsum += float64(sizeOf(fd))
+		}
+		rel := tsum / hsum * 100
+		rels = append(rels, rel)
+		totalHeur += hsum
+		totalTuned += tsum
+		tb.AddRow(bench, int(hsum), int(tsum), fmt.Sprintf("%.1f%%", rel))
+	}
+	return &tb, rels, totalTuned / totalHeur * 100
+}
+
+// Fig10 reproduces Figure 10: one round of clean-slate autotuning vs the
+// -Os heuristic. The paper: 14 of 20 benchmarks shrink, median 97.95%,
+// largest single-benchmark reduction 27.6%.
+func (h *Harness) Fig10() Result {
+	h.ensureTuned()
+	tb, rels, total := h.perBenchmarkRel(func(fd *fileData) int {
+		return roundSize(fd.clean, 1)
+	})
+	shrink, grow := countDirections(rels)
+	text := fmt.Sprintf(
+		"Clean-slate autotuning (1 round) vs -Os heuristic.\n\n%s\nBenchmarks shrinking: %d, inflating: %d (paper: 14 shrink, 5 inflate).\nMedian relative size: %.2f%% (paper 97.95%%). Total: %.2f%%.\n",
+		tb.String(), shrink, grow, stats.Median(rels), total)
+	return Result{ID: "fig10", Title: "Clean-slate autotuning (Figure 10)", Text: text}
+}
+
+// Fig12 reproduces Figure 12: heuristic-initialized autotuning. The paper:
+// 19 of 20 benchmarks shrink, median 97.6%, total 95.14%.
+func (h *Harness) Fig12() Result {
+	h.ensureTuned()
+	tb, rels, total := h.perBenchmarkRel(func(fd *fileData) int {
+		return roundSize(fd.init, 1)
+	})
+	shrink, grow := countDirections(rels)
+	text := fmt.Sprintf(
+		"Heuristic-initialized autotuning (1 round) vs -Os heuristic.\n\n%s\nBenchmarks shrinking: %d, inflating: %d (paper: 19 shrink, 0 inflate).\nMedian relative size: %.2f%% (paper 97.6%%). Total: %.2f%% (paper 95.14%%).\n",
+		tb.String(), shrink, grow, stats.Median(rels), total)
+	return Result{ID: "fig12", Title: "Heuristic-initialized autotuning (Figure 12)", Text: text}
+}
+
+// Table3 reproduces Table 3: benchmarks where clean-slate beats the
+// heuristic-initialized variant (local-minimum effect).
+func (h *Harness) Table3() Result {
+	h.ensureTuned()
+	var tb stats.Table
+	tb.Header = []string{"benchmark", "clean slate", "heuristic-init"}
+	worse := 0
+	for _, bench := range h.order {
+		files := h.byName[bench]
+		if len(files) == 0 {
+			continue
+		}
+		var hsum, csum, isum float64
+		for _, fd := range files {
+			hsum += float64(fd.heurSize)
+			csum += float64(roundSize(fd.clean, 1))
+			isum += float64(roundSize(fd.init, 1))
+		}
+		if csum < isum {
+			worse++
+			tb.AddRow(bench,
+				fmt.Sprintf("%.1f%%", csum/hsum*100),
+				fmt.Sprintf("%.1f%%", isum/hsum*100))
+		}
+	}
+	text := fmt.Sprintf(
+		"Benchmarks faring worse with heuristic initialization (paper lists 7,\ne.g. mfc 72.4%% clean vs 79%% initialized).\n\n%s\n%d of %d benchmarks prefer the clean slate.\n",
+		tb.String(), worse, len(h.order))
+	return Result{ID: "tab3", Title: "Clean slate vs heuristic-init (Table 3)", Text: text}
+}
+
+// Fig15 reproduces Figure 15: per-file best of clean-slate and
+// heuristic-initialized tuning. Paper: median 96.4%, total 93.95%.
+func (h *Harness) Fig15() Result {
+	h.ensureTuned()
+	tb, rels, total := h.perBenchmarkRel(func(fd *fileData) int {
+		return mini(roundSize(fd.clean, 1), roundSize(fd.init, 1))
+	})
+	text := fmt.Sprintf(
+		"Best of clean-slate and heuristic-initialized (1 round each), per file.\n\n%s\nMedian relative size: %.2f%% (paper 96.4%%). Total: %.2f%% (paper 93.95%%).\n",
+		tb.String(), stats.Median(rels), total)
+	return Result{ID: "fig15", Title: "Combined autotuning (Figure 15)", Text: text}
+}
+
+// Fig16 reproduces Figure 16: how often the (combined, 1-round) autotuner
+// finds the true optimum on the exhaustive set. Paper: 81% vs LLVM's 46%.
+func (h *Harness) Fig16() Result {
+	set := h.exhaustiveSet()
+	h.ensureTuned()
+	tunerOpt, heurOpt := 0, 0
+	var tunerOver []float64
+	for _, fd := range set {
+		opt, _ := fd.optimal(h.cfg)
+		best := mini(roundSize(fd.clean, 1), roundSize(fd.init, 1))
+		if best <= opt.Size {
+			tunerOpt++
+		} else {
+			tunerOver = append(tunerOver, (float64(best)/float64(opt.Size)-1)*100)
+		}
+		if fd.heurSize <= opt.Size {
+			heurOpt++
+		}
+	}
+	var tb stats.Table
+	tb.Header = []string{"strategy", "optimal found", "share", "paper"}
+	tb.AddRow("-Os heuristic", heurOpt, pct(float64(heurOpt), float64(len(set))), "46%")
+	tb.AddRow("local autotuner", tunerOpt, pct(float64(tunerOpt), float64(len(set))), "81%")
+	text := fmt.Sprintf(
+		"Optimality of local autotuning on %d exhaustively searched files.\n\n%s\nMedian overhead of non-optimal autotuned files: %.2f%%.\n",
+		len(set), tb.String(), stats.Median(tunerOver))
+	return Result{ID: "fig16", Title: "Optimality of autotuning (Figure 16)", Text: text}
+}
+
+// Fig17 reproduces Figure 17: round-based autotuning, per-round medians for
+// both initializations. Paper medians: clean 97.95/97.02/96.46/96.38,
+// init 97.63/96.39/96.21/96.1.
+func (h *Harness) Fig17() Result {
+	h.ensureTuned()
+	rounds := h.cfg.Rounds
+	var tb stats.Table
+	header := []string{"benchmark", "init"}
+	for r := 1; r <= rounds; r++ {
+		header = append(header, fmt.Sprintf("round %d", r))
+	}
+	tb.Header = header
+	medians := func(sel func(fd *fileData) autotune.Result) []float64 {
+		var meds []float64
+		for r := 1; r <= rounds; r++ {
+			var rels []float64
+			for _, bench := range h.order {
+				files := h.byName[bench]
+				if len(files) == 0 {
+					continue
+				}
+				var hsum, tsum float64
+				for _, fd := range files {
+					hsum += float64(fd.heurSize)
+					tsum += float64(bestUpTo(sel(fd), r))
+				}
+				rels = append(rels, tsum/hsum*100)
+			}
+			meds = append(meds, stats.Median(rels))
+		}
+		return meds
+	}
+	for _, bench := range h.order {
+		files := h.byName[bench]
+		if len(files) == 0 {
+			continue
+		}
+		for _, kind := range []string{"clean", "llvm-init"} {
+			row := []interface{}{bench, kind}
+			var hsum float64
+			for _, fd := range files {
+				hsum += float64(fd.heurSize)
+			}
+			for r := 1; r <= rounds; r++ {
+				var tsum float64
+				for _, fd := range files {
+					if kind == "clean" {
+						tsum += float64(bestUpTo(fd.clean, r))
+					} else {
+						tsum += float64(bestUpTo(fd.init, r))
+					}
+				}
+				row = append(row, fmt.Sprintf("%.1f%%", tsum/hsum*100))
+			}
+			tb.AddRow(row...)
+		}
+	}
+	cleanMeds := medians(func(fd *fileData) autotune.Result { return fd.clean })
+	initMeds := medians(func(fd *fileData) autotune.Result { return fd.init })
+	text := fmt.Sprintf(
+		"Round-based autotuning vs -Os (best configuration up to each round).\n\n%s\nPer-round medians, clean slate: %s (paper 97.95/97.02/96.46/96.38)\nPer-round medians, llvm-init:   %s (paper 97.63/96.39/96.21/96.10)\n",
+		tb.String(), fmtMeds(cleanMeds), fmtMeds(initMeds))
+	return Result{ID: "fig17", Title: "Round-based autotuning (Figure 17)", Text: text}
+}
+
+// Table4 reproduces Table 4: the per-round decision trace of one file whose
+// size keeps improving across rounds.
+func (h *Harness) Table4() Result {
+	h.ensureTuned()
+	// Pick the file with the largest total improvement across rounds of the
+	// initialized session with at least 2 effective rounds.
+	var pick *fileData
+	bestGain := 1.0
+	for _, fd := range h.files {
+		if len(fd.init.Rounds) < 2 || fd.heurSize == 0 {
+			continue
+		}
+		gain := float64(fd.init.FinalSize) / float64(fd.heurSize)
+		if gain < bestGain {
+			bestGain = gain
+			pick = fd
+		}
+	}
+	if pick == nil {
+		return Result{ID: "tab4", Title: "Per-round trace (Table 4)", Text: "no multi-round file at this scale\n"}
+	}
+	var tb stats.Table
+	tb.Header = []string{"", "heuristic"}
+	for _, r := range pick.init.Rounds {
+		tb.Header = append(tb.Header, fmt.Sprintf("round %d", r.Round))
+	}
+	inl := []interface{}{"# inlined", pick.heurCfg.InlineCount()}
+	non := []interface{}{"# non inlined", len(pick.graph.Sites()) - pick.heurCfg.InlineCount()}
+	rel := []interface{}{"rel. size", "100%"}
+	for _, r := range pick.init.Rounds {
+		inl = append(inl, r.Inlined)
+		non = append(non, r.NotInlined)
+		rel = append(rel, fmt.Sprintf("%.1f%%", float64(r.Size)/float64(pick.heurSize)*100))
+	}
+	tb.AddRow(inl...)
+	tb.AddRow(non...)
+	tb.AddRow(rel...)
+	text := fmt.Sprintf("Heuristic-initialized tuning trace of %s (paper's example:\n100%% -> 71.6%% -> 41.2%% -> 41.4%% -> 35.8%%).\n\n%s", pick.file.Name, tb.String())
+	return Result{ID: "tab4", Title: "Per-round inlining changes (Table 4)", Text: text}
+}
+
+// Fig18 reproduces Figure 18: best of both initializations with all rounds.
+// Paper: median 95.65%, total 92.95% (a 7.05% improvement).
+func (h *Harness) Fig18() Result {
+	h.ensureTuned()
+	tb, rels, total := h.perBenchmarkRel(func(fd *fileData) int {
+		return mini(fd.clean.Size, fd.init.Size)
+	})
+	text := fmt.Sprintf(
+		"Round-based (x%d) clean-slate + heuristic-init combined vs -Os.\n\n%s\nMedian relative size: %.2f%% (paper 95.65%%). Total: %.2f%% (paper 92.95%%).\n",
+		h.cfg.Rounds, tb.String(), stats.Median(rels), total)
+	return Result{ID: "fig18", Title: "Combined round-based autotuning (Figure 18)", Text: text}
+}
+
+// Fig11, Fig13, Fig14 are the case-study call graphs. Each picks the file
+// that best exhibits the phenomenon and renders both configurations as DOT.
+
+// Fig11: the local pairwise scope misses group-DCE opportunities that the
+// heuristic's eager inlining happens to capture (tuned > heuristic).
+func (h *Harness) Fig11() Result {
+	h.ensureTuned()
+	fd := h.pickExtreme(func(fd *fileData) float64 {
+		return ratio(roundSize(fd.clean, 1), fd.heurSize) // largest = worst tuner
+	})
+	if fd == nil {
+		return Result{ID: "fig11", Title: "Local scope limitation (Figure 11)", Text: "corpus too small\n"}
+	}
+	text := fmt.Sprintf(
+		"%s: clean-slate autotuned size is %d%% of the heuristic's.\nThe local, one-edge-at-a-time scope cannot discover wins that require\ninlining several call sites of the same callee at once.\n\n%s",
+		fd.file.Name, int(ratio(roundSize(fd.clean, 1), fd.heurSize)*100),
+		fd.graph.SideBySideDOT(fd.file.Name, "autotuned", fd.clean.Config, "heuristic", fd.heurCfg))
+	return Result{ID: "fig11", Title: "Local scope limitation (Figure 11)", Text: text}
+}
+
+// Fig13: a file that fares better with clean-slate tuning (the heuristic's
+// decisions are a local minimum the tuner cannot escape).
+func (h *Harness) Fig13() Result {
+	h.ensureTuned()
+	fd := h.pickExtreme(func(fd *fileData) float64 {
+		return ratio(roundSize(fd.init, 1), roundSize(fd.clean, 1))
+	})
+	if fd == nil {
+		return Result{ID: "fig13", Title: "Clean slate wins (Figure 13)", Text: "corpus too small\n"}
+	}
+	text := fmt.Sprintf(
+		"%s: clean slate %d%% vs heuristic-init %d%% (relative to -Os 100%%).\n\n%s",
+		fd.file.Name,
+		int(ratio(roundSize(fd.clean, 1), fd.heurSize)*100),
+		int(ratio(roundSize(fd.init, 1), fd.heurSize)*100),
+		fd.graph.SideBySideDOT(fd.file.Name, "clean-slate", fd.clean.Config, "llvm-init", fd.init.Config))
+	return Result{ID: "fig13", Title: "Clean slate wins (Figure 13)", Text: text}
+}
+
+// Fig14: a file that fares better with heuristic-initialized tuning.
+func (h *Harness) Fig14() Result {
+	h.ensureTuned()
+	fd := h.pickExtreme(func(fd *fileData) float64 {
+		return ratio(roundSize(fd.clean, 1), roundSize(fd.init, 1))
+	})
+	if fd == nil {
+		return Result{ID: "fig14", Title: "Heuristic-init wins (Figure 14)", Text: "corpus too small\n"}
+	}
+	text := fmt.Sprintf(
+		"%s: heuristic-init %d%% vs clean slate %d%% (relative to -Os 100%%).\n\n%s",
+		fd.file.Name,
+		int(ratio(roundSize(fd.init, 1), fd.heurSize)*100),
+		int(ratio(roundSize(fd.clean, 1), fd.heurSize)*100),
+		fd.graph.SideBySideDOT(fd.file.Name, "llvm-init", fd.init.Config, "clean-slate", fd.clean.Config))
+	return Result{ID: "fig14", Title: "Heuristic-init wins (Figure 14)", Text: text}
+}
+
+// pickExtreme returns the file maximizing score among files with a usable
+// number of edges, or nil.
+func (h *Harness) pickExtreme(score func(fd *fileData) float64) *fileData {
+	var best *fileData
+	bestScore := 0.0
+	for _, fd := range h.files {
+		if fd.edges < 2 || fd.edges > 40 {
+			continue
+		}
+		if s := score(fd); s > bestScore {
+			best, bestScore = fd, s
+		}
+	}
+	return best
+}
+
+func countDirections(rels []float64) (shrink, grow int) {
+	for _, r := range rels {
+		if r < 99.95 {
+			shrink++
+		} else if r > 100.05 {
+			grow++
+		}
+	}
+	return shrink, grow
+}
+
+func fmtMeds(meds []float64) string {
+	s := ""
+	for i, m := range meds {
+		if i > 0 {
+			s += "/"
+		}
+		s += fmt.Sprintf("%.2f", m)
+	}
+	return s
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

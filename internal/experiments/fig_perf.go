@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/interp"
+	"optinline/internal/stats"
+	"optinline/internal/workload"
+)
+
+// Fig19 reproduces Figure 19: the runtime cost of tuning inlining for size.
+// Every file of the SPECspeed-like subset is executed under the cycle model
+// (call overhead + i-cache), once compiled with the -Os heuristic and once
+// with the combined size-tuned configuration. The paper reports a 3.6%
+// geometric-mean slowdown (2% median), with mfc actually speeding up.
+func (h *Harness) Fig19() Result {
+	h.ensureTuned()
+	subset := workload.SPECSpeedSubset()
+	var tb stats.Table
+	tb.Header = []string{"benchmark", "tuned/os cycles", "files measured"}
+	var rels []float64
+	for _, bench := range h.order {
+		if !subset[bench] {
+			continue
+		}
+		var osCycles, tunedCycles float64
+		measured := 0
+		for _, fd := range h.byName[bench] {
+			tunedCfg := fd.clean.Config
+			if fd.init.Size < fd.clean.Size {
+				tunedCfg = fd.init.Config
+			}
+			oc, ok1 := h.runCycles(fd, fd.heurCfg)
+			tc, ok2 := h.runCycles(fd, tunedCfg)
+			if !ok1 || !ok2 {
+				continue // dynamic call tree too large for the interpreter
+			}
+			osCycles += float64(oc)
+			tunedCycles += float64(tc)
+			measured++
+		}
+		if measured == 0 || osCycles == 0 {
+			tb.AddRow(bench, "n/a", 0)
+			continue
+		}
+		rel := tunedCycles / osCycles * 100
+		rels = append(rels, rel)
+		tb.AddRow(bench, fmt.Sprintf("%.1f%%", rel), measured)
+	}
+	text := fmt.Sprintf(
+		"Runtime of size-tuned code relative to -Os, interpreter cycle model\n(call overhead + %d-byte i-cache).\n\n%s\nGeometric mean: %.1f%% (paper 103.6%%), median %.1f%% (paper 102%%).\n",
+		interp.DefaultCacheBytes, tb.String(), stats.GeoMean(rels), stats.Median(rels))
+	return Result{ID: "fig19", Title: "Performance cost of size tuning (Figure 19)", Text: text}
+}
+
+// runCycles compiles the file under cfg and executes its entry under the
+// cycle model. ok is false when the file cannot be executed within fuel
+// (some generated call DAGs have exponential dynamic call trees).
+func (h *Harness) runCycles(fd *fileData, cfg *callgraph.Config) (int64, bool) {
+	m, err := fd.comp.Build(cfg)
+	if err != nil {
+		return 0, false
+	}
+	if m.Func("entry") == nil {
+		return 0, false
+	}
+	res, err := interp.Run(m, "entry", []int64{7}, interp.Options{
+		Fuel:   20_000_000,
+		SizeOf: codegen.SizeOf(m, codegen.TargetX86),
+	})
+	if err != nil {
+		return 0, false
+	}
+	return res.Cycles, true
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"optinline/internal/search"
+	"optinline/internal/stats"
+)
+
+// Fig1 reproduces Figure 1: binary size with the -Os heuristic relative to
+// inlining disabled, per benchmark. The paper reports 30%..77%.
+func (h *Harness) Fig1() Result {
+	var labels []string
+	var values []float64
+	var tb stats.Table
+	tb.Header = []string{"benchmark", "no-inline", "-Os heuristic", "rel size"}
+	for _, bench := range h.order {
+		files := h.byName[bench]
+		if len(files) == 0 {
+			continue
+		}
+		var off, on float64
+		for _, fd := range files {
+			off += float64(fd.noInlineSize)
+			on += float64(fd.heurSize)
+		}
+		rel := on / off * 100
+		tb.AddRow(bench, int(off), int(on), fmt.Sprintf("%.0f%%", rel))
+		labels = append(labels, bench)
+		values = append(values, rel)
+	}
+	text := "Size with inlining (-Os heuristic) relative to inlining disabled.\n\n" +
+		tb.String() + "\n" + stats.Bar(labels, values, 40)
+	return Result{ID: "fig1", Title: "Size change due to inlining (Figure 1)", Text: text}
+}
+
+// Fig3 reproduces Figure 3: log2 of the naive inlining search space per
+// benchmark (the paper's values range 1.4 .. 11,833; this corpus is scaled
+// down ~20x with the same ordering).
+func (h *Harness) Fig3() Result {
+	var tb stats.Table
+	tb.Header = []string{"benchmark", "files", "log2(#configurations)"}
+	var labels []string
+	var values []float64
+	for _, bench := range h.order {
+		total := 0.0
+		for _, fd := range h.byName[bench] {
+			total += search.NaiveSpaceLog2(fd.graph)
+		}
+		tb.AddRow(bench, len(h.byName[bench]), total)
+		labels = append(labels, bench)
+		values = append(values, total)
+	}
+	text := "Naive inlining search-space size per benchmark (sum over files).\n\n" +
+		tb.String() + "\n" + stats.Bar(labels, values, 40)
+	return Result{ID: "fig3", Title: "Naive inlining search space (Figure 3)", Text: text}
+}
+
+// Table1 reproduces Table 1: naive vs recursively partitioned search-space
+// size percentiles over the eligible files, plus the total reduction.
+func (h *Harness) Table1() Result {
+	var naive, rec []float64
+	var totalNaive, totalRec float64
+	eligible := 0
+	for _, fd := range h.files {
+		n, capped := search.RecursiveSpaceSize(fd.graph, 1<<20)
+		if capped {
+			continue
+		}
+		eligible++
+		nl := search.NaiveSpaceLog2(fd.graph)
+		rl := math.Log2(float64(n))
+		naive = append(naive, nl)
+		rec = append(rec, rl)
+		totalNaive += nl // log2 of a product = sum of logs; totals are the
+		totalRec = log2Add(totalRec, rl)
+	}
+	var tb stats.Table
+	tb.Header = []string{"space", "median", "75th", "95th", "max", "geo mean"}
+	row := func(name string, xs []float64) {
+		tb.AddRow(name,
+			stats.Median(xs), stats.Percentile(xs, 75),
+			stats.Percentile(xs, 95), stats.Max(xs), geoOfLogs(xs))
+	}
+	row("naive", naive)
+	row("recursive", rec)
+	text := fmt.Sprintf(
+		"Per-file search-space size percentiles (log2) over %d files with\nrecursive space <= 2^20.\n\n%s\nTotal: naive 2^%.0f -> recursive 2^%.1f (paper: 2^349 -> 2^25.2).\n",
+		eligible, tb.String(), totalNaive, totalRec)
+	return Result{ID: "tab1", Title: "Search-space size reduction (Table 1)", Text: text}
+}
+
+// log2Add accumulates log2(2^a + 2^b).
+func log2Add(a, b float64) float64 {
+	if a == 0 {
+		return b
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Pow(2, b-a))
+}
+
+// geoOfLogs computes the geometric mean of sizes given their log2 values:
+// 2^(mean of logs), reported as log2 to match the table (the paper reports
+// geometric means 7.57 and 5.42 in the same scale).
+func geoOfLogs(logs []float64) float64 {
+	return stats.Mean(logs)
+}

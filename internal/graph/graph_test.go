@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func edges(pairs ...[2]int) []Edge {
+	es := make([]Edge, len(pairs))
+	for i, p := range pairs {
+		es[i] = Edge{ID: i + 1, U: p[0], V: p[1]}
+	}
+	return es
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// {0,1,2} via path, {3,4}, {5} isolated.
+	g := &Multigraph{N: 6, Edges: edges([2]int{0, 1}, [2]int{1, 2}, [2]int{3, 4})}
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1]), len(comps[2])}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Fatalf("component sizes %v", sizes)
+	}
+}
+
+func TestBridgesPath(t *testing.T) {
+	// A path: every edge is a bridge.
+	g := &Multigraph{N: 4, Edges: edges([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})}
+	if got := len(g.Bridges()); got != 3 {
+		t.Fatalf("path should have 3 bridges, got %d", got)
+	}
+}
+
+func TestBridgesCycle(t *testing.T) {
+	g := &Multigraph{N: 3, Edges: edges([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})}
+	if got := len(g.Bridges()); got != 0 {
+		t.Fatalf("cycle should have 0 bridges, got %d", got)
+	}
+}
+
+func TestBridgesParallelEdges(t *testing.T) {
+	// Two parallel edges between 0 and 1: neither is a bridge.
+	g := &Multigraph{N: 2, Edges: edges([2]int{0, 1}, [2]int{0, 1})}
+	if got := len(g.Bridges()); got != 0 {
+		t.Fatalf("parallel edges are not bridges, got %d", got)
+	}
+}
+
+func TestBridgesSelfLoop(t *testing.T) {
+	g := &Multigraph{N: 2, Edges: edges([2]int{0, 0}, [2]int{0, 1})}
+	br := g.Bridges()
+	if len(br) != 1 || br[0].U == br[0].V {
+		t.Fatalf("only the 0-1 edge is a bridge, got %v", br)
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one edge: exactly that edge is a bridge.
+	g := &Multigraph{N: 6, Edges: edges(
+		[2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0},
+		[2]int{3, 4}, [2]int{4, 5}, [2]int{5, 3},
+		[2]int{2, 3},
+	)}
+	br := g.Bridges()
+	if len(br) != 1 || br[0].ID != 7 {
+		t.Fatalf("want bridge id 7, got %v", br)
+	}
+}
+
+// naiveBridges implements the definition directly: remove each edge and see
+// whether the component count grows.
+func naiveBridges(g *Multigraph) map[int]bool {
+	base := len(g.ConnectedComponents())
+	out := make(map[int]bool)
+	for _, e := range g.Edges {
+		if len(g.RemoveEdge(e.ID).ConnectedComponents()) > base {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+func TestBridgesMatchNaiveOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		m := rng.Intn(2 * n)
+		g := &Multigraph{N: n}
+		for i := 0; i < m; i++ {
+			g.Edges = append(g.Edges, Edge{ID: i + 1, U: rng.Intn(n), V: rng.Intn(n)})
+		}
+		want := naiveBridges(g)
+		got := make(map[int]bool)
+		for _, e := range g.Bridges() {
+			got[e.ID] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: edges %v: fast=%v naive=%v", trial, g.Edges, got, want)
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing bridge %d (edges %v)", trial, id, g.Edges)
+			}
+		}
+	}
+}
+
+func TestEccentricities(t *testing.T) {
+	// Path 0-1-2-3: ecc = 3,2,2,3.
+	g := &Multigraph{N: 4, Edges: edges([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})}
+	ecc := g.Eccentricities()
+	want := []int{3, 2, 2, 3}
+	for i := range want {
+		if ecc[i] != want[i] {
+			t.Fatalf("ecc=%v want %v", ecc, want)
+		}
+	}
+}
+
+func TestEccentricityPerComponent(t *testing.T) {
+	// Disconnected: eccentricity only counts the own component.
+	g := &Multigraph{N: 4, Edges: edges([2]int{0, 1}, [2]int{2, 3})}
+	ecc := g.Eccentricities()
+	for i, e := range ecc {
+		if e != 1 {
+			t.Fatalf("node %d: ecc=%d want 1", i, e)
+		}
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := &Multigraph{N: 3, Edges: edges([2]int{0, 1}, [2]int{1, 2})}
+	ng := g.RemoveEdge(1)
+	if len(ng.Edges) != 1 || ng.Edges[0].ID != 2 {
+		t.Fatalf("RemoveEdge: %v", ng.Edges)
+	}
+	if len(g.Edges) != 2 {
+		t.Fatal("RemoveEdge mutated the original")
+	}
+}
+
+func TestContractEdge(t *testing.T) {
+	// Contract 0-1 in a triangle: remaining edges 1-2 and 2-0 both connect
+	// the merged node with 2.
+	g := &Multigraph{N: 3, Edges: edges([2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})}
+	ng := g.ContractEdge(1)
+	if len(ng.Edges) != 2 {
+		t.Fatalf("contract: %v", ng.Edges)
+	}
+	for _, e := range ng.Edges {
+		if !(e.U == 0 && e.V == 2 || e.U == 2 && e.V == 0) {
+			t.Fatalf("edge %v should connect 0 and 2", e)
+		}
+	}
+	// Contracting a parallel pair produces a self-loop.
+	g2 := &Multigraph{N: 2, Edges: edges([2]int{0, 1}, [2]int{0, 1})}
+	ng2 := g2.ContractEdge(1)
+	if len(ng2.Edges) != 1 || ng2.Edges[0].U != ng2.Edges[0].V {
+		t.Fatalf("expected self-loop, got %v", ng2.Edges)
+	}
+}
+
+func TestContractMissingEdgeIsCopy(t *testing.T) {
+	g := &Multigraph{N: 2, Edges: edges([2]int{0, 1})}
+	ng := g.ContractEdge(99)
+	if len(ng.Edges) != 1 {
+		t.Fatal("missing-edge contraction should copy")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := &Multigraph{N: 3, Edges: edges([2]int{0, 1}, [2]int{0, 2}, [2]int{0, 0})}
+	deg := g.Degrees()
+	if deg[0] != 4 || deg[1] != 1 || deg[2] != 1 {
+		t.Fatalf("degrees %v", deg)
+	}
+}

@@ -1,0 +1,214 @@
+package heuristic
+
+import (
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/ir"
+	"optinline/internal/search"
+)
+
+const src = `
+func @tiny(%x) {
+entry:
+  %one = const 1
+  %r = add %x, %one
+  ret %r
+}
+
+func @medium(%x) {
+entry:
+  %a = mul %x, %x
+  %b = add %a, %x
+  %c = mul %b, %a
+  %d = add %c, %b
+  %e = mul %d, %c
+  ret %e
+}
+
+func @large(%x) {
+entry:
+  %a1 = mul %x, %x
+  %a2 = mul %a1, %x
+  %a3 = add %a2, %a1
+  %a4 = mul %a3, %a2
+  %a5 = add %a4, %a3
+  %a6 = mul %a5, %a4
+  %a7 = add %a6, %a5
+  %a8 = mul %a7, %a6
+  %a9 = add %a8, %a7
+  %a10 = mul %a9, %a8
+  %a11 = add %a10, %a9
+  %a12 = mul %a11, %a10
+  %a13 = add %a12, %a11
+  %a14 = mul %a13, %a12
+  %a15 = add %a14, %a13
+  %a16 = mul %a15, %a14
+  %a17 = add %a16, %a15
+  %a18 = mul %a17, %a16
+  %a19 = add %a18, %a17
+  %a20 = mul %a19, %a18
+  ret %a20
+}
+
+func @singleCaller(%x) {
+entry:
+  %a = mul %x, %x
+  %b = add %a, %x
+  %c = mul %b, %a
+  %d = add %c, %b
+  %e = mul %d, %c
+  %f = add %e, %d
+  %g = mul %f, %e
+  ret %g
+}
+
+func @selfrec(%n) {
+entry:
+  %zero = const 0
+  %c = le %n, %zero
+  condbr %c, done, more
+done:
+  ret %zero
+more:
+  %one = const 1
+  %m = sub %n, %one
+  %r = call @selfrec(%m) !site 1
+  %s = add %r, %n
+  ret %s
+}
+
+export func @main(%x) {
+entry:
+  %a = call @tiny(%x) !site 2
+  %b = call @medium(%x) !site 3
+  %c = call @large(%x) !site 4
+  %d = call @large(%a) !site 5
+  %e = call @singleCaller(%x) !site 6
+  %f = call @selfrec(%x) !site 7
+  %seven = const 7
+  %g = call @medium(%seven) !site 8
+  %s1 = add %a, %b
+  %s2 = add %s1, %c
+  %s3 = add %s2, %d
+  %s4 = add %s3, %e
+  %s5 = add %s4, %f
+  %s6 = add %s5, %g
+  ret %s6
+}
+`
+
+func setup(t *testing.T) (*ir.Module, *callgraph.Graph, *callgraph.Config) {
+	t.Helper()
+	m, err := ir.Parse("heur", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := callgraph.Build(m)
+	return m, g, OsConfig(m, g)
+}
+
+func TestAlwaysInlinesTrivialWrappers(t *testing.T) {
+	_, _, cfg := setup(t)
+	if !cfg.Inline(2) {
+		t.Fatal("tiny callee not inlined")
+	}
+}
+
+func TestNeverInlinesRecursive(t *testing.T) {
+	_, _, cfg := setup(t)
+	if cfg.Inline(1) {
+		t.Fatal("recursive edges must stay calls")
+	}
+}
+
+func TestSkipsLargeCallees(t *testing.T) {
+	_, _, cfg := setup(t)
+	if cfg.Inline(4) || cfg.Inline(5) {
+		t.Fatal("large multi-caller callee should not be inlined at -Os")
+	}
+}
+
+func TestSingleCallerInternalBonus(t *testing.T) {
+	_, _, cfg := setup(t)
+	if !cfg.Inline(6) {
+		t.Fatal("single-caller internal callee should be inlined")
+	}
+}
+
+func TestConstArgBonus(t *testing.T) {
+	_, _, cfg := setup(t)
+	// medium is borderline; the constant-argument site should be at least
+	// as eager as the variable-argument one.
+	if cfg.Inline(3) && !cfg.Inline(8) {
+		t.Fatal("constant-arg site less eager than variable-arg site")
+	}
+	if !cfg.Inline(8) {
+		t.Fatal("const-arg medium call should be inlined")
+	}
+}
+
+func TestThresholdMonotonic(t *testing.T) {
+	m, g, _ := setup(t)
+	stingy := DefaultParams()
+	stingy.Threshold = -1000
+	stingy.AlwaysInlineInstrs = 0
+	stingy.SingleCallerBonus = 0
+	stingy.ConstArgBonus = 0
+	none := Config(m, g, stingy)
+	if none.InlineCount() != 0 {
+		t.Fatalf("hostile params still inlined %d", none.InlineCount())
+	}
+	generous := DefaultParams()
+	generous.Threshold = 1 << 20
+	all := Config(m, g, generous)
+	// Everything except the one recursive edge.
+	if all.InlineCount() != len(g.Edges)-1 {
+		t.Fatalf("generous params inlined %d of %d", all.InlineCount(), len(g.Edges))
+	}
+}
+
+func TestHeuristicIsEagerRelativeToOptimal(t *testing.T) {
+	// The paper's Table 2: LLVM -Os inlines more call sites than optimal.
+	m, _, cfg := setup(t)
+	c := compile.New(m, codegen.TargetX86)
+	res, ok := search.Optimal(c, search.Options{})
+	if !ok {
+		t.Fatal("search aborted")
+	}
+	if cfg.InlineCount() < res.Config.InlineCount() {
+		t.Fatalf("heuristic (%d inlined) less eager than optimal (%d)",
+			cfg.InlineCount(), res.Config.InlineCount())
+	}
+	// And it should not beat the optimum.
+	if c.Size(cfg) < res.Size {
+		t.Fatal("heuristic beat the exhaustive optimum — search is broken")
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	_, g, _ := setup(t)
+	order := bottomUpOrder(g)
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, e := range g.Edges {
+		if e.Caller == e.Callee {
+			continue
+		}
+		if pos[e.Callee] > pos[e.Caller] {
+			t.Fatalf("callee %s ordered after caller %s", e.Callee, e.Caller)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	_, _, cfg1 := setup(t)
+	_, _, cfg2 := setup(t)
+	if !cfg1.Equal(cfg2) {
+		t.Fatal("heuristic not deterministic")
+	}
+}

@@ -1,0 +1,232 @@
+// Package inline implements the function-inlining transformation on the IR
+// and the application of whole inlining configurations.
+//
+// Inlining one call splices a clone of the callee's CFG into the caller:
+// the call block branches into the cloned entry (passing the call
+// arguments as block arguments), every cloned return branches to a fresh
+// continuation block whose parameter replaces the call result.
+//
+// Cloned call instructions keep their original site IDs, so one
+// configuration label covers every copy of a call ("coupled copies" in the
+// paper). Recursion is bounded by the Trail mechanism: a call is never
+// expanded if its own site already appears on its trail, which implements
+// "inline recursive functions at most once".
+package inline
+
+import (
+	"fmt"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/ir"
+)
+
+// DefaultMaxInstrs bounds module growth during configuration application.
+// It is a safety valve against pathological exponential expansion; the
+// experiments never approach it.
+const DefaultMaxInstrs = 4_000_000
+
+// Call inlines a single call instruction within f. The call must be an
+// instruction of f and callee must be the called function. Returns an error
+// if the call cannot be located in f.
+func Call(f *ir.Function, call *ir.Instr, callee *ir.Function) error {
+	blockIdx, instrIdx := -1, -1
+	for bi, b := range f.Blocks {
+		for ii, in := range b.Instrs {
+			if in == call {
+				blockIdx, instrIdx = bi, ii
+				break
+			}
+		}
+		if blockIdx >= 0 {
+			break
+		}
+	}
+	if blockIdx < 0 {
+		return fmt.Errorf("inline: call to %s not found in %s", call.Callee, f.Name)
+	}
+	if len(call.Args) != callee.NumParams() {
+		return fmt.Errorf("inline: call to %s has %d args, want %d",
+			call.Callee, len(call.Args), callee.NumParams())
+	}
+	host := f.Blocks[blockIdx]
+
+	body := callee.Clone()
+	// Extend the trail of every cloned call: it was materialized by
+	// expanding this site.
+	for _, b := range body.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				trail := make([]int, 0, len(call.Trail)+len(in.Trail)+1)
+				trail = append(trail, call.Trail...)
+				trail = append(trail, call.Site)
+				trail = append(trail, in.Trail...)
+				in.Trail = trail
+			}
+		}
+	}
+
+	// Continuation block: receives the return value as its parameter and
+	// takes over the instructions after the call (including the original
+	// terminator).
+	cont := &ir.Block{Name: uniqueName(f, host.Name+".cont")}
+	retParam := f.NewValue("")
+	retParam.Parm = cont
+	cont.Params = []*ir.Value{retParam}
+	cont.Instrs = append(cont.Instrs, host.Instrs[instrIdx+1:]...)
+
+	// The host block now ends by branching into the cloned entry with the
+	// call arguments.
+	host.Instrs = host.Instrs[:instrIdx]
+	host.Instrs = append(host.Instrs, &ir.Instr{
+		Op:    ir.OpBr,
+		Succs: []ir.Succ{{Dest: body.Entry(), Args: append([]*ir.Value(nil), call.Args...)}},
+	})
+
+	// Rewrite cloned returns into branches to the continuation.
+	for _, b := range body.Blocks {
+		t := b.Term()
+		if t != nil && t.Op == ir.OpRet {
+			rv := t.Args[0]
+			t.Op = ir.OpBr
+			t.Args = nil
+			t.Succs = []ir.Succ{{Dest: cont, Args: []*ir.Value{rv}}}
+		}
+	}
+
+	// Splice: cloned blocks (renamed for readability) then the continuation.
+	insert := make([]*ir.Block, 0, len(body.Blocks)+1)
+	for _, b := range body.Blocks {
+		b.Name = uniqueName(f, fmt.Sprintf("%s.%s", callee.Name, b.Name))
+		insert = append(insert, b)
+	}
+	insert = append(insert, cont)
+	rest := append([]*ir.Block(nil), f.Blocks[blockIdx+1:]...)
+	f.Blocks = append(f.Blocks[:blockIdx+1], append(insert, rest...)...)
+
+	// The call result is now the continuation parameter.
+	replaceUses(f, call.Result, retParam)
+	return nil
+}
+
+// Options configures Apply.
+type Options struct {
+	// MaxInstrs bounds the total module instruction count during expansion;
+	// 0 selects DefaultMaxInstrs.
+	MaxInstrs int
+}
+
+// Apply expands every call site labeled inline in cfg, including labeled
+// calls that only materialize as clones during expansion. The module is
+// mutated; callers that need the original should pass m.Clone().
+func Apply(m *ir.Module, cfg *callgraph.Config, opts Options) error {
+	maxInstrs := opts.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = DefaultMaxInstrs
+	}
+
+	type work struct {
+		fn   *ir.Function
+		call *ir.Instr
+	}
+	var queue []work
+	seen := make(map[*ir.Instr]bool) // guards against re-queuing a call that
+	// moved into a freshly created continuation block
+	push := func(fn *ir.Function, in *ir.Instr) {
+		if in.Op != ir.OpCall || !cfg.Inline(in.Site) || seen[in] {
+			return
+		}
+		if m.Func(in.Callee) == nil {
+			return
+		}
+		for _, s := range in.Trail {
+			if s == in.Site {
+				return // recursion bound: this site was already expanded
+			}
+		}
+		seen[in] = true
+		queue = append(queue, work{fn, in})
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				push(f, in)
+			}
+		}
+	}
+
+	total := m.NumInstrs()
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		callee := m.Func(w.call.Callee)
+		if callee == nil {
+			continue
+		}
+		if total+callee.NumInstrs() > maxInstrs {
+			return fmt.Errorf("inline: module exceeds %d instructions while applying %s", maxInstrs, cfg)
+		}
+		// Locate and inline; the call may have moved blocks but its
+		// instruction identity is stable. Capture cloned calls by scanning
+		// the blocks added for this expansion.
+		before := blockSet(w.fn)
+		if err := Call(w.fn, w.call, callee); err != nil {
+			return err
+		}
+		total += callee.NumInstrs()
+		for _, b := range w.fn.Blocks {
+			if before[b] {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in != w.call {
+					push(w.fn, in)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func blockSet(f *ir.Function) map[*ir.Block]bool {
+	s := make(map[*ir.Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		s[b] = true
+	}
+	return s
+}
+
+// uniqueName returns name, suffixed if needed so that no block in f has it.
+func uniqueName(f *ir.Function, name string) string {
+	taken := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		taken[b.Name] = true
+	}
+	if !taken[name] {
+		return name
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", name, i)
+		if !taken[cand] {
+			return cand
+		}
+	}
+}
+
+func replaceUses(f *ir.Function, old, new *ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+			for si := range in.Succs {
+				for i, a := range in.Succs[si].Args {
+					if a == old {
+						in.Succs[si].Args[i] = new
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package interp
+
+import "optinline/internal/ir"
+
+// Cycle-model constants. The absolute values are arbitrary; only the ratios
+// matter for the shape of the performance experiment: calls carry overhead,
+// multiplies and divides are slower than adds, memory traffic is slower than
+// register arithmetic, and an i-cache miss dwarfs a single instruction.
+const (
+	costCallOverhead       = 9 // frame setup + branch + return address
+	costPerArg             = 1
+	costCacheMissBase      = 30
+	costCacheBytesPerCycle = 8 // one extra cycle per 8 bytes fetched
+)
+
+// costOf returns the base cycle cost of one instruction execution.
+func costOf(in *ir.Instr) int64 {
+	switch in.Op {
+	case ir.OpConst, ir.OpUn:
+		return 1
+	case ir.OpBin:
+		switch in.BinOp {
+		case ir.Mul:
+			return 3
+		case ir.Div, ir.Mod:
+			return 12
+		default:
+			return 1
+		}
+	case ir.OpCall:
+		return 2 // the call instruction itself; overhead charged at entry
+	case ir.OpLoadG, ir.OpStoreG:
+		return 3
+	case ir.OpOutput:
+		return 4
+	case ir.OpBr:
+		return 1
+	case ir.OpCondBr:
+		return 2
+	case ir.OpRet:
+		return 2
+	}
+	return 1
+}
+
+// icache is a tiny fully-associative LRU cache of functions keyed by name.
+type icache struct {
+	cap   int
+	used  int
+	order []string // LRU order, most recent last
+	size  map[string]int
+}
+
+func newICache(capacity int) *icache {
+	return &icache{cap: capacity, size: make(map[string]int)}
+}
+
+// access records execution entering the named function and reports whether
+// it missed. Functions larger than the capacity always miss.
+func (c *icache) access(name string, size int) (miss bool) {
+	if size <= 0 {
+		size = 1
+	}
+	if _, ok := c.size[name]; ok {
+		c.promote(name)
+		return false
+	}
+	if size > c.cap {
+		return true // never resident
+	}
+	for c.used+size > c.cap && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		c.used -= c.size[victim]
+		delete(c.size, victim)
+	}
+	c.size[name] = size
+	c.used += size
+	c.order = append(c.order, name)
+	return true
+}
+
+func (c *icache) promote(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.order = append(c.order, name)
+			return
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package interp executes IR modules and charges an abstract cycle cost.
+//
+// It serves two purposes in the reproduction:
+//
+//  1. Differential testing: inlining and every optimization pass must
+//     preserve the observable behaviour (return value and output stream) of
+//     a program. Property tests run the interpreter before and after.
+//  2. The performance experiment (paper Fig. 19): the cycle model charges
+//     per-instruction costs, a call overhead, and an i-cache penalty keyed
+//     on function code size, reproducing the paper's observation that
+//     size-tuned binaries run a few percent slower on average but can win
+//     when hot code fits cache.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"optinline/internal/ir"
+)
+
+// ErrFuel is returned when execution exceeds the step budget.
+var ErrFuel = errors.New("interp: fuel exhausted")
+
+// Options configures a run.
+type Options struct {
+	// Fuel bounds the total number of executed instructions (0 means the
+	// DefaultFuel budget). Runs that exceed it fail with ErrFuel.
+	Fuel int64
+	// CollectOutput records every OpOutput value in Result.Output
+	// (in addition to the running hash). Tests use this.
+	CollectOutput bool
+	// SizeOf gives the code size in bytes of a function, used by the
+	// i-cache model. If nil, the i-cache model is disabled.
+	SizeOf func(name string) int
+	// CacheBytes is the i-cache capacity; used only when SizeOf != nil.
+	// 0 selects DefaultCacheBytes.
+	CacheBytes int
+}
+
+// DefaultFuel is the instruction budget used when Options.Fuel is zero.
+const DefaultFuel = 2_000_000
+
+// DefaultCacheBytes is the modelled i-cache capacity.
+const DefaultCacheBytes = 4096
+
+// Result holds the observable outcome and the cost accounting of a run.
+type Result struct {
+	Ret        int64  // return value of the entry function
+	OutputHash uint64 // FNV-1a hash over the output stream
+	OutputLen  int    // number of OpOutput executions
+	Output     []int64
+	Steps      int64 // executed instructions
+	Cycles     int64 // modelled cycles (incl. call overhead and cache misses)
+	DynCalls   int64 // dynamic call count
+	CacheMiss  int64 // i-cache misses (when the model is enabled)
+}
+
+// Observable returns the externally visible behaviour: anything that must be
+// preserved by a semantics-preserving transformation.
+func (r Result) Observable() [3]uint64 {
+	return [3]uint64{uint64(r.Ret), r.OutputHash, uint64(r.OutputLen)}
+}
+
+type machine struct {
+	mod     *ir.Module
+	opt     Options
+	globals map[string]int64
+	fuel    int64
+	res     Result
+	out     *fnvHash
+	cache   *icache
+}
+
+// Run executes the named entry function with the given arguments.
+func Run(m *ir.Module, entry string, args []int64, opt Options) (Result, error) {
+	f := m.Func(entry)
+	if f == nil {
+		return Result{}, fmt.Errorf("interp: no function %q", entry)
+	}
+	if f.NumParams() != len(args) {
+		return Result{}, fmt.Errorf("interp: %s takes %d args, got %d", entry, f.NumParams(), len(args))
+	}
+	mc := &machine{
+		mod:     m,
+		opt:     opt,
+		globals: make(map[string]int64, len(m.Globals)),
+		fuel:    opt.Fuel,
+		out:     newFNV(),
+	}
+	if mc.fuel == 0 {
+		mc.fuel = DefaultFuel
+	}
+	if opt.SizeOf != nil {
+		cap := opt.CacheBytes
+		if cap == 0 {
+			cap = DefaultCacheBytes
+		}
+		mc.cache = newICache(cap)
+	}
+	ret, err := mc.call(f, args)
+	if err != nil {
+		return Result{}, err
+	}
+	mc.res.Ret = ret
+	mc.res.OutputHash = mc.out.sum()
+	return mc.res, nil
+}
+
+func (mc *machine) touch(name string) {
+	if mc.cache == nil {
+		return
+	}
+	size := mc.opt.SizeOf(name)
+	if miss := mc.cache.access(name, size); miss {
+		mc.res.CacheMiss++
+		mc.res.Cycles += costCacheMissBase + int64(size)/costCacheBytesPerCycle
+	}
+}
+
+func (mc *machine) call(f *ir.Function, args []int64) (int64, error) {
+	mc.res.DynCalls++
+	mc.res.Cycles += costCallOverhead + int64(len(args))*costPerArg
+	mc.touch(f.Name)
+
+	env := make(map[*ir.Value]int64, 16)
+	b := f.Entry()
+	for i, p := range b.Params {
+		env[p] = args[i]
+	}
+	for {
+		for _, in := range b.Instrs {
+			mc.fuel--
+			if mc.fuel < 0 {
+				return 0, ErrFuel
+			}
+			mc.res.Steps++
+			mc.res.Cycles += costOf(in)
+			switch in.Op {
+			case ir.OpConst:
+				env[in.Result] = in.Const
+			case ir.OpBin:
+				env[in.Result] = evalBin(in.BinOp, env[in.Args[0]], env[in.Args[1]])
+			case ir.OpUn:
+				a := env[in.Args[0]]
+				if in.UnOp == ir.Neg {
+					env[in.Result] = -a
+				} else if a == 0 {
+					env[in.Result] = 1
+				} else {
+					env[in.Result] = 0
+				}
+			case ir.OpCall:
+				callee := mc.mod.Func(in.Callee)
+				vals := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					vals[i] = env[a]
+				}
+				var r int64
+				if callee == nil {
+					// External call: deterministic, argument-dependent.
+					r = externalResult(in.Callee, vals)
+					mc.res.DynCalls++
+					mc.res.Cycles += costCallOverhead
+				} else {
+					var err error
+					r, err = mc.call(callee, vals)
+					if err != nil {
+						return 0, err
+					}
+				}
+				env[in.Result] = r
+			case ir.OpLoadG:
+				env[in.Result] = mc.globals[in.Global]
+			case ir.OpStoreG:
+				mc.globals[in.Global] = env[in.Args[0]]
+			case ir.OpOutput:
+				v := env[in.Args[0]]
+				mc.out.add(v)
+				mc.res.OutputLen++
+				if mc.opt.CollectOutput {
+					mc.res.Output = append(mc.res.Output, v)
+				}
+			case ir.OpBr:
+				b = mc.jump(env, in.Succs[0])
+			case ir.OpCondBr:
+				if env[in.Args[0]] != 0 {
+					b = mc.jump(env, in.Succs[0])
+				} else {
+					b = mc.jump(env, in.Succs[1])
+				}
+			case ir.OpRet:
+				mc.touch(f.Name) // returning re-touches the caller's frame code
+				return env[in.Args[0]], nil
+			default:
+				return 0, fmt.Errorf("interp: invalid op in %s", f.Name)
+			}
+			if in.Op == ir.OpBr || in.Op == ir.OpCondBr {
+				break
+			}
+		}
+	}
+}
+
+// jump evaluates branch arguments (all before any assignment, giving
+// simultaneous-assignment semantics) and binds them to the target params.
+func (mc *machine) jump(env map[*ir.Value]int64, s ir.Succ) *ir.Block {
+	if len(s.Args) == 0 {
+		return s.Dest
+	}
+	vals := make([]int64, len(s.Args))
+	for i, a := range s.Args {
+		vals[i] = env[a]
+	}
+	for i, p := range s.Dest.Params {
+		env[p] = vals[i]
+	}
+	return s.Dest
+}
+
+// evalBin implements the total arithmetic semantics documented in package ir.
+func evalBin(op ir.BinOp, a, b int64) int64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.Mod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (uint64(b) & 63)
+	case ir.Shr:
+		return a >> (uint64(b) & 63)
+	case ir.Eq:
+		return b2i(a == b)
+	case ir.Ne:
+		return b2i(a != b)
+	case ir.Lt:
+		return b2i(a < b)
+	case ir.Le:
+		return b2i(a <= b)
+	case ir.Gt:
+		return b2i(a > b)
+	case ir.Ge:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// externalResult returns a deterministic value for calls that leave the
+// module, mixing the callee name and arguments.
+func externalResult(name string, args []int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	var buf [8]byte
+	for _, a := range args {
+		putU64(buf[:], uint64(a))
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64() >> 1)
+}
+
+type fnvHash struct{ h uint64 }
+
+func newFNV() *fnvHash { return &fnvHash{h: 1469598103934665603} }
+
+func (f *fnvHash) add(v int64) {
+	x := uint64(v)
+	for i := 0; i < 8; i++ {
+		f.h ^= x & 0xff
+		f.h *= 1099511628211
+		x >>= 8
+	}
+}
+
+func (f *fnvHash) sum() uint64 { return f.h }
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

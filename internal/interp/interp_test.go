@@ -1,0 +1,266 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"optinline/internal/ir"
+)
+
+const progSrc = `
+global @acc
+
+func @square(%x) {
+entry:
+  %r = mul %x, %x
+  ret %r
+}
+
+func @addsq(%a, %b) {
+entry:
+  %x = call @square(%a) !site 1
+  %y = call @square(%b) !site 2
+  %s = add %x, %y
+  ret %s
+}
+
+export func @main(%n) {
+entry:
+  %zero = const 0
+  br head(%zero, %zero)
+head(%i, %sum):
+  %c = lt %i, %n
+  condbr %c, body, exit
+body:
+  %v = call @addsq(%i, %sum) !site 3
+  storeg @acc, %v
+  output %v
+  %one = const 1
+  %ni = add %i, %one
+  %g = loadg @acc
+  br head(%ni, %g)
+exit:
+  ret %sum
+}
+`
+
+func parseProg(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse("prog", progSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+// reference computes what @main(n) should produce.
+func reference(n int64) (ret int64, outputs []int64) {
+	var acc, sum int64
+	for i := int64(0); i < n; i++ {
+		v := i*i + sum*sum
+		acc = v
+		outputs = append(outputs, v)
+		sum = acc
+	}
+	return sum, outputs
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	m := parseProg(t)
+	for n := int64(0); n < 6; n++ {
+		res, err := Run(m, "main", []int64{n}, Options{CollectOutput: true})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantRet, wantOut := reference(n)
+		if res.Ret != wantRet {
+			t.Errorf("n=%d: ret=%d want %d", n, res.Ret, wantRet)
+		}
+		if len(res.Output) != len(wantOut) {
+			t.Fatalf("n=%d: %d outputs, want %d", n, len(res.Output), len(wantOut))
+		}
+		for i := range wantOut {
+			if res.Output[i] != wantOut[i] {
+				t.Errorf("n=%d out[%d]=%d want %d", n, i, res.Output[i], wantOut[i])
+			}
+		}
+	}
+}
+
+func TestOutputHashDiscriminates(t *testing.T) {
+	m := parseProg(t)
+	r2, _ := Run(m, "main", []int64{2}, Options{})
+	r3, _ := Run(m, "main", []int64{3}, Options{})
+	if r2.OutputHash == r3.OutputHash {
+		t.Fatal("distinct outputs hash equal")
+	}
+	if r2.OutputLen != 2 || r3.OutputLen != 3 {
+		t.Fatalf("output lengths %d %d", r2.OutputLen, r3.OutputLen)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	src := `
+export func @spin(%n) {
+entry:
+  br loop
+loop:
+  br loop
+}
+`
+	m := ir.MustParse("spin", src)
+	_, err := Run(m, "spin", []int64{0}, Options{Fuel: 1000})
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestTotalArithmetic(t *testing.T) {
+	cases := []struct {
+		op      ir.BinOp
+		a, b, w int64
+	}{
+		{ir.Div, 7, 0, 0},
+		{ir.Mod, 7, 0, 0},
+		{ir.Div, 7, 2, 3},
+		{ir.Mod, 7, 2, 1},
+		{ir.Shl, 1, 64, 1},  // shift masked to 0
+		{ir.Shl, 1, 65, 2},  // masked to 1
+		{ir.Shr, -8, 1, -4}, // arithmetic shift
+		{ir.Eq, 3, 3, 1},
+		{ir.Ge, 2, 3, 0},
+	}
+	for _, c := range cases {
+		if got := evalBin(c.op, c.a, c.b); got != c.w {
+			t.Errorf("%v(%d,%d)=%d want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestExternalCallDeterministic(t *testing.T) {
+	src := `
+export func @f(%x) {
+entry:
+  %r = call @undefined_external(%x)
+  ret %r
+}
+`
+	m := ir.MustParse("ext", src)
+	a, err := Run(m, "f", []int64{42}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(m, "f", []int64{42}, Options{})
+	c, _ := Run(m, "f", []int64{43}, Options{})
+	if a.Ret != b.Ret {
+		t.Fatal("external call not deterministic")
+	}
+	if a.Ret == c.Ret {
+		t.Fatal("external call ignores arguments")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := parseProg(t)
+	if _, err := Run(m, "nosuch", nil, Options{}); err == nil {
+		t.Fatal("expected error for missing entry")
+	}
+	if _, err := Run(m, "main", []int64{1, 2}, Options{}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	m := parseProg(t)
+	r1, _ := Run(m, "main", []int64{1}, Options{})
+	r4, _ := Run(m, "main", []int64{4}, Options{})
+	if r4.Cycles <= r1.Cycles || r4.Steps <= r1.Steps {
+		t.Fatalf("cycles/steps not monotone: %+v vs %+v", r1, r4)
+	}
+	if r4.DynCalls != 1+3*4 {
+		t.Fatalf("dyn calls = %d, want 13", r4.DynCalls)
+	}
+}
+
+func TestICacheModel(t *testing.T) {
+	m := parseProg(t)
+	sizes := map[string]int{"main": 100, "addsq": 60, "square": 40}
+	sizeOf := func(n string) int { return sizes[n] }
+	hot, err := Run(m, "main", []int64{8}, Options{SizeOf: sizeOf, CacheBytes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(m, "main", []int64{8}, Options{SizeOf: sizeOf, CacheBytes: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.CacheMiss >= cold.CacheMiss {
+		t.Fatalf("bigger cache should miss less: hot=%d cold=%d", hot.CacheMiss, cold.CacheMiss)
+	}
+	if cold.Cycles <= hot.Cycles {
+		t.Fatalf("misses should cost cycles: hot=%d cold=%d", hot.Cycles, cold.Cycles)
+	}
+	// Behaviour must be identical regardless of the cache model.
+	plain, _ := Run(m, "main", []int64{8}, Options{})
+	if plain.Observable() != hot.Observable() || plain.Observable() != cold.Observable() {
+		t.Fatal("cache model changed observable behaviour")
+	}
+}
+
+func TestICacheLRUEviction(t *testing.T) {
+	c := newICache(100)
+	if !c.access("a", 60) {
+		t.Fatal("first access should miss")
+	}
+	if c.access("a", 60) {
+		t.Fatal("second access should hit")
+	}
+	c.access("b", 50) // evicts a
+	if !c.access("a", 60) {
+		t.Fatal("a should have been evicted")
+	}
+	if !c.access("huge", 1000) {
+		t.Fatal("oversized function always misses")
+	}
+	if c.access("b", 50) && c.access("b", 50) {
+		t.Fatal("b unexpectedly evicted twice")
+	}
+}
+
+// Property: block-argument binding is simultaneous — a swap loop must swap.
+func TestSimultaneousBlockArgs(t *testing.T) {
+	src := `
+export func @swap2(%a, %b) {
+entry:
+  %zero = const 0
+  br head(%a, %b, %zero)
+head(%x, %y, %i):
+  %two = const 2
+  %c = lt %i, %two
+  condbr %c, body, exit
+body:
+  %one = const 1
+  %ni = add %i, %one
+  br head(%y, %x, %ni)
+exit:
+  %sixteen = const 65536
+  %hi = mul %x, %sixteen
+  %r = add %hi, %y
+  ret %r
+}
+`
+	m := ir.MustParse("swap", src)
+	f := func(a, b int16) bool {
+		res, err := Run(m, "swap2", []int64{int64(a), int64(b)}, Options{})
+		if err != nil {
+			return false
+		}
+		// Two swaps restore the original order.
+		want := int64(a)*65536 + int64(b)
+		return res.Ret == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR with a conventional append-to-current-block API.
+// It is used by the MinC lowering and by the synthetic workload generator.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewFunction creates a function with nparams entry parameters and returns a
+// builder positioned at its entry block.
+func NewFunction(name string, nparams int, exported bool) *Builder {
+	f := &Function{Name: name, Exported: exported}
+	entry := f.NewBlock("entry")
+	for i := 0; i < nparams; i++ {
+		p := f.NewValue(fmt.Sprintf("p%d", i))
+		p.Parm = entry
+		entry.Params = append(entry.Params, p)
+	}
+	return &Builder{Fn: f, Cur: entry}
+}
+
+// Param returns the i-th function parameter.
+func (bl *Builder) Param(i int) *Value { return bl.Fn.Entry().Params[i] }
+
+// Block creates a new block with n block parameters and returns it together
+// with its parameter values. The builder position is unchanged.
+func (bl *Builder) Block(name string, n int) *Block {
+	b := bl.Fn.NewBlock(name)
+	for i := 0; i < n; i++ {
+		p := bl.Fn.NewValue("")
+		p.Parm = b
+		b.Params = append(b.Params, p)
+	}
+	return b
+}
+
+// SetBlock repositions the builder at b.
+func (bl *Builder) SetBlock(b *Block) { bl.Cur = b }
+
+func (bl *Builder) emit(in *Instr) *Value {
+	if bl.Cur.Term() != nil {
+		panic("ir: emitting into sealed block " + bl.Cur.Name)
+	}
+	bl.Cur.Instrs = append(bl.Cur.Instrs, in)
+	return in.Result
+}
+
+func (bl *Builder) result(in *Instr) *Value {
+	v := bl.Fn.NewValue("")
+	v.Def = in
+	in.Result = v
+	return v
+}
+
+// Const emits a constant.
+func (bl *Builder) Const(c int64) *Value {
+	in := &Instr{Op: OpConst, Const: c}
+	bl.result(in)
+	return bl.emit(in)
+}
+
+// Bin emits a binary operation.
+func (bl *Builder) Bin(op BinOp, a, b *Value) *Value {
+	in := &Instr{Op: OpBin, BinOp: op, Args: []*Value{a, b}}
+	bl.result(in)
+	return bl.emit(in)
+}
+
+// Un emits a unary operation.
+func (bl *Builder) Un(op UnOp, a *Value) *Value {
+	in := &Instr{Op: OpUn, UnOp: op, Args: []*Value{a}}
+	bl.result(in)
+	return bl.emit(in)
+}
+
+// Call emits a call to the named function.
+func (bl *Builder) Call(callee string, args ...*Value) *Value {
+	in := &Instr{Op: OpCall, Callee: callee, Args: args}
+	bl.result(in)
+	return bl.emit(in)
+}
+
+// LoadG emits a load of a global variable.
+func (bl *Builder) LoadG(g string) *Value {
+	in := &Instr{Op: OpLoadG, Global: g}
+	bl.result(in)
+	return bl.emit(in)
+}
+
+// StoreG emits a store to a global variable.
+func (bl *Builder) StoreG(g string, v *Value) {
+	bl.emit(&Instr{Op: OpStoreG, Global: g, Args: []*Value{v}})
+}
+
+// Output emits an observable-output instruction.
+func (bl *Builder) Output(v *Value) {
+	bl.emit(&Instr{Op: OpOutput, Args: []*Value{v}})
+}
+
+// Br seals the current block with an unconditional branch.
+func (bl *Builder) Br(dest *Block, args ...*Value) {
+	bl.emit(&Instr{Op: OpBr, Succs: []Succ{{Dest: dest, Args: args}}})
+}
+
+// CondBr seals the current block with a conditional branch on cond != 0.
+func (bl *Builder) CondBr(cond *Value, then *Block, thenArgs []*Value, els *Block, elseArgs []*Value) {
+	bl.emit(&Instr{
+		Op:   OpCondBr,
+		Args: []*Value{cond},
+		Succs: []Succ{
+			{Dest: then, Args: thenArgs},
+			{Dest: els, Args: elseArgs},
+		},
+	})
+}
+
+// Ret seals the current block with a return.
+func (bl *Builder) Ret(v *Value) {
+	bl.emit(&Instr{Op: OpRet, Args: []*Value{v}})
+}

@@ -1,0 +1,83 @@
+package ir
+
+// Clone returns a deep copy of the function. The copy shares nothing with
+// the original: all blocks, instructions, and values are fresh, with uses
+// remapped. Call-site IDs and inline trails are preserved (clones of a call
+// are coupled to the original's inlining label).
+func (f *Function) Clone() *Function {
+	nf := &Function{
+		Name:      f.Name,
+		Exported:  f.Exported,
+		nextValue: f.nextValue,
+		nextBlock: f.nextBlock,
+	}
+	vmap := make(map[*Value]*Value)
+	bmap := make(map[*Block]*Block)
+
+	cloneValue := func(v *Value) *Value {
+		if v == nil {
+			return nil
+		}
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		nv := &Value{ID: v.ID, Name: v.Name}
+		vmap[v] = nv
+		return nv
+	}
+
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name}
+		bmap[b] = nb
+		for _, p := range b.Params {
+			np := cloneValue(p)
+			np.Parm = nb
+			nb.Params = append(nb.Params, np)
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op:     in.Op,
+				Const:  in.Const,
+				BinOp:  in.BinOp,
+				UnOp:   in.UnOp,
+				Callee: in.Callee,
+				Global: in.Global,
+				Site:   in.Site,
+			}
+			if len(in.Trail) > 0 {
+				ni.Trail = append([]int(nil), in.Trail...)
+			}
+			for _, a := range in.Args {
+				ni.Args = append(ni.Args, cloneValue(a))
+			}
+			for _, s := range in.Succs {
+				ns := Succ{Dest: bmap[s.Dest]}
+				for _, a := range s.Args {
+					ns.Args = append(ns.Args, cloneValue(a))
+				}
+				ni.Succs = append(ni.Succs, ns)
+			}
+			if in.Result != nil {
+				nr := cloneValue(in.Result)
+				nr.Def = ni
+				ni.Result = nr
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+	return nf
+}
+
+// Clone returns a deep copy of the module.
+func (m *Module) Clone() *Module {
+	nm := NewModule(m.Name)
+	nm.Globals = append([]string(nil), m.Globals...)
+	for _, f := range m.Funcs {
+		nm.AddFunc(f.Clone())
+	}
+	return nm
+}

@@ -1,0 +1,125 @@
+package ir
+
+// Dominators computes the immediate-dominator relation of the function CFG
+// using the simple iterative algorithm (Cooper, Harvey, Kennedy). The result
+// maps every reachable block to its immediate dominator; the entry block maps
+// to nil. Unreachable blocks are absent from the map.
+func (f *Function) Dominators() map[*Block]*Block {
+	entry := f.Entry()
+	if entry == nil {
+		return nil
+	}
+	// Reverse postorder over reachable blocks.
+	order := f.ReversePostorder()
+	index := make(map[*Block]int, len(order))
+	for i, b := range order {
+		index[b] = i
+	}
+	preds := f.Predecessors()
+
+	idom := make([]int, len(order))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for a > b {
+				a = idom[a]
+			}
+			for b > a {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < len(order); i++ {
+			newIdom := -1
+			for _, p := range preds[order[i]] {
+				pi, ok := index[p]
+				if !ok || idom[pi] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = pi
+				} else {
+					newIdom = intersect(newIdom, pi)
+				}
+			}
+			if newIdom != -1 && idom[i] != newIdom {
+				idom[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	out := make(map[*Block]*Block, len(order))
+	out[entry] = nil
+	for i := 1; i < len(order); i++ {
+		if idom[i] >= 0 {
+			out[order[i]] = order[idom[i]]
+		}
+	}
+	return out
+}
+
+// ReversePostorder returns the reachable blocks in reverse postorder,
+// starting with the entry block.
+func (f *Function) ReversePostorder() []*Block {
+	entry := f.Entry()
+	if entry == nil {
+		return nil
+	}
+	var post []*Block
+	seen := make(map[*Block]bool)
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s.Dest] {
+				dfs(s.Dest)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Predecessors returns the CFG predecessor lists of all blocks (a block with
+// two edges from the same predecessor lists it twice).
+func (f *Function) Predecessors() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s.Dest] = append(preds[s.Dest], b)
+		}
+	}
+	return preds
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (f *Function) Reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	entry := f.Entry()
+	if entry == nil {
+		return seen
+	}
+	stack := []*Block{entry}
+	seen[entry] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !seen[s.Dest] {
+				seen[s.Dest] = true
+				stack = append(stack, s.Dest)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,342 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAbs constructs: func abs(n) { if n < 0 return -n else return n }
+func buildAbs() *Function {
+	b := NewFunction("abs", 1, true)
+	n := b.Param(0)
+	zero := b.Const(0)
+	cond := b.Bin(Lt, n, zero)
+	neg := b.Block("neg", 0)
+	pos := b.Block("pos", 0)
+	b.CondBr(cond, neg, nil, pos, nil)
+	b.SetBlock(neg)
+	nn := b.Un(Neg, n)
+	b.Ret(nn)
+	b.SetBlock(pos)
+	b.Ret(n)
+	return b.Fn
+}
+
+// buildLoop constructs a counted loop summing 0..n-1 using block params.
+func buildLoop() *Function {
+	b := NewFunction("sum", 1, true)
+	n := b.Param(0)
+	zero := b.Const(0)
+	head := b.Block("head", 2) // (i, acc)
+	body := b.Block("body", 0)
+	exit := b.Block("exit", 0)
+	b.Br(head, zero, zero)
+	b.SetBlock(head)
+	i, acc := head.Params[0], head.Params[1]
+	cond := b.Bin(Lt, i, n)
+	b.CondBr(cond, body, nil, exit, nil)
+	b.SetBlock(body)
+	one := b.Const(1)
+	ni := b.Bin(Add, i, one)
+	nacc := b.Bin(Add, acc, i)
+	b.Br(head, ni, nacc)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.Fn
+}
+
+func testModule() *Module {
+	m := NewModule("test")
+	m.AddGlobal("g")
+	m.AddFunc(buildAbs())
+	m.AddFunc(buildLoop())
+	m.AssignSites()
+	return m
+}
+
+func TestVerifyOK(t *testing.T) {
+	m := testModule()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	f := buildAbs()
+	f.Blocks[1].Instrs = f.Blocks[1].Instrs[:1] // drop the ret in "neg"
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for missing terminator")
+	}
+}
+
+func TestVerifyCatchesBadBranchArity(t *testing.T) {
+	f := buildLoop()
+	// Entry branches to head with 2 args; drop one.
+	term := f.Entry().Term()
+	term.Succs[0].Args = term.Succs[0].Args[:1]
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "passes") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesDominanceViolation(t *testing.T) {
+	f := buildAbs()
+	// Use the value defined in "neg" from "pos": not dominated.
+	neg, pos := f.Blocks[1], f.Blocks[2]
+	nn := neg.Instrs[0].Result
+	pos.Instrs[len(pos.Instrs)-1].Args[0] = nn
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "dominated") {
+		t.Fatalf("expected dominance error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesCallArity(t *testing.T) {
+	m := testModule()
+	b := NewFunction("caller", 0, true)
+	c := b.Const(1)
+	r := b.Call("abs", c, c) // abs takes 1 arg
+	b.Ret(r)
+	m.AddFunc(b.Fn)
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("expected call arity error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesUndeclaredGlobal(t *testing.T) {
+	m := NewModule("m")
+	b := NewFunction("f", 0, true)
+	v := b.LoadG("nope")
+	b.Ret(v)
+	m.AddFunc(b.Fn)
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "undeclared global") {
+		t.Fatalf("expected global error, got %v", err)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m := testModule()
+	text := m.String()
+	m2, err := Parse("test", text)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, text)
+	}
+	text2 := m2.String()
+	if text != text2 {
+		t.Fatalf("round trip mismatch:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"func @f() {\nentry:\n  frobnicate %x\n}",
+		"func @f() {\nentry:\n  ret %undefined\n}",
+		"func @f() {\nentry:\n  br nowhere\n}",
+		"func @f() {\nentry:\n  const 3\n",
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := buildLoop()
+	g := f.Clone()
+	if err := g.Verify(); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	if f.String() != g.String() {
+		t.Fatalf("clone text differs:\n%s\nvs\n%s", f.String(), g.String())
+	}
+	// Mutating the clone must not affect the original.
+	g.Blocks[0].Instrs[0].Const = 99
+	if f.Blocks[0].Instrs[0].Const == 99 {
+		t.Fatal("clone shares instruction storage with original")
+	}
+	for _, b := range g.Blocks {
+		for _, orig := range f.Blocks {
+			if b == orig {
+				t.Fatal("clone shares a block with original")
+			}
+		}
+	}
+}
+
+func TestCloneKeepsSitesAndTrails(t *testing.T) {
+	b := NewFunction("f", 0, true)
+	c := b.Const(1)
+	call := b.Call("g", c)
+	b.Ret(call)
+	b.Fn.Blocks[0].Instrs[1].Site = 7
+	b.Fn.Blocks[0].Instrs[1].Trail = []int{3, 4}
+	g := b.Fn.Clone()
+	in := g.Blocks[0].Instrs[1]
+	if in.Site != 7 || len(in.Trail) != 2 || in.Trail[0] != 3 {
+		t.Fatalf("site/trail not preserved: %+v", in)
+	}
+	in.Trail[0] = 99
+	if b.Fn.Blocks[0].Instrs[1].Trail[0] == 99 {
+		t.Fatal("trail storage shared with original")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f := buildAbs()
+	idom := f.Dominators()
+	entry, neg, pos := f.Blocks[0], f.Blocks[1], f.Blocks[2]
+	if idom[entry] != nil {
+		t.Fatal("entry must have nil idom")
+	}
+	if idom[neg] != entry || idom[pos] != entry {
+		t.Fatalf("expected entry to dominate both arms: %v %v", idom[neg], idom[pos])
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := buildLoop()
+	idom := f.Dominators()
+	var head, body, exit *Block
+	for _, b := range f.Blocks {
+		switch b.Name {
+		case "head":
+			head = b
+		case "body":
+			body = b
+		case "exit":
+			exit = b
+		}
+	}
+	if idom[body] != head || idom[exit] != head {
+		t.Fatalf("head must dominate body and exit, got %v %v", idom[body], idom[exit])
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	f := buildLoop()
+	rpo := f.ReversePostorder()
+	if len(rpo) != 4 || rpo[0] != f.Entry() {
+		t.Fatalf("bad RPO: %v", rpo)
+	}
+}
+
+func TestAssignSitesStable(t *testing.T) {
+	m := NewModule("m")
+	b := NewFunction("f", 0, true)
+	c := b.Const(0)
+	b.Call("g", c)
+	r := b.Call("g", c)
+	b.Ret(r)
+	m.AddFunc(b.Fn)
+	g := NewFunction("g", 1, false)
+	g.Ret(g.Param(0))
+	m.AddFunc(g.Fn)
+	if n := m.AssignSites(); n != 2 {
+		t.Fatalf("assigned %d sites, want 2", n)
+	}
+	calls := m.Func("f").Calls()
+	if calls[0].Site == calls[1].Site || calls[0].Site == 0 {
+		t.Fatalf("sites not distinct: %d %d", calls[0].Site, calls[1].Site)
+	}
+	before := calls[0].Site
+	if n := m.AssignSites(); n != 0 {
+		t.Fatalf("re-assignment touched %d sites", n)
+	}
+	if calls[0].Site != before {
+		t.Fatal("site changed on re-assignment")
+	}
+}
+
+func TestRemoveFunc(t *testing.T) {
+	m := testModule()
+	m.RemoveFunc("abs")
+	if m.Func("abs") != nil || len(m.Funcs) != 1 {
+		t.Fatal("RemoveFunc failed")
+	}
+	m.RemoveFunc("abs") // idempotent
+}
+
+func TestModuleCloneIndependent(t *testing.T) {
+	m := testModule()
+	m2 := m.Clone()
+	m2.RemoveFunc("abs")
+	if m.Func("abs") == nil {
+		t.Fatal("module clone shares function table")
+	}
+	if m.String() == m2.String() {
+		t.Fatal("expected differing text after mutation")
+	}
+}
+
+func TestBlockTermAndSuccs(t *testing.T) {
+	f := buildAbs()
+	if f.Entry().Term() == nil || len(f.Entry().Succs()) != 2 {
+		t.Fatal("entry terminator wrong")
+	}
+	if len(f.Blocks[1].Succs()) != 0 {
+		t.Fatal("ret should have no successors")
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	f := buildLoop()
+	preds := f.Predecessors()
+	var head *Block
+	for _, b := range f.Blocks {
+		if b.Name == "head" {
+			head = b
+		}
+	}
+	if len(preds[head]) != 2 {
+		t.Fatalf("head should have 2 preds, got %d", len(preds[head]))
+	}
+}
+
+func TestPrintParseAllOps(t *testing.T) {
+	src := `global @g
+
+func @ops(%a, %b) {
+entry:
+  %n = neg %a
+  %t = not %b
+  %q = div %n, %t
+  %r = mod %q, %a
+  %s = shl %r, %b
+  %u = shr %s, %a
+  %v = ge %u, %b
+  %w = le %v, %a
+  storeg @g, %w
+  %z = loadg @g
+  output %z
+  ret %z
+}
+`
+	m, err := Parse("allops", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != src {
+		t.Fatalf("round trip mismatch:\n--- want ---\n%s\n--- got ---\n%s", src, m.String())
+	}
+}
+
+func TestParseSiteAnnotationRoundTrip(t *testing.T) {
+	src := `func @callee(%x) {
+entry:
+  ret %x
+}
+
+export func @caller(%x) {
+entry:
+  %r = call @callee(%x) !site 42
+  ret %r
+}
+`
+	m := MustParse("site", src)
+	if m.Func("caller").Calls()[0].Site != 42 {
+		t.Fatal("site annotation lost")
+	}
+	if m.String() != src {
+		t.Fatalf("round trip:\n%s", m.String())
+	}
+}

@@ -1,0 +1,364 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR syntax produced by Module.String and returns
+// the module. It is used by tests, example programs, and the CLI tools.
+func Parse(name, src string) (*Module, error) {
+	p := &irParser{m: NewModule(name)}
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, i+1, err)
+		}
+	}
+	if p.fn != nil {
+		return nil, fmt.Errorf("%s: unterminated function @%s", name, p.fn.Name)
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.m.Verify(); err != nil {
+		return nil, err
+	}
+	return p.m, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed examples.
+func MustParse(name, src string) *Module {
+	m, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type pendingSucc struct {
+	in   *Instr
+	idx  int
+	name string
+	args []string
+}
+
+type irParser struct {
+	m      *Module
+	fn     *Function
+	cur    *Block
+	values map[string]*Value
+	blocks map[string]*Block
+	// succs and uses are resolved when the function body is complete.
+	succs []pendingSucc
+	uses  []pendingUse
+}
+
+type pendingUse struct {
+	in    *Instr
+	slot  int // index into Args
+	name  string
+	where string
+}
+
+func (p *irParser) line(line string) error {
+	switch {
+	case strings.HasPrefix(line, "global "):
+		g := strings.TrimSpace(strings.TrimPrefix(line, "global"))
+		g = strings.TrimPrefix(g, "@")
+		if g == "" {
+			return fmt.Errorf("empty global name")
+		}
+		p.m.AddGlobal(g)
+		return nil
+	case strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "export func "):
+		return p.funcHeader(line)
+	case line == "}":
+		if p.fn == nil {
+			return fmt.Errorf("unexpected '}'")
+		}
+		if err := p.finishFunc(); err != nil {
+			return err
+		}
+		return nil
+	case strings.HasSuffix(line, ":") || (strings.Contains(line, "(") && strings.HasSuffix(line, "):")):
+		return p.blockHeader(line)
+	default:
+		if p.cur == nil {
+			return fmt.Errorf("instruction outside block: %q", line)
+		}
+		return p.instr(line)
+	}
+}
+
+func (p *irParser) funcHeader(line string) error {
+	if p.fn != nil {
+		return fmt.Errorf("nested function")
+	}
+	exported := strings.HasPrefix(line, "export ")
+	line = strings.TrimPrefix(line, "export ")
+	line = strings.TrimPrefix(line, "func ")
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open || !strings.HasSuffix(strings.TrimSpace(line[close+1:]), "{") {
+		return fmt.Errorf("malformed function header")
+	}
+	name := strings.TrimPrefix(strings.TrimSpace(line[:open]), "@")
+	params := splitArgs(line[open+1 : close])
+	b := NewFunction(name, len(params), exported)
+	p.fn = b.Fn
+	p.cur = b.Fn.Entry()
+	p.values = make(map[string]*Value)
+	p.blocks = map[string]*Block{p.cur.Name: p.cur}
+	p.succs = nil
+	p.uses = nil
+	for i, prm := range params {
+		pname := strings.TrimPrefix(prm, "%")
+		p.fn.Entry().Params[i].Name = pname
+		p.values[pname] = p.fn.Entry().Params[i]
+	}
+	return nil
+}
+
+func (p *irParser) blockHeader(line string) error {
+	line = strings.TrimSuffix(line, ":")
+	name := line
+	var params []string
+	if open := strings.IndexByte(line, '('); open >= 0 {
+		close := strings.LastIndexByte(line, ')')
+		if close < open {
+			return fmt.Errorf("malformed block header")
+		}
+		name = line[:open]
+		params = splitArgs(line[open+1 : close])
+	}
+	if b, ok := p.blocks[name]; ok && b == p.fn.Entry() && len(params) == 0 {
+		// Re-declaration of the entry label; position there.
+		p.cur = b
+		return nil
+	}
+	b := p.getBlock(name)
+	for _, prm := range params {
+		pname := strings.TrimPrefix(prm, "%")
+		v := p.fn.NewValue(pname)
+		v.Parm = b
+		b.Params = append(b.Params, v)
+		p.values[pname] = v
+	}
+	p.cur = b
+	return nil
+}
+
+func (p *irParser) getBlock(name string) *Block {
+	if b, ok := p.blocks[name]; ok {
+		return b
+	}
+	b := p.fn.NewBlock(name)
+	p.blocks[name] = b
+	return b
+}
+
+func (p *irParser) defValue(name string, in *Instr) {
+	v := p.fn.NewValue(name)
+	v.Def = in
+	in.Result = v
+	p.values[name] = v
+}
+
+func (p *irParser) addUse(in *Instr, slot int, ref string) {
+	name := strings.TrimPrefix(ref, "%")
+	for len(in.Args) <= slot {
+		in.Args = append(in.Args, nil)
+	}
+	p.uses = append(p.uses, pendingUse{in: in, slot: slot, name: name})
+}
+
+func (p *irParser) instr(line string) error {
+	var resName string
+	if eq := strings.Index(line, " = "); eq >= 0 && strings.HasPrefix(line, "%") {
+		resName = strings.TrimPrefix(strings.TrimSpace(line[:eq]), "%")
+		line = strings.TrimSpace(line[eq+3:])
+	}
+	op, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	emit := func(in *Instr) {
+		if resName != "" {
+			p.defValue(resName, in)
+		}
+		p.cur.Instrs = append(p.cur.Instrs, in)
+	}
+	switch op {
+	case "const":
+		c, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad const %q", rest)
+		}
+		emit(&Instr{Op: OpConst, Const: c})
+	case "neg", "not":
+		in := &Instr{Op: OpUn}
+		if op == "not" {
+			in.UnOp = Not
+		}
+		p.addUse(in, 0, rest)
+		emit(in)
+	case "call":
+		callee, argstr, ok := strings.Cut(rest, "(")
+		if !ok {
+			return fmt.Errorf("malformed call %q", rest)
+		}
+		close := strings.LastIndexByte(argstr, ')')
+		if close < 0 {
+			return fmt.Errorf("malformed call %q", rest)
+		}
+		in := &Instr{Op: OpCall, Callee: strings.TrimPrefix(strings.TrimSpace(callee), "@")}
+		tail := strings.TrimSpace(argstr[close+1:])
+		if strings.HasPrefix(tail, "!site") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(tail, "!site")))
+			if err != nil {
+				return fmt.Errorf("bad !site annotation %q", tail)
+			}
+			in.Site = n
+		}
+		for i, a := range splitArgs(argstr[:close]) {
+			p.addUse(in, i, a)
+		}
+		emit(in)
+	case "loadg":
+		emit(&Instr{Op: OpLoadG, Global: strings.TrimPrefix(rest, "@")})
+	case "storeg":
+		g, v, ok := strings.Cut(rest, ",")
+		if !ok {
+			return fmt.Errorf("malformed storeg %q", rest)
+		}
+		in := &Instr{Op: OpStoreG, Global: strings.TrimPrefix(strings.TrimSpace(g), "@")}
+		p.addUse(in, 0, strings.TrimSpace(v))
+		emit(in)
+	case "output":
+		in := &Instr{Op: OpOutput}
+		p.addUse(in, 0, rest)
+		emit(in)
+	case "br":
+		in := &Instr{Op: OpBr, Succs: make([]Succ, 1)}
+		name, args, err := parseSucc(rest)
+		if err != nil {
+			return err
+		}
+		p.succs = append(p.succs, pendingSucc{in: in, idx: 0, name: name, args: args})
+		emit(in)
+	case "condbr":
+		parts := splitTopLevel(rest)
+		if len(parts) != 3 {
+			return fmt.Errorf("malformed condbr %q", rest)
+		}
+		in := &Instr{Op: OpCondBr, Succs: make([]Succ, 2)}
+		p.addUse(in, 0, strings.TrimSpace(parts[0]))
+		for i := 0; i < 2; i++ {
+			name, args, err := parseSucc(strings.TrimSpace(parts[i+1]))
+			if err != nil {
+				return err
+			}
+			p.succs = append(p.succs, pendingSucc{in: in, idx: i, name: name, args: args})
+		}
+		emit(in)
+	case "ret":
+		in := &Instr{Op: OpRet}
+		p.addUse(in, 0, rest)
+		emit(in)
+	default:
+		if bop, ok := BinOpFromString(op); ok {
+			a, b, found := strings.Cut(rest, ",")
+			if !found {
+				return fmt.Errorf("malformed %s %q", op, rest)
+			}
+			in := &Instr{Op: OpBin, BinOp: bop}
+			p.addUse(in, 0, strings.TrimSpace(a))
+			p.addUse(in, 1, strings.TrimSpace(b))
+			emit(in)
+			return nil
+		}
+		return fmt.Errorf("unknown instruction %q", op)
+	}
+	return nil
+}
+
+func (p *irParser) finishFunc() error {
+	for _, u := range p.uses {
+		v, ok := p.values[u.name]
+		if !ok {
+			return fmt.Errorf("func @%s: undefined value %%%s", p.fn.Name, u.name)
+		}
+		u.in.Args[u.slot] = v
+	}
+	for _, s := range p.succs {
+		b, ok := p.blocks[s.name]
+		if !ok {
+			return fmt.Errorf("func @%s: undefined block %s", p.fn.Name, s.name)
+		}
+		sc := Succ{Dest: b}
+		for _, a := range s.args {
+			v, ok := p.values[strings.TrimPrefix(a, "%")]
+			if !ok {
+				return fmt.Errorf("func @%s: undefined value %s", p.fn.Name, a)
+			}
+			sc.Args = append(sc.Args, v)
+		}
+		s.in.Succs[s.idx] = sc
+	}
+	p.m.AddFunc(p.fn)
+	p.fn, p.cur, p.values, p.blocks, p.succs, p.uses = nil, nil, nil, nil, nil, nil
+	return nil
+}
+
+func (p *irParser) resolve() error { return nil }
+
+func parseSucc(s string) (name string, args []string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, nil, nil
+	}
+	close := strings.LastIndexByte(s, ')')
+	if close < open {
+		return "", nil, fmt.Errorf("malformed successor %q", s)
+	}
+	return s[:open], splitArgs(s[open+1 : close]), nil
+}
+
+// splitArgs splits a comma-separated argument list, tolerating whitespace.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// splitTopLevel splits on commas not enclosed in parentheses.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

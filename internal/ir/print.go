@@ -1,0 +1,141 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the module in the textual IR syntax accepted by Parse.
+func (m *Module) String() string {
+	var sb strings.Builder
+	globals := append([]string(nil), m.Globals...)
+	sort.Strings(globals)
+	for _, g := range globals {
+		fmt.Fprintf(&sb, "global @%s\n", g)
+	}
+	for i, f := range m.Funcs {
+		if i > 0 || len(globals) > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function in textual IR syntax.
+func (f *Function) String() string {
+	var sb strings.Builder
+	names := f.nameValues()
+	kw := "func"
+	if f.Exported {
+		kw = "export func"
+	}
+	fmt.Fprintf(&sb, "%s @%s(%s) {\n", kw, f.Name, paramList(f.Entry(), names))
+	for i, b := range f.Blocks {
+		if i == 0 {
+			// Entry parameters are rendered in the signature.
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+		} else {
+			fmt.Fprintf(&sb, "%s(%s):\n", b.Name, paramList(b, names))
+		}
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.format(names))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func paramList(b *Block, names map[*Value]string) string {
+	if b == nil {
+		return ""
+	}
+	parts := make([]string, len(b.Params))
+	for i, p := range b.Params {
+		parts[i] = "%" + names[p]
+	}
+	return strings.Join(parts, ", ")
+}
+
+// nameValues assigns unique printable names to every value in the function.
+func (f *Function) nameValues() map[*Value]string {
+	names := make(map[*Value]string)
+	used := make(map[string]bool)
+	assign := func(v *Value) {
+		base := v.Name
+		if base == "" {
+			base = fmt.Sprintf("v%d", v.ID)
+		}
+		name := base
+		for i := 2; used[name]; i++ {
+			name = fmt.Sprintf("%s_%d", base, i)
+		}
+		used[name] = true
+		names[v] = name
+	}
+	for _, b := range f.Blocks {
+		for _, p := range b.Params {
+			assign(p)
+		}
+		for _, in := range b.Instrs {
+			if in.Result != nil {
+				assign(in.Result)
+			}
+		}
+	}
+	return names
+}
+
+func (in *Instr) format(names map[*Value]string) string {
+	ref := func(v *Value) string {
+		if n, ok := names[v]; ok {
+			return "%" + n
+		}
+		return v.String() + "?undef"
+	}
+	args := func(vs []*Value) string {
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = ref(v)
+		}
+		return strings.Join(parts, ", ")
+	}
+	succ := func(s Succ) string {
+		if len(s.Args) == 0 {
+			return s.Dest.Name
+		}
+		return fmt.Sprintf("%s(%s)", s.Dest.Name, args(s.Args))
+	}
+	res := ""
+	if in.Result != nil {
+		res = ref(in.Result) + " = "
+	}
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%sconst %d", res, in.Const)
+	case OpBin:
+		return fmt.Sprintf("%s%s %s", res, in.BinOp, args(in.Args))
+	case OpUn:
+		return fmt.Sprintf("%s%s %s", res, in.UnOp, args(in.Args))
+	case OpCall:
+		site := ""
+		if in.Site != 0 {
+			site = fmt.Sprintf(" !site %d", in.Site)
+		}
+		return fmt.Sprintf("%scall @%s(%s)%s", res, in.Callee, args(in.Args), site)
+	case OpLoadG:
+		return fmt.Sprintf("%sloadg @%s", res, in.Global)
+	case OpStoreG:
+		return fmt.Sprintf("storeg @%s, %s", in.Global, args(in.Args))
+	case OpOutput:
+		return fmt.Sprintf("output %s", args(in.Args))
+	case OpBr:
+		return "br " + succ(in.Succs[0])
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", ref(in.Args[0]), succ(in.Succs[0]), succ(in.Succs[1]))
+	case OpRet:
+		return "ret " + args(in.Args)
+	}
+	return "<invalid>"
+}

@@ -1,0 +1,140 @@
+package ir
+
+import "fmt"
+
+// Verify checks module-level structural invariants: function bodies verify,
+// call targets that are defined in the module are called with the right
+// arity, and referenced globals are declared.
+func (m *Module) Verify() error {
+	globals := make(map[string]bool, len(m.Globals))
+	for _, g := range m.Globals {
+		globals[g] = true
+	}
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case OpCall:
+					callee := m.Func(in.Callee)
+					if callee != nil && callee.NumParams() != len(in.Args) {
+						return fmt.Errorf("module %s: func %s: call @%s has %d args, want %d",
+							m.Name, f.Name, in.Callee, len(in.Args), callee.NumParams())
+					}
+				case OpLoadG, OpStoreG:
+					if !globals[in.Global] {
+						return fmt.Errorf("module %s: func %s: undeclared global @%s",
+							m.Name, f.Name, in.Global)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Verify checks function-level invariants:
+//   - every block ends with exactly one terminator (and has no terminator
+//     in its interior),
+//   - branch argument counts match destination block parameter counts,
+//   - every operand is defined by an instruction or block parameter whose
+//     definition dominates the use.
+func (f *Function) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("func %s: no blocks", f.Name)
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 || !b.Instrs[len(b.Instrs)-1].Op.IsTerminator() {
+			return fmt.Errorf("func %s: block %s has no terminator", f.Name, b.Name)
+		}
+		for i, in := range b.Instrs {
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("func %s: block %s has terminator in interior", f.Name, b.Name)
+			}
+			for _, s := range in.Succs {
+				if !blockSet[s.Dest] {
+					return fmt.Errorf("func %s: block %s branches to foreign block %s", f.Name, b.Name, s.Dest.Name)
+				}
+				if len(s.Args) != len(s.Dest.Params) {
+					return fmt.Errorf("func %s: block %s passes %d args to %s, want %d",
+						f.Name, b.Name, len(s.Args), s.Dest.Name, len(s.Dest.Params))
+				}
+			}
+		}
+	}
+	return f.verifyDefUse()
+}
+
+// verifyDefUse checks SSA dominance: each use must be reachable only via its
+// definition. With block arguments, the rule is: an operand must be a
+// parameter of the using block, or be defined earlier in the same block, or
+// be defined in a block that strictly dominates the using block.
+func (f *Function) verifyDefUse() error {
+	defBlock := make(map[*Value]*Block)
+	defIndex := make(map[*Value]int)
+	for _, b := range f.Blocks {
+		for _, p := range b.Params {
+			defBlock[p] = b
+			defIndex[p] = -1
+		}
+		for i, in := range b.Instrs {
+			if in.Result != nil {
+				defBlock[in.Result] = b
+				defIndex[in.Result] = i
+			}
+		}
+	}
+	idom := f.Dominators()
+	dominates := func(a, b *Block) bool {
+		// Does a dominate b?
+		for x := b; x != nil; x = idom[x] {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(b *Block, i int, v *Value) error {
+		db, ok := defBlock[v]
+		if !ok {
+			return fmt.Errorf("func %s: block %s uses value %s with no definition", f.Name, b.Name, v)
+		}
+		if db == b {
+			if defIndex[v] < i {
+				return nil
+			}
+			return fmt.Errorf("func %s: block %s uses %s before its definition", f.Name, b.Name, v)
+		}
+		if !dominates(db, b) {
+			return fmt.Errorf("func %s: use of %s in %s is not dominated by its definition in %s",
+				f.Name, v, b.Name, db.Name)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		if _, reachable := idom[b]; !reachable && b != f.Entry() {
+			continue // unreachable blocks are not subject to dominance checking
+		}
+		for i, in := range b.Instrs {
+			for _, a := range in.Args {
+				if err := check(b, i, a); err != nil {
+					return err
+				}
+			}
+			for _, s := range in.Succs {
+				for _, a := range s.Args {
+					if err := check(b, i, a); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package lang
+
+// Program is a parsed MinC source file.
+type Program struct {
+	Globals []string
+	Funcs   []*FuncDecl
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Name     string
+	Params   []string
+	Exported bool
+	Body     []Stmt
+	Line     int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarStmt declares (and initializes) a variable.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to an existing variable or a global.
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Stmt // may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // may be nil
+	Body []Stmt
+}
+
+// ReturnStmt returns a value.
+type ReturnStmt struct {
+	Expr Expr
+	Line int
+}
+
+// OutputStmt emits a value to the observable output stream.
+type OutputStmt struct{ Expr Expr }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct{ Expr Expr }
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*VarStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*OutputStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Value int64 }
+
+// VarExpr references a variable or global.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// BinExpr is a binary operation; Op is the source operator text.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnExpr is unary minus or logical not.
+type UnExpr struct {
+	Op string
+	E  Expr
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumExpr) expr()  {}
+func (*VarExpr) expr()  {}
+func (*BinExpr) expr()  {}
+func (*UnExpr) expr()   {}
+func (*CallExpr) expr() {}

@@ -1,0 +1,330 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"optinline/internal/interp"
+)
+
+const fib = `
+// Recursive Fibonacci plus an iterative checker.
+export func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+
+export func fib_iter(n) {
+  var a = 0;
+  var b = 1;
+  for (var i = 0; i < n; i = i + 1) {
+    var t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+`
+
+func run(t *testing.T, src, entry string, args ...int64) int64 {
+	t.Helper()
+	m, err := Compile("test.minc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := interp.Run(m, entry, args, interp.Options{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Ret
+}
+
+func TestFib(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34}
+	for n, w := range want {
+		if got := run(t, fib, "fib", int64(n)); got != w {
+			t.Errorf("fib(%d)=%d want %d", n, got, w)
+		}
+		if got := run(t, fib, "fib_iter", int64(n)); got != w {
+			t.Errorf("fib_iter(%d)=%d want %d", n, got, w)
+		}
+	}
+}
+
+func TestFibAgreesProperty(t *testing.T) {
+	m := MustCompile("fib.minc", fib)
+	f := func(n uint8) bool {
+		k := int64(n % 20)
+		a, err1 := interp.Run(m, "fib", []int64{k}, interp.Options{})
+		b, err2 := interp.Run(m, "fib_iter", []int64{k}, interp.Options{})
+		return err1 == nil && err2 == nil && a.Ret == b.Ret
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatorsAndPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 3 - 2", 5},
+		{"7 / 2", 3},
+		{"7 % 3", 1},
+		{"1 << 4", 16},
+		{"-16 >> 2", -4},
+		{"5 & 3", 1},
+		{"5 | 2", 7},
+		{"5 ^ 1", 4},
+		{"3 < 4", 1},
+		{"4 <= 4", 1},
+		{"5 > 6", 0},
+		{"5 >= 6", 0},
+		{"5 == 5", 1},
+		{"5 != 5", 0},
+		{"-3", -3},
+		{"!0", 1},
+		{"!7", 0},
+		{"1 + 2 == 3", 1},
+		{"1 < 2 && 3 < 4", 1},
+		{"1 > 2 || 3 < 4", 1},
+		{"0 && 1", 0},
+		{"2 && 3", 1},
+		{"0 || 0", 0},
+	}
+	for _, c := range cases {
+		src := "export func main() { return " + c.expr + "; }"
+		if got := run(t, src, "main"); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuitSkipsSideEffects(t *testing.T) {
+	src := `
+global hits;
+func bump(x) {
+  hits = hits + 1;
+  return x;
+}
+export func main(sel) {
+  var r = 0;
+  if (sel == 0) { r = 0 && bump(1); }
+  if (sel == 1) { r = 1 && bump(1); }
+  if (sel == 2) { r = 1 || bump(1); }
+  if (sel == 3) { r = 0 || bump(1); }
+  return hits * 10 + r;
+}
+`
+	cases := map[int64]int64{
+		0: 0,  // rhs skipped, r=0
+		1: 11, // rhs evaluated, r=1
+		2: 1,  // rhs skipped, r=1
+		3: 11, // rhs evaluated, r=1
+	}
+	for sel, want := range cases {
+		if got := run(t, src, "main", sel); got != want {
+			t.Errorf("sel=%d got %d want %d", sel, got, want)
+		}
+	}
+}
+
+func TestGlobalsAndOutput(t *testing.T) {
+	src := `
+global total;
+export func accumulate(n) {
+  for (var i = 1; i <= n; i = i + 1) {
+    total = total + i;
+    output total;
+  }
+  return total;
+}
+`
+	m := MustCompile("glob.minc", src)
+	res, err := interp.Run(m, "accumulate", []int64{4}, interp.Options{CollectOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 10 {
+		t.Fatalf("ret=%d", res.Ret)
+	}
+	want := []int64{1, 3, 6, 10}
+	for i, w := range want {
+		if res.Output[i] != w {
+			t.Fatalf("output=%v want %v", res.Output, want)
+		}
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+export func main(n) {
+  var sum = 0;
+  var i = 0;
+  while (1) {
+    i = i + 1;
+    if (i > n) { break; }
+    if (i % 2 == 0) { continue; }
+    sum = sum + i;
+  }
+  return sum;
+}
+`
+	// Sum of odd numbers 1..9 = 25.
+	if got := run(t, src, "main", 9); got != 25 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestForContinueRunsPost(t *testing.T) {
+	src := `
+export func main(n) {
+  var sum = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    if (i == 2) { continue; }
+    sum = sum + i;
+  }
+  return sum;
+}
+`
+	// 0+1+3+4 = 8 (2 skipped, loop still terminates).
+	if got := run(t, src, "main", 5); got != 8 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestNestedLoopsAndIfElse(t *testing.T) {
+	src := `
+export func classify(x) {
+  if (x < 0) { return -1; }
+  else if (x == 0) { return 0; }
+  else { return 1; }
+}
+export func grid(n) {
+  var count = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < n; j = j + 1) {
+      if (classify(i - j) == 1) { count = count + 1; }
+    }
+  }
+  return count;
+}
+`
+	// Pairs with i > j in a 4x4 grid: 6.
+	if got := run(t, src, "grid", 4); got != 6 {
+		t.Fatalf("got %d", got)
+	}
+	if got := run(t, src, "classify", -5); got != -1 {
+		t.Fatalf("classify(-5)=%d", got)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	src := `export func main(n) { output n; }`
+	if got := run(t, src, "main", 3); got != 0 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestBothArmsReturn(t *testing.T) {
+	src := `
+export func main(x) {
+  if (x > 0) { return 1; } else { return 2; }
+}
+`
+	if got := run(t, src, "main", 5); got != 1 {
+		t.Fatal("then arm")
+	}
+	if got := run(t, src, "main", -5); got != 2 {
+		t.Fatal("else arm")
+	}
+}
+
+func TestExternalCallsAllowed(t *testing.T) {
+	src := `export func main(x) { return external_fn(x, 2); }`
+	m := MustCompile("ext.minc", src)
+	if _, err := interp.Run(m, "main", []int64{1}, interp.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"export func main() { return x; }", "undefined variable"},
+		{"export func main() { x = 1; return 0; }", "undeclared variable"},
+		{"export func main() { var a = 1; var a = 2; return a; }", "duplicate variable"},
+		{"func f(a, a) { return a; }", "duplicate parameter"},
+		{"func f() { return 0; } func f() { return 1; }", "duplicate function"},
+		{"global g; global g;", "duplicate global"},
+		{"func f(a) { return a; } export func main() { return f(1, 2); }", "want 1"},
+		{"export func main() { break; }", "break outside loop"},
+		{"export func main() { continue; }", "continue outside loop"},
+		{"global g; export func main() { var g = 1; return g; }", "shadows a global"},
+		{"export func main() { return 1 + ; }", "expected expression"},
+		{"export func main() { return 99999999999999999999; }", "out of range"},
+		{"export func main( { return 0; }", "expected identifier"},
+		{"export func main() { return 0 }", "expected"},
+		{"export fnc main() { return 0; }", "expected"},
+		{"export func main() { return $; }", "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Compile("err.minc", c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestLoweredModulesVerify(t *testing.T) {
+	// Already checked inside Lower, but exercise a structurally rich one.
+	src := `
+global g;
+func helper(a, b) {
+  var m = a;
+  if (b > m) { m = b; }
+  return m;
+}
+export func main(n) {
+  var best = 0 - 1000;
+  for (var i = 0; i < n; i = i + 1) {
+    var v = helper(i * 3 % 7, i);
+    if (v > best && v % 2 == 0) { best = v; }
+    g = g + v;
+  }
+  while (best > 10) { best = best - g % 3 - 1; }
+  return best;
+}
+`
+	m := MustCompile("rich.minc", src)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(m, "main", []int64{6}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestCallSitesAssigned(t *testing.T) {
+	src := `
+func a(x) { return x; }
+export func main(x) { return a(x) + a(x + 1); }
+`
+	m := MustCompile("sites.minc", src)
+	calls := m.Func("main").Calls()
+	if len(calls) != 2 || calls[0].Site == 0 || calls[0].Site == calls[1].Site {
+		t.Fatalf("sites not assigned: %v %v", calls[0].Site, calls[1].Site)
+	}
+}

@@ -1,0 +1,129 @@
+// Package lang implements MinC, a small C-like language that fronts the IR.
+// It exists so the toolchain is end-to-end real: examples and the mincc
+// command compile actual source text through parsing, checking, lowering,
+// inlining search/tuning, and code generation.
+//
+// The language: 64-bit integers only; functions (optionally `export`ed);
+// module `global` variables; `var` declarations; assignment; `if`/`else`;
+// `while`; `for`; `break`/`continue`; `return`; `output expr;` for
+// observable output; the usual C expression operators.
+package lang
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single/multi-char operator or delimiter
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"func": true, "export": true, "global": true, "var": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "output": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// punctuation, longest first so the scanner is greedy.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+	"(", ")", "{", "}", ",", ";",
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance(1)
+		case c == '\n':
+			lx.pos++
+			lx.line++
+			lx.col = 1
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		default:
+			return lx.scan()
+		}
+	}
+	return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+}
+
+func (lx *lexer) advance(n int) {
+	lx.pos += n
+	lx.col += n
+}
+
+func (lx *lexer) scan() (token, error) {
+	line, col := lx.line, lx.col
+	c := lx.src[lx.pos]
+	switch {
+	case isDigit(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.advance(1)
+		}
+		if lx.pos < len(lx.src) && isIdentChar(lx.src[lx.pos]) {
+			return token{}, lx.errf(line, col, "malformed number")
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentChar(lx.src[lx.pos]) {
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	default:
+		for _, p := range puncts {
+			if len(lx.src)-lx.pos >= len(p) && lx.src[lx.pos:lx.pos+len(p)] == p {
+				lx.advance(len(p))
+				return token{kind: tokPunct, text: p, line: line, col: col}, nil
+			}
+		}
+		return token{}, lx.errf(line, col, "unexpected character %q", c)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }

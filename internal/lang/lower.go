@@ -1,0 +1,486 @@
+package lang
+
+import (
+	"fmt"
+
+	"optinline/internal/ir"
+)
+
+// Compile parses, checks, and lowers a MinC source file to an IR module
+// with call-site IDs assigned.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(name, prog)
+}
+
+// MustCompile is Compile that panics on error; for fixed example sources.
+func MustCompile(name, src string) *ir.Module {
+	m, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Lower checks the program and lowers it to IR. Semantics: all values are
+// 64-bit integers; local variables are function-scoped and zero-initialized
+// (a `var` both declares and assigns); globals start at zero; `&&`/`||`
+// short-circuit; functions without a trailing return yield 0.
+func Lower(name string, prog *Program) (*ir.Module, error) {
+	ck := &checker{
+		name:    name,
+		globals: make(map[string]bool),
+		arity:   make(map[string]int),
+	}
+	for _, g := range prog.Globals {
+		if ck.globals[g] {
+			return nil, fmt.Errorf("%s: duplicate global %q", name, g)
+		}
+		ck.globals[g] = true
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := ck.arity[fn.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate function %q", name, fn.Name)
+		}
+		ck.arity[fn.Name] = len(fn.Params)
+	}
+	m := ir.NewModule(name)
+	for _, g := range prog.Globals {
+		m.AddGlobal(g)
+	}
+	for _, fn := range prog.Funcs {
+		f, err := ck.lowerFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		m.AddFunc(f)
+	}
+	m.AssignSites()
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("%s: internal error: lowered module invalid: %w", name, err)
+	}
+	return m, nil
+}
+
+type checker struct {
+	name    string
+	globals map[string]bool
+	arity   map[string]int
+}
+
+// loweringCtx carries per-function lowering state.
+type loweringCtx struct {
+	*checker
+	fn    *FuncDecl
+	b     *ir.Builder
+	vars  []string // params then hoisted locals, in declaration order
+	env   map[string]*ir.Value
+	loops []loopCtx
+}
+
+type loopCtx struct {
+	cont *ir.Block // target of continue (loop head or post block)
+	exit *ir.Block // target of break
+}
+
+func (ck *checker) lowerFunc(fn *FuncDecl) (*ir.Function, error) {
+	lc := &loweringCtx{
+		checker: ck,
+		fn:      fn,
+		env:     make(map[string]*ir.Value),
+	}
+	seen := make(map[string]bool)
+	for _, p := range fn.Params {
+		if seen[p] {
+			return nil, lc.errf(fn.Line, "duplicate parameter %q", p)
+		}
+		seen[p] = true
+		lc.vars = append(lc.vars, p)
+	}
+	// Hoist local variables (C-like function scope).
+	var hoist func(stmts []Stmt) error
+	hoist = func(stmts []Stmt) error {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *VarStmt:
+				if seen[st.Name] {
+					return lc.errf(st.Line, "duplicate variable %q", st.Name)
+				}
+				if ck.globals[st.Name] {
+					return lc.errf(st.Line, "variable %q shadows a global", st.Name)
+				}
+				seen[st.Name] = true
+				lc.vars = append(lc.vars, st.Name)
+			case *IfStmt:
+				if err := hoist(st.Then); err != nil {
+					return err
+				}
+				if err := hoist(st.Else); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				if err := hoist(st.Body); err != nil {
+					return err
+				}
+			case *ForStmt:
+				if st.Init != nil {
+					if err := hoist([]Stmt{st.Init}); err != nil {
+						return err
+					}
+				}
+				if err := hoist(st.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := hoist(fn.Body); err != nil {
+		return nil, err
+	}
+
+	lc.b = ir.NewFunction(fn.Name, len(fn.Params), fn.Exported)
+	for i, p := range fn.Params {
+		lc.env[p] = lc.b.Param(i)
+	}
+	zero := lc.b.Const(0)
+	for _, v := range lc.vars[len(fn.Params):] {
+		lc.env[v] = zero
+	}
+	terminated, err := lc.stmts(fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	if !terminated {
+		lc.b.Ret(lc.b.Const(0))
+	}
+	return lc.b.Fn, nil
+}
+
+func (lc *loweringCtx) errf(line int, format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: func %s: %s", lc.name, line, lc.fn.Name, fmt.Sprintf(format, args...))
+}
+
+// curVals snapshots the variable environment in lc.vars order.
+func (lc *loweringCtx) curVals() []*ir.Value {
+	vals := make([]*ir.Value, len(lc.vars))
+	for i, v := range lc.vars {
+		vals[i] = lc.env[v]
+	}
+	return vals
+}
+
+// bindParams points the environment at a join block's parameters.
+func (lc *loweringCtx) bindParams(b *ir.Block) {
+	for i, v := range lc.vars {
+		lc.env[v] = b.Params[i]
+	}
+}
+
+// joinBlock allocates a block carrying every variable as a parameter.
+func (lc *loweringCtx) joinBlock(name string) *ir.Block {
+	return lc.b.Block(name, len(lc.vars))
+}
+
+// stmts lowers a statement list; it reports whether control definitely
+// leaves the list (return/break/continue), in which case trailing
+// statements are unreachable and skipped.
+func (lc *loweringCtx) stmts(list []Stmt) (terminated bool, err error) {
+	for _, s := range list {
+		t, err := lc.stmt(s)
+		if err != nil {
+			return false, err
+		}
+		if t {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (lc *loweringCtx) stmt(s Stmt) (terminated bool, err error) {
+	switch st := s.(type) {
+	case *VarStmt:
+		v, err := lc.expr(st.Init)
+		if err != nil {
+			return false, err
+		}
+		lc.env[st.Name] = v
+		return false, nil
+	case *AssignStmt:
+		v, err := lc.expr(st.Expr)
+		if err != nil {
+			return false, err
+		}
+		if _, local := lc.env[st.Name]; local {
+			lc.env[st.Name] = v
+			return false, nil
+		}
+		if lc.globals[st.Name] {
+			lc.b.StoreG(st.Name, v)
+			return false, nil
+		}
+		return false, lc.errf(st.Line, "assignment to undeclared variable %q", st.Name)
+	case *ReturnStmt:
+		v, err := lc.expr(st.Expr)
+		if err != nil {
+			return false, err
+		}
+		lc.b.Ret(v)
+		return true, nil
+	case *OutputStmt:
+		v, err := lc.expr(st.Expr)
+		if err != nil {
+			return false, err
+		}
+		lc.b.Output(v)
+		return false, nil
+	case *ExprStmt:
+		_, err := lc.expr(st.Expr)
+		return false, err
+	case *BreakStmt:
+		if len(lc.loops) == 0 {
+			return false, lc.errf(st.Line, "break outside loop")
+		}
+		lp := lc.loops[len(lc.loops)-1]
+		lc.b.Br(lp.exit, lc.curVals()...)
+		return true, nil
+	case *ContinueStmt:
+		if len(lc.loops) == 0 {
+			return false, lc.errf(st.Line, "continue outside loop")
+		}
+		lp := lc.loops[len(lc.loops)-1]
+		lc.b.Br(lp.cont, lc.curVals()...)
+		return true, nil
+	case *IfStmt:
+		return lc.ifStmt(st)
+	case *WhileStmt:
+		return lc.loop(nil, st.Cond, nil, st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			if t, err := lc.stmt(st.Init); err != nil || t {
+				return t, err
+			}
+		}
+		return lc.loop(nil, st.Cond, st.Post, st.Body)
+	}
+	return false, fmt.Errorf("%s: func %s: unknown statement %T", lc.name, lc.fn.Name, s)
+}
+
+func (lc *loweringCtx) ifStmt(st *IfStmt) (bool, error) {
+	cond, err := lc.expr(st.Cond)
+	if err != nil {
+		return false, err
+	}
+	thenB := lc.b.Block("then", 0)
+	var elseB *ir.Block
+	if len(st.Else) > 0 {
+		elseB = lc.b.Block("else", 0)
+	}
+	merge := lc.joinBlock("endif")
+	condVals := lc.curVals()
+	if elseB != nil {
+		lc.b.CondBr(cond, thenB, nil, elseB, nil)
+	} else {
+		lc.b.CondBr(cond, thenB, nil, merge, condVals)
+	}
+	entries := 0
+	if elseB == nil {
+		entries++ // the false edge above
+	}
+
+	condEnv := lc.snapshotEnv()
+	lc.b.SetBlock(thenB)
+	tTerm, err := lc.stmts(st.Then)
+	if err != nil {
+		return false, err
+	}
+	if !tTerm {
+		lc.b.Br(merge, lc.curVals()...)
+		entries++
+	}
+	if elseB != nil {
+		lc.restoreEnv(condEnv)
+		lc.b.SetBlock(elseB)
+		eTerm, err := lc.stmts(st.Else)
+		if err != nil {
+			return false, err
+		}
+		if !eTerm {
+			lc.b.Br(merge, lc.curVals()...)
+			entries++
+		}
+	}
+	if entries == 0 {
+		// Both arms left the function/loop; the merge block is unreachable.
+		// Give it a terminator so the function stays well-formed; the
+		// optimizer removes it.
+		lc.b.SetBlock(merge)
+		lc.bindParams(merge)
+		lc.b.Ret(lc.b.Const(0))
+		return true, nil
+	}
+	lc.b.SetBlock(merge)
+	lc.bindParams(merge)
+	return false, nil
+}
+
+// loop lowers while/for loops. post may be nil; cond may be nil (infinite).
+func (lc *loweringCtx) loop(_ Stmt, cond Expr, post Stmt, body []Stmt) (bool, error) {
+	head := lc.joinBlock("head")
+	exit := lc.joinBlock("endloop")
+	lc.b.Br(head, lc.curVals()...)
+	lc.b.SetBlock(head)
+	lc.bindParams(head)
+	headEnv := lc.snapshotEnv()
+
+	bodyB := lc.b.Block("body", 0)
+	if cond != nil {
+		cv, err := lc.expr(cond)
+		if err != nil {
+			return false, err
+		}
+		lc.b.CondBr(cv, bodyB, nil, exit, lc.curVals())
+	} else {
+		lc.b.Br(bodyB)
+	}
+
+	// continue target: the head for while, a post block for for-loops.
+	contB := head
+	var postB *ir.Block
+	if post != nil {
+		postB = lc.joinBlock("post")
+		contB = postB
+	}
+	lc.restoreEnv(headEnv)
+	lc.b.SetBlock(bodyB)
+	lc.loops = append(lc.loops, loopCtx{cont: contB, exit: exit})
+	bTerm, err := lc.stmts(body)
+	lc.loops = lc.loops[:len(lc.loops)-1]
+	if err != nil {
+		return false, err
+	}
+	if !bTerm {
+		lc.b.Br(contB, lc.curVals()...)
+	}
+	if postB != nil {
+		lc.b.SetBlock(postB)
+		lc.bindParams(postB)
+		if _, err := lc.stmt(post); err != nil {
+			return false, err
+		}
+		lc.b.Br(head, lc.curVals()...)
+	}
+	lc.b.SetBlock(exit)
+	lc.bindParams(exit)
+	return false, nil
+}
+
+func (lc *loweringCtx) snapshotEnv() map[string]*ir.Value {
+	s := make(map[string]*ir.Value, len(lc.env))
+	for k, v := range lc.env {
+		s[k] = v
+	}
+	return s
+}
+
+func (lc *loweringCtx) restoreEnv(s map[string]*ir.Value) {
+	for k, v := range s {
+		lc.env[k] = v
+	}
+}
+
+var binOps = map[string]ir.BinOp{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.Div, "%": ir.Mod,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.Shr,
+	"==": ir.Eq, "!=": ir.Ne, "<": ir.Lt, "<=": ir.Le, ">": ir.Gt, ">=": ir.Ge,
+}
+
+func (lc *loweringCtx) expr(e Expr) (*ir.Value, error) {
+	switch ex := e.(type) {
+	case *NumExpr:
+		return lc.b.Const(ex.Value), nil
+	case *VarExpr:
+		if v, ok := lc.env[ex.Name]; ok {
+			return v, nil
+		}
+		if lc.globals[ex.Name] {
+			return lc.b.LoadG(ex.Name), nil
+		}
+		return nil, lc.errf(ex.Line, "undefined variable %q", ex.Name)
+	case *UnExpr:
+		v, err := lc.expr(ex.E)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "-" {
+			return lc.b.Un(ir.Neg, v), nil
+		}
+		return lc.b.Un(ir.Not, v), nil
+	case *CallExpr:
+		if arity, internal := lc.arity[ex.Name]; internal && arity != len(ex.Args) {
+			return nil, lc.errf(ex.Line, "call to %s with %d args, want %d", ex.Name, len(ex.Args), arity)
+		}
+		args := make([]*ir.Value, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := lc.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return lc.b.Call(ex.Name, args...), nil
+	case *BinExpr:
+		if ex.Op == "&&" || ex.Op == "||" {
+			return lc.shortCircuit(ex)
+		}
+		l, err := lc.expr(ex.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lc.expr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOps[ex.Op]
+		if !ok {
+			return nil, fmt.Errorf("%s: func %s: unknown operator %q", lc.name, lc.fn.Name, ex.Op)
+		}
+		return lc.b.Bin(op, l, r), nil
+	}
+	return nil, fmt.Errorf("%s: func %s: unknown expression %T", lc.name, lc.fn.Name, e)
+}
+
+// shortCircuit lowers && and || with proper evaluation order: the right
+// operand only evaluates when needed.
+func (lc *loweringCtx) shortCircuit(ex *BinExpr) (*ir.Value, error) {
+	l, err := lc.expr(ex.L)
+	if err != nil {
+		return nil, err
+	}
+	zero := lc.b.Const(0)
+	lBool := lc.b.Bin(ir.Ne, l, zero)
+	rhsB := lc.b.Block("sc_rhs", 0)
+	merge := lc.b.Block("sc_end", 1)
+	if ex.Op == "&&" {
+		// false -> 0 without evaluating rhs
+		lc.b.CondBr(lBool, rhsB, nil, merge, []*ir.Value{zero})
+	} else {
+		// true -> 1 without evaluating rhs
+		one := lc.b.Const(1)
+		lc.b.CondBr(lBool, merge, []*ir.Value{one}, rhsB, nil)
+	}
+	lc.b.SetBlock(rhsB)
+	r, err := lc.expr(ex.R)
+	if err != nil {
+		return nil, err
+	}
+	zero2 := lc.b.Const(0)
+	rBool := lc.b.Bin(ir.Ne, r, zero2)
+	lc.b.Br(merge, rBool)
+	lc.b.SetBlock(merge)
+	return merge.Params[0], nil
+}

@@ -1,0 +1,471 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a MinC source file into an AST. name is used in error
+// messages only.
+func Parse(name, src string) (*Program, error) {
+	p := &parser{lx: newLexer(src), name: name}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.isKeyword("global"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, id)
+		case p.isKeyword("export") || p.isKeyword("func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+		default:
+			return nil, p.errf("expected declaration, found %s", p.tok)
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lx   *lexer
+	name string
+	tok  token
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d:%d: %s", p.name, p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return fmt.Errorf("%s:%w", p.name, err)
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == s
+}
+
+func (p *parser) acceptPunct(s string) (bool, error) {
+	if !p.isPunct(s) {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", p.tok)
+	}
+	id := p.tok.text
+	return id, p.advance()
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	fn := &FuncDecl{Line: p.tok.line}
+	if p.isKeyword("export") {
+		fn.Exported = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("func"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fn.Name = name
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		prm, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, prm)
+	}
+	if err := p.advance(); err != nil { // consume ")"
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.isPunct("}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.advance()
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.isKeyword("var"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		init, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name, Init: init, Line: line}, p.expectPunct(";")
+	case p.isKeyword("if"):
+		return p.ifStmt()
+	case p.isKeyword("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.isKeyword("for"):
+		return p.forStmt()
+	case p.isKeyword("return"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Expr: e, Line: line}, p.expectPunct(";")
+	case p.isKeyword("output"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &OutputStmt{Expr: e}, p.expectPunct(";")
+	case p.isKeyword("break"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, p.expectPunct(";")
+	case p.isKeyword("continue"):
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, p.expectPunct(";")
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// simpleStmt parses `x = expr` or a bare expression; when wantSemi is set a
+// trailing ';' is required (for-loop clauses pass false).
+func (p *parser) simpleStmt(wantSemi bool) (Stmt, error) {
+	line := p.tok.line
+	if p.tok.kind == tokIdent {
+		// Lookahead for assignment: ident '=' (but not '==').
+		name := p.tok.text
+		save := *p.lx
+		saveTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("=") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st := &AssignStmt{Name: name, Expr: e, Line: line}
+			if wantSemi {
+				return st, p.expectPunct(";")
+			}
+			return st, nil
+		}
+		*p.lx = save
+		p.tok = saveTok
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	st := &ExprStmt{Expr: e}
+	if wantSemi {
+		return st, p.expectPunct(";")
+	}
+	return st, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.isKeyword("else") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = []Stmt{nested}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{}
+	if !p.isPunct(";") {
+		var err error
+		if p.isKeyword("var") {
+			st.Init, err = p.stmt() // consumes the ';'
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			st.Init, err = p.simpleStmt(false)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		st.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// Operator precedence, lowest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPunct {
+		prec, ok := precedence[p.tok.text]
+		if !ok || prec < minPrec {
+			break
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: op, L: lhs, R: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.isPunct("-") || p.isPunct("!") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: op, E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.tok.kind == tokNumber:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("number out of range")
+		}
+		return &NumExpr{Value: v}, p.advance()
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.acceptPunct("("); err != nil {
+			return nil, err
+		} else if ok {
+			call := &CallExpr{Name: name, Line: line}
+			for !p.isPunct(")") {
+				if len(call.Args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			return call, p.advance()
+		}
+		return &VarExpr{Name: name, Line: line}, nil
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, p.errf("expected expression, found %s", p.tok)
+	}
+}

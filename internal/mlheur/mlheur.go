@@ -1,0 +1,239 @@
+// Package mlheur implements the research direction of the paper's Section 6
+// ("Learning inlining heuristics"): the exhaustive search produces, for the
+// first time, *optimal* inlining decisions to train on — prior learned
+// inliners had to train on heuristic explorations.
+//
+// The model is deliberately simple and dependency-free: logistic regression
+// over hand-picked call-site features, trained with full-batch gradient
+// descent. The point is not model sophistication but the pipeline the
+// paper envisions: exhaustive search -> labeled decisions -> learned
+// heuristic -> compare against the hand-written cost model.
+package mlheur
+
+import (
+	"fmt"
+	"math"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/ir"
+)
+
+// NFeatures is the dimensionality of the call-site feature vector.
+const NFeatures = 10
+
+// FeatureNames documents each feature slot, in order.
+var FeatureNames = [NFeatures]string{
+	"callee_instrs",
+	"callee_blocks",
+	"num_args",
+	"const_args",
+	"caller_instrs",
+	"callee_in_degree",
+	"callee_out_degree",
+	"single_caller_internal",
+	"callee_exported",
+	"callee_has_branches",
+}
+
+// Features is one call site's feature vector.
+type Features [NFeatures]float64
+
+// Extract computes the features of a candidate edge.
+func Extract(m *ir.Module, g *callgraph.Graph, e callgraph.Edge) Features {
+	var x Features
+	callee := m.Func(e.Callee)
+	caller := m.Func(e.Caller)
+	if callee == nil || caller == nil {
+		return x
+	}
+	branches := 0
+	for _, b := range callee.Blocks {
+		if t := b.Term(); t != nil && t.Op == ir.OpCondBr {
+			branches++
+		}
+	}
+	in := g.InDegree(e.Callee)
+	x[0] = float64(callee.NumInstrs())
+	x[1] = float64(len(callee.Blocks))
+	x[2] = float64(e.NumArgs)
+	x[3] = float64(e.ConstArgs)
+	x[4] = float64(caller.NumInstrs())
+	x[5] = float64(in)
+	x[6] = float64(g.OutDegree(e.Callee))
+	if in == 1 && !callee.Exported {
+		x[7] = 1
+	}
+	if callee.Exported {
+		x[8] = 1
+	}
+	x[9] = float64(branches)
+	return x
+}
+
+// Example is one labeled training instance.
+type Example struct {
+	X      Features
+	Inline bool
+}
+
+// Dataset labels every candidate edge of a module with the decision an
+// optimal configuration made for it. Recursive edges are skipped (the
+// search labels them, but the learned heuristic, like the hand-written one,
+// never inlines recursion).
+func Dataset(m *ir.Module, g *callgraph.Graph, optimal *callgraph.Config) []Example {
+	var out []Example
+	for _, e := range g.Edges {
+		if e.Recursive {
+			continue
+		}
+		out = append(out, Example{
+			X:      Extract(m, g, e),
+			Inline: optimal.Inline(e.Site),
+		})
+	}
+	return out
+}
+
+// Model is a logistic-regression inlining policy. W holds one weight per
+// feature plus a bias term in the last slot.
+type Model struct {
+	W     [NFeatures + 1]float64
+	Mean  Features // feature standardization (training-set statistics)
+	Scale Features
+}
+
+// TrainOptions tunes gradient descent; zero values select defaults.
+type TrainOptions struct {
+	Epochs int     // default 400
+	Rate   float64 // default 0.5
+	L2     float64 // default 1e-4
+}
+
+// Train fits a model on the examples with full-batch gradient descent.
+// Training is deterministic: no randomness is involved.
+func Train(examples []Example, opt TrainOptions) (*Model, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("mlheur: empty training set")
+	}
+	if opt.Epochs <= 0 {
+		opt.Epochs = 400
+	}
+	if opt.Rate <= 0 {
+		opt.Rate = 0.5
+	}
+	if opt.L2 <= 0 {
+		opt.L2 = 1e-4
+	}
+	mo := &Model{}
+	// Standardize features.
+	for j := 0; j < NFeatures; j++ {
+		var sum, sq float64
+		for _, ex := range examples {
+			sum += ex.X[j]
+		}
+		mean := sum / float64(len(examples))
+		for _, ex := range examples {
+			d := ex.X[j] - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / float64(len(examples)))
+		if std < 1e-9 {
+			std = 1
+		}
+		mo.Mean[j] = mean
+		mo.Scale[j] = std
+	}
+	n := float64(len(examples))
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		var grad [NFeatures + 1]float64
+		for _, ex := range examples {
+			p := mo.predictStd(mo.standardize(ex.X))
+			y := 0.0
+			if ex.Inline {
+				y = 1
+			}
+			err := p - y
+			std := mo.standardize(ex.X)
+			for j := 0; j < NFeatures; j++ {
+				grad[j] += err * std[j]
+			}
+			grad[NFeatures] += err
+		}
+		for j := 0; j <= NFeatures; j++ {
+			g := grad[j]/n + opt.L2*mo.W[j]
+			mo.W[j] -= opt.Rate * g
+		}
+	}
+	return mo, nil
+}
+
+func (mo *Model) standardize(x Features) Features {
+	var s Features
+	for j := 0; j < NFeatures; j++ {
+		s[j] = (x[j] - mo.Mean[j]) / mo.Scale[j]
+	}
+	return s
+}
+
+func (mo *Model) predictStd(s Features) float64 {
+	z := mo.W[NFeatures]
+	for j := 0; j < NFeatures; j++ {
+		z += mo.W[j] * s[j]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Predict returns the inline probability for a feature vector.
+func (mo *Model) Predict(x Features) float64 {
+	return mo.predictStd(mo.standardize(x))
+}
+
+// Decide reports whether the model inlines a site with the given features.
+func (mo *Model) Decide(x Features) bool { return mo.Predict(x) >= 0.5 }
+
+// Config applies the policy to every candidate edge of a module. Recursive
+// edges are never inlined.
+func (mo *Model) Config(m *ir.Module, g *callgraph.Graph) *callgraph.Config {
+	cfg := callgraph.NewConfig()
+	for _, e := range g.Edges {
+		if e.Recursive {
+			continue
+		}
+		if mo.Decide(Extract(m, g, e)) {
+			cfg.Set(e.Site, true)
+		}
+	}
+	return cfg
+}
+
+// Accuracy returns the fraction of examples the model labels correctly.
+func (mo *Model) Accuracy(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, ex := range examples {
+		if mo.Decide(ex.X) == ex.Inline {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(examples))
+}
+
+// MajorityBaseline returns the accuracy of always predicting the majority
+// class — the bar any useful model must clear.
+func MajorityBaseline(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	inline := 0
+	for _, ex := range examples {
+		if ex.Inline {
+			inline++
+		}
+	}
+	if inline*2 < len(examples) {
+		inline = len(examples) - inline
+	}
+	return float64(inline) / float64(len(examples))
+}

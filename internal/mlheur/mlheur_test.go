@@ -1,0 +1,198 @@
+package mlheur
+
+import (
+	"math"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/search"
+	"optinline/internal/workload"
+)
+
+func TestTrainSeparableConverges(t *testing.T) {
+	// Label = "callee is small": feature 0 below 5.
+	var exs []Example
+	for i := 0; i < 40; i++ {
+		var x Features
+		x[0] = float64(i % 10)
+		exs = append(exs, Example{X: x, Inline: x[0] < 5})
+	}
+	mo, err := Train(exs, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := mo.Accuracy(exs); acc < 0.95 {
+		t.Fatalf("accuracy on separable data: %.2f", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	var exs []Example
+	for i := 0; i < 30; i++ {
+		var x Features
+		x[0] = float64(i)
+		x[3] = float64(i % 3)
+		exs = append(exs, Example{X: x, Inline: i%2 == 0})
+	}
+	a, _ := Train(exs, TrainOptions{})
+	b, _ := Train(exs, TrainOptions{})
+	for j := range a.W {
+		if a.W[j] != b.W[j] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestTrainEmpty(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Fatal("expected error on empty training set")
+	}
+}
+
+func TestPredictMonotoneInWeightedFeature(t *testing.T) {
+	var exs []Example
+	for i := 0; i < 20; i++ {
+		var x Features
+		x[0] = float64(i)
+		exs = append(exs, Example{X: x, Inline: i < 10})
+	}
+	mo, _ := Train(exs, TrainOptions{})
+	var small, large Features
+	small[0], large[0] = 1, 19
+	if mo.Predict(small) <= mo.Predict(large) {
+		t.Fatal("model did not learn that small callees inline")
+	}
+}
+
+func TestMajorityBaseline(t *testing.T) {
+	exs := []Example{{Inline: true}, {Inline: true}, {Inline: false}}
+	if got := MajorityBaseline(exs); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("baseline=%v", got)
+	}
+	if MajorityBaseline(nil) != 0 {
+		t.Fatal("empty baseline")
+	}
+}
+
+// corpusDataset builds a labeled dataset from certified-optimal decisions
+// over a small generated corpus, returning train/test halves by file parity.
+func corpusDataset(t *testing.T) (train, test []Example, testFiles []*compile.Compiler) {
+	t.Helper()
+	p := workload.Profile{
+		Name: "mltrain", Files: 14, TotalEdges: 80,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.35,
+		RecProb: 0.06, BranchProb: 0.5, MultiRootPct: 0.12,
+	}
+	bench := workload.Generate(p)
+	idx := 0
+	for _, f := range bench.Files {
+		c := compile.New(f.Module, codegen.TargetX86)
+		g := c.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		res, ok := search.Optimal(c, search.Options{MaxSpace: 1 << 12})
+		if !ok {
+			continue
+		}
+		ds := Dataset(c.Module(), g, res.Config)
+		if idx%2 == 0 {
+			train = append(train, ds...)
+		} else {
+			test = append(test, ds...)
+			testFiles = append(testFiles, c)
+		}
+		idx++
+	}
+	if len(train) < 10 || len(test) < 10 {
+		t.Skipf("corpus too small: train=%d test=%d", len(train), len(test))
+	}
+	return train, test, testFiles
+}
+
+func TestLearnedPolicyBeatsMajorityOnHeldOut(t *testing.T) {
+	train, test, _ := corpusDataset(t)
+	mo, err := Train(train, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := mo.Accuracy(test)
+	base := MajorityBaseline(test)
+	// The learned policy should at least track the majority class and
+	// usually beat it; a large shortfall means the features are broken.
+	if acc < base-0.05 {
+		t.Fatalf("held-out accuracy %.2f well below majority %.2f", acc, base)
+	}
+}
+
+func TestLearnedConfigIsValidAndComparable(t *testing.T) {
+	train, _, testFiles := corpusDataset(t)
+	mo, err := Train(train, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range testFiles {
+		cfg := mo.Config(c.Module(), c.Graph())
+		for _, e := range c.Graph().Edges {
+			if e.Recursive && cfg.Inline(e.Site) {
+				t.Fatal("learned policy inlined a recursive edge")
+			}
+		}
+		// The configuration must compile and produce a sane size.
+		if size := c.Size(cfg); size <= 0 || size == compile.InfSize {
+			t.Fatalf("learned config size %d", size)
+		}
+	}
+}
+
+func TestFeatureExtraction(t *testing.T) {
+	p := workload.Profile{
+		Name: "mlfeat", Files: 1, TotalEdges: 12,
+		ConstArgProb: 0.5, HubProb: 0.2, BigBodyProb: 0.3, LoopProb: 0.3,
+		RecProb: 0.2, BranchProb: 0.5, MultiRootPct: 0.1,
+	}
+	f := workload.Generate(p).Files[0]
+	c := compile.New(f.Module, codegen.TargetX86)
+	g := c.Graph()
+	for _, e := range g.Edges {
+		x := Extract(c.Module(), g, e)
+		if x[0] <= 0 {
+			t.Fatalf("callee instr count not positive for %s", e.Callee)
+		}
+		if x[2] != float64(e.NumArgs) || x[3] != float64(e.ConstArgs) {
+			t.Fatal("arg features wrong")
+		}
+		if x[5] < 1 {
+			t.Fatal("in-degree must include this edge")
+		}
+	}
+	// Unknown callee: zero vector, no panic.
+	var zero Features
+	if Extract(c.Module(), g, callgraph.Edge{Caller: "nope", Callee: "nada"}) != zero {
+		t.Fatal("missing functions should yield zero features")
+	}
+}
+
+func TestDatasetSkipsRecursive(t *testing.T) {
+	p := workload.Profile{
+		Name: "mlrec", Files: 2, TotalEdges: 16,
+		ConstArgProb: 0.3, HubProb: 0.2, BigBodyProb: 0.2, LoopProb: 0.3,
+		RecProb: 0.6, BranchProb: 0.4, MultiRootPct: 0.1,
+	}
+	for _, f := range workload.Generate(p).Files {
+		c := compile.New(f.Module, codegen.TargetX86)
+		g := c.Graph()
+		rec := 0
+		for _, e := range g.Edges {
+			if e.Recursive {
+				rec++
+			}
+		}
+		ds := Dataset(c.Module(), g, callgraph.NewConfig())
+		if len(ds) != len(g.Edges)-rec {
+			t.Fatalf("dataset size %d, want %d", len(ds), len(g.Edges)-rec)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package opt
+
+import (
+	"fmt"
+
+	"optinline/internal/ir"
+)
+
+// cseBlocks performs local common-subexpression elimination with a
+// dominator-scoped value table: pure instructions computing the same
+// operation over the same operands reuse the earlier result. This matters
+// for inlining studies because inlined bodies frequently recompute
+// expressions already available in the caller (argument massaging,
+// repeated accessor math), so CSE is one of the "further optimizations"
+// inlining enables.
+func cseBlocks(f *ir.Function, st *Stats) bool {
+	idom := f.Dominators()
+	// Process blocks in reverse postorder so dominators come first; each
+	// block's table extends its immediate dominator's.
+	rpo := f.ReversePostorder()
+	tables := make(map[*ir.Block]map[string]*ir.Value, len(rpo))
+	changed := false
+	for _, b := range rpo {
+		var table map[string]*ir.Value
+		if parent := idom[b]; parent != nil && tables[parent] != nil {
+			table = make(map[string]*ir.Value, len(tables[parent]))
+			for k, v := range tables[parent] {
+				table[k] = v
+			}
+		} else {
+			table = make(map[string]*ir.Value)
+		}
+		for _, in := range b.Instrs {
+			key, ok := cseKey(in)
+			if !ok {
+				continue
+			}
+			if prev, seen := table[key]; seen {
+				replaceUses(f, in.Result, prev)
+				st.InstrsRemoved++ // the dead instr is collected by DCE
+				changed = true
+				continue
+			}
+			table[key] = in.Result
+		}
+		tables[b] = table
+	}
+	return changed
+}
+
+// cseKey returns a structural key for pure, value-producing instructions.
+// Loads from globals are excluded: an intervening store or call could
+// change the loaded value.
+func cseKey(in *ir.Instr) (string, bool) {
+	switch in.Op {
+	case ir.OpConst:
+		return fmt.Sprintf("c:%d", in.Const), true
+	case ir.OpUn:
+		return fmt.Sprintf("u:%d:%p", in.UnOp, in.Args[0]), true
+	case ir.OpBin:
+		a, b := in.Args[0], in.Args[1]
+		if commutative(in.BinOp) && fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+			a, b = b, a
+		}
+		return fmt.Sprintf("b:%d:%p:%p", in.BinOp, a, b), true
+	}
+	return "", false
+}
+
+func commutative(op ir.BinOp) bool {
+	switch op {
+	case ir.Add, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Eq, ir.Ne:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package opt
+
+import (
+	"testing"
+
+	"optinline/internal/interp"
+	"optinline/internal/ir"
+)
+
+func countOp(f *ir.Function, op ir.Op) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestCSEWithinBlock(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x, %y) {
+entry:
+  %a = mul %x, %y
+  %b = mul %x, %y
+  %s = add %a, %b
+  ret %s
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if got := countOp(f, ir.OpBin); got != 2 { // one mul + the add
+		t.Fatalf("binops=%d, want 2:\n%s", got, f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{3, 5}, interp.Options{})
+	if res.Ret != 30 {
+		t.Fatalf("f(3,5)=%d", res.Ret)
+	}
+}
+
+func TestCSECommutative(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x, %y) {
+entry:
+  %a = add %x, %y
+  %b = add %y, %x
+  %s = mul %a, %b
+  ret %s
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	adds := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.BinOp == ir.Add {
+				adds++
+			}
+		}
+	}
+	if adds != 1 {
+		t.Fatalf("commutative duplicate not eliminated:\n%s", f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{2, 3}, interp.Options{})
+	if res.Ret != 25 {
+		t.Fatalf("f(2,3)=%d", res.Ret)
+	}
+}
+
+func TestCSENonCommutativeKeepsOrder(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x, %y) {
+entry:
+  %a = sub %x, %y
+  %b = sub %y, %x
+  %s = mul %a, %b
+  output %a
+  output %b
+  ret %s
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	subs := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin && in.BinOp == ir.Sub {
+				subs++
+			}
+		}
+	}
+	if subs != 2 {
+		t.Fatalf("sub wrongly deduplicated:\n%s", f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{7, 2}, interp.Options{})
+	if res.Ret != -25 {
+		t.Fatalf("f(7,2)=%d", res.Ret)
+	}
+}
+
+func TestCSEAcrossDominatingBlocks(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %a = mul %x, %x
+  %c = gt %x, %a
+  condbr %c, yes, no
+yes:
+  %b = mul %x, %x
+  ret %b
+no:
+  %d = mul %x, %x
+  %e = add %d, %a
+  ret %e
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if got := countOp(f, ir.OpBin); got > 3 { // mul + gt + add survive
+		t.Fatalf("dominating CSE missed:\n%s", f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{4}, interp.Options{})
+	if res.Ret != 32 {
+		t.Fatalf("f(4)=%d", res.Ret)
+	}
+}
+
+func TestCSEDoesNotCrossSiblings(t *testing.T) {
+	// Identical expressions in sibling branches must NOT be merged (neither
+	// dominates the other) — but both feed the join, so behaviour is easy
+	// to check.
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %zero = const 0
+  %c = gt %x, %zero
+  condbr %c, yes, no
+yes:
+  %a = mul %x, %x
+  output %a
+  br join(%a)
+no:
+  %b = mul %x, %x
+  br join(%b)
+join(%v):
+  ret %v
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f.String())
+	}
+	for _, arg := range []int64{3, -3} {
+		res, err := interp.Run(m, "f", []int64{arg}, interp.Options{})
+		if err != nil || res.Ret != arg*arg {
+			t.Fatalf("f(%d)=%d err=%v", arg, res.Ret, err)
+		}
+	}
+}
+
+func TestCSEExcludesGlobalLoads(t *testing.T) {
+	m := mustParse(t, `
+global @g
+export func @f(%x) {
+entry:
+  %a = loadg @g
+  storeg @g, %x
+  %b = loadg @g
+  %s = add %a, %b
+  ret %s
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if got := countOp(f, ir.OpLoadG); got != 2 {
+		t.Fatalf("global loads wrongly merged:\n%s", f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{5}, interp.Options{})
+	if res.Ret != 5 { // 0 + 5
+		t.Fatalf("f(5)=%d", res.Ret)
+	}
+}
+
+func TestCSEConstantsDeduplicated(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %a = const 42
+  %b = const 42
+  %p = add %x, %a
+  %q = add %p, %b
+  ret %q
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if got := countOp(f, ir.OpConst); got != 1 {
+		t.Fatalf("constants not deduplicated:\n%s", f.String())
+	}
+}

@@ -1,0 +1,106 @@
+// Package opt implements the intra-procedural optimization pipeline that
+// runs after inlining. These passes are what make inlining decisions
+// interact: inlining a call with constant arguments lets constant
+// propagation fold branches, which removes blocks, which kills code — so
+// the size effect of one inlining decision depends on others, exactly the
+// phenomenon the paper studies.
+//
+// All passes are function-local. The only whole-module transformation is
+// dead-function elimination (RemoveDeadFunctions), which is driven by an
+// explicit removability predicate supplied by the compile driver; keeping it
+// label-based is what makes the paper's search-space partition exact in this
+// substrate (see DESIGN.md).
+package opt
+
+import "optinline/internal/ir"
+
+// MaxIterations bounds the per-function fixpoint loop; the pipeline
+// normally converges in a handful of iterations.
+const MaxIterations = 50
+
+// Stats reports what the pipeline did; used by tests and diagnostics.
+type Stats struct {
+	Iterations     int
+	InstrsRemoved  int
+	BlocksRemoved  int
+	BranchesFolded int
+	ConstsFolded   int
+	ParamsPropped  int
+	FuncsRemoved   int
+}
+
+// Function optimizes a single function to a fixpoint and returns statistics.
+func Function(f *ir.Function) Stats {
+	var st Stats
+	for st.Iterations = 1; st.Iterations <= MaxIterations; st.Iterations++ {
+		changed := false
+		changed = propagateParams(f, &st) || changed
+		changed = foldConstants(f, &st) || changed
+		changed = cseBlocks(f, &st) || changed
+		changed = foldBranches(f, &st) || changed
+		changed = removeUnreachable(f, &st) || changed
+		changed = mergeBlocks(f, &st) || changed
+		changed = removeDeadInstrs(f, &st) || changed
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// Module optimizes every function in the module.
+func Module(m *ir.Module) Stats {
+	var total Stats
+	for _, f := range m.Funcs {
+		st := Function(f)
+		total.InstrsRemoved += st.InstrsRemoved
+		total.BlocksRemoved += st.BlocksRemoved
+		total.BranchesFolded += st.BranchesFolded
+		total.ConstsFolded += st.ConstsFolded
+		total.ParamsPropped += st.ParamsPropped
+		if st.Iterations > total.Iterations {
+			total.Iterations = st.Iterations
+		}
+	}
+	return total
+}
+
+// RemoveDeadFunctions removes every non-exported function for which
+// removable reports true. It returns the number of functions removed.
+//
+// The caller decides removability. The compile driver passes the paper's
+// label-based rule: an internal function is removable iff every original
+// call edge targeting it is labeled "inline".
+func RemoveDeadFunctions(m *ir.Module, removable func(name string) bool) int {
+	n := 0
+	for _, f := range append([]*ir.Function(nil), m.Funcs...) {
+		if f.Exported {
+			continue
+		}
+		if removable(f.Name) {
+			m.RemoveFunc(f.Name)
+			n++
+		}
+	}
+	return n
+}
+
+// replaceUses rewrites every use of old to new throughout the function.
+func replaceUses(f *ir.Function, old, new *ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+			for si := range in.Succs {
+				for i, a := range in.Succs[si].Args {
+					if a == old {
+						in.Succs[si].Args[i] = new
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/inline"
+	"optinline/internal/interp"
+	"optinline/internal/ir"
+)
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse("opt", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %a = const 6
+  %b = const 7
+  %c = mul %a, %b
+  %d = add %c, %x
+  ret %d
+}
+`)
+	f := m.Func("f")
+	st := Function(f)
+	if st.ConstsFolded == 0 {
+		t.Fatal("nothing folded")
+	}
+	// %c must now be const 42, and the dead %a/%b removed.
+	if n := f.NumInstrs(); n != 3 { // const 42, add, ret
+		t.Fatalf("instrs=%d, want 3:\n%s", n, f.String())
+	}
+	res, err := interp.Run(m, "f", []int64{8}, interp.Options{})
+	if err != nil || res.Ret != 50 {
+		t.Fatalf("f(8)=%d err=%v", res.Ret, err)
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %zero = const 0
+  %one = const 1
+  %a = add %x, %zero
+  %b = mul %a, %one
+  %c = mul %b, %zero
+  %d = add %b, %c
+  ret %d
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	// Everything reduces to ret %x with no surviving arithmetic.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBin {
+				t.Fatalf("surviving binop:\n%s", f.String())
+			}
+		}
+	}
+	res, _ := interp.Run(m, "f", []int64{123}, interp.Options{})
+	if res.Ret != 123 {
+		t.Fatalf("f(123)=%d", res.Ret)
+	}
+}
+
+func TestBranchFoldingKillsDeadArm(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %one = const 1
+  condbr %one, live, dead
+live:
+  ret %x
+dead:
+  %big = mul %x, %x
+  %more = add %big, %big
+  output %more
+  ret %more
+}
+`)
+	f := m.Func("f")
+	st := Function(f)
+	if st.BranchesFolded != 1 {
+		t.Fatalf("branches folded = %d", st.BranchesFolded)
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("dead arm survived:\n%s", f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{9}, interp.Options{})
+	if res.Ret != 9 || res.OutputLen != 0 {
+		t.Fatalf("behaviour wrong: %+v", res)
+	}
+}
+
+func TestSameTargetCondBr(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %c = lt %x, %x
+  condbr %c, next, next
+next:
+  ret %x
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("expected full merge:\n%s", f.String())
+	}
+}
+
+func TestParamPropagationThroughSinglePred(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %five = const 5
+  br next(%five)
+next(%v):
+  %c = lt %v, %x
+  condbr %c, yes, no
+yes:
+  %one = const 1
+  ret %one
+no:
+  %zero = const 0
+  ret %zero
+}
+`)
+	f := m.Func("f")
+	st := Function(f)
+	if st.ParamsPropped == 0 {
+		t.Fatal("no params propagated")
+	}
+	res, _ := interp.Run(m, "f", []int64{7}, interp.Options{})
+	if res.Ret != 1 {
+		t.Fatalf("f(7)=%d", res.Ret)
+	}
+	res, _ = interp.Run(m, "f", []int64{3}, interp.Options{})
+	if res.Ret != 0 {
+		t.Fatalf("f(3)=%d", res.Ret)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := mustParse(t, `
+global @g
+export func @f(%x) {
+entry:
+  %dead = mul %x, %x
+  %alsoDead = loadg @g
+  storeg @g, %x
+  %kept = call @ext(%x)
+  output %x
+  ret %x
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	ops := map[ir.Op]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ops[in.Op]++
+		}
+	}
+	if ops[ir.OpBin] != 0 || ops[ir.OpLoadG] != 0 {
+		t.Fatalf("dead pure instrs survived:\n%s", f.String())
+	}
+	if ops[ir.OpStoreG] != 1 || ops[ir.OpCall] != 1 || ops[ir.OpOutput] != 1 {
+		t.Fatalf("side-effecting instrs removed:\n%s", f.String())
+	}
+}
+
+func TestMergeLinearChain(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  br a
+a:
+  %one = const 1
+  %y = add %x, %one
+  br b
+b:
+  %two = const 2
+  %z = mul %y, %two
+  br c
+c:
+  ret %z
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("chain not merged:\n%s", f.String())
+	}
+	res, _ := interp.Run(m, "f", []int64{5}, interp.Options{})
+	if res.Ret != 12 {
+		t.Fatalf("f(5)=%d", res.Ret)
+	}
+}
+
+func TestLoopIsPreserved(t *testing.T) {
+	src := `
+export func @sum(%n) {
+entry:
+  %zero = const 0
+  br head(%zero, %zero)
+head(%i, %acc):
+  %c = lt %i, %n
+  condbr %c, body, exit
+body:
+  %one = const 1
+  %ni = add %i, %one
+  %na = add %acc, %i
+  br head(%ni, %na)
+exit:
+  ret %acc
+}
+`
+	m := mustParse(t, src)
+	f := m.Func("sum")
+	Function(f)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after opt: %v\n%s", err, f.String())
+	}
+	res, _ := interp.Run(m, "sum", []int64{5}, interp.Options{})
+	if res.Ret != 10 {
+		t.Fatalf("sum(5)=%d", res.Ret)
+	}
+}
+
+func TestRemoveDeadFunctions(t *testing.T) {
+	m := mustParse(t, `
+func @internalDead(%x) {
+entry:
+  ret %x
+}
+func @internalKept(%x) {
+entry:
+  ret %x
+}
+export func @main(%x) {
+entry:
+  %r = call @internalKept(%x) !site 1
+  ret %r
+}
+`)
+	n := RemoveDeadFunctions(m, func(name string) bool { return name == "internalDead" })
+	if n != 1 || m.Func("internalDead") != nil || m.Func("internalKept") == nil {
+		t.Fatalf("removed=%d module:\n%s", n, m.String())
+	}
+	// Exported functions are never removed even if flagged.
+	n = RemoveDeadFunctions(m, func(string) bool { return true })
+	if m.Func("main") == nil {
+		t.Fatal("exported function removed")
+	}
+	if n != 1 { // only internalKept
+		t.Fatalf("second pass removed %d", n)
+	}
+}
+
+func TestInlineThenOptimizeEnablesDCE(t *testing.T) {
+	// The callee branches on its argument; after inlining with a constant
+	// argument, the branch folds and the slow path disappears. This is the
+	// core interaction the paper's search exploits.
+	src := `
+func @choose(%flag, %x) {
+entry:
+  condbr %flag, fast, slow
+fast:
+  ret %x
+slow:
+  %a = mul %x, %x
+  %b = mul %a, %x
+  %c = mul %b, %x
+  %d = mul %c, %x
+  ret %d
+}
+export func @main(%x) {
+entry:
+  %one = const 1
+  %r = call @choose(%one, %x) !site 1
+  ret %r
+}
+`
+	m := mustParse(t, src)
+	want, _ := interp.Run(m, "main", []int64{3}, interp.Options{})
+
+	cfg := callgraph.NewConfig().Set(1, true)
+	if err := inline.Apply(m, cfg, inline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	Module(m)
+	got, err := interp.Run(m, "main", []int64{3}, interp.Options{})
+	if err != nil || got.Observable() != want.Observable() {
+		t.Fatalf("behaviour changed: %+v vs %+v (%v)", got, want, err)
+	}
+	main := m.Func("main")
+	if len(main.Blocks) != 1 {
+		t.Fatalf("slow path not eliminated:\n%s", main.String())
+	}
+	for _, in := range main.Blocks[0].Instrs {
+		if in.Op == ir.OpBin && in.BinOp == ir.Mul {
+			t.Fatalf("slow-path mul survived:\n%s", main.String())
+		}
+	}
+}
+
+func TestOptimizeConvergesAndIsIdempotent(t *testing.T) {
+	m := mustParse(t, `
+export func @f(%x) {
+entry:
+  %two = const 2
+  %four = const 4
+  %a = mul %two, %four
+  %c = lt %a, %x
+  condbr %c, yes, no
+yes:
+  br join(%a)
+no:
+  %b = add %a, %x
+  br join(%b)
+join(%v):
+  ret %v
+}
+`)
+	f := m.Func("f")
+	Function(f)
+	text := f.String()
+	st := Function(f)
+	if f.String() != text {
+		t.Fatal("second optimization changed the function")
+	}
+	if st.ConstsFolded+st.BranchesFolded+st.InstrsRemoved+st.ParamsPropped != 0 {
+		t.Fatalf("second run reported work: %+v", st)
+	}
+}
+
+// Property: optimization never changes observable behaviour, on random
+// modules already exercised through random inlining.
+func TestOptimizePreservesSemanticsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		m := randomBranchyModule(rng)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		arg := int64(rng.Intn(20) - 5)
+		want, err := interp.Run(m, "main", []int64{arg}, interp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		Module(m)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("trial %d: post-opt verify: %v\n%s", trial, err, m.String())
+		}
+		got, err := interp.Run(m, "main", []int64{arg}, interp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: post-opt run: %v", trial, err)
+		}
+		if got.Observable() != want.Observable() {
+			t.Fatalf("trial %d: behaviour changed (arg=%d)", trial, arg)
+		}
+	}
+}
+
+func randomBranchyModule(rng *rand.Rand) *ir.Module {
+	m := ir.NewModule("randopt")
+	m.AddGlobal("g")
+	b := ir.NewFunction("main", 1, true)
+	x := b.Param(0)
+	v := x
+	join := b.Block("join", 1)
+	nbranches := 1 + rng.Intn(3)
+	for i := 0; i < nbranches; i++ {
+		c1 := b.Const(int64(rng.Intn(5)))
+		cond := b.Bin(ir.BinOp(int(ir.Eq)+rng.Intn(6)), v, c1)
+		tB := b.Block("", 0)
+		fB := b.Block("", 0)
+		inner := b.Block("", 1)
+		b.CondBr(cond, tB, nil, fB, nil)
+		b.SetBlock(tB)
+		ct := b.Const(int64(rng.Intn(9)))
+		tv := b.Bin(ir.Add, v, ct)
+		b.Br(inner, tv)
+		b.SetBlock(fB)
+		cf := b.Const(int64(1 + rng.Intn(3)))
+		fv := b.Bin(ir.Mul, v, cf)
+		b.Output(fv)
+		b.Br(inner, fv)
+		b.SetBlock(inner)
+		v = inner.Params[0]
+	}
+	b.StoreG("g", v)
+	gv := b.LoadG("g")
+	b.Br(join, gv)
+	b.SetBlock(join)
+	b.Output(join.Params[0])
+	b.Ret(join.Params[0])
+	m.AddFunc(b.Fn)
+	m.AssignSites()
+	return m
+}

@@ -1,0 +1,338 @@
+package opt
+
+import "optinline/internal/ir"
+
+// propagateParams substitutes block parameters of single-predecessor blocks
+// with the argument passed on the unique incoming edge. Combined with block
+// merging this implements the "optimization scope extension" that inlining
+// enables: the inlined callee entry has one predecessor (the call site), so
+// constant call arguments flow straight into the callee body.
+func propagateParams(f *ir.Function, st *Stats) bool {
+	// Count incoming edges (not predecessor blocks: two edges from one
+	// branch count separately because they may pass different arguments).
+	type inEdge struct {
+		instr *ir.Instr
+		succ  int
+	}
+	edges := make(map[*ir.Block][]inEdge)
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for i, s := range t.Succs {
+			edges[s.Dest] = append(edges[s.Dest], inEdge{t, i})
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		if b == f.Entry() || len(b.Params) == 0 {
+			continue
+		}
+		es := edges[b]
+		if len(es) != 1 {
+			continue
+		}
+		e := es[0]
+		args := e.instr.Succs[e.succ].Args
+		// A block cannot feed its own parameters (self-loop): substitution
+		// would be circular. Such a block is unreachable anyway.
+		self := false
+		for _, a := range args {
+			if a.Parm == b {
+				self = true
+				break
+			}
+		}
+		if self {
+			continue
+		}
+		for i, p := range b.Params {
+			replaceUses(f, p, args[i])
+		}
+		b.Params = nil
+		e.instr.Succs[e.succ].Args = nil
+		st.ParamsPropped++
+		changed = true
+	}
+	return changed
+}
+
+// constOf returns the constant value of v if its definition is a constant.
+func constOf(v *ir.Value) (int64, bool) {
+	if v != nil && v.Def != nil && v.Def.Op == ir.OpConst {
+		return v.Def.Const, true
+	}
+	return 0, false
+}
+
+// foldConstants rewrites arithmetic on constants into constants and applies
+// algebraic identities (x+0, x*1, x*0, ...).
+func foldConstants(f *ir.Function, st *Stats) bool {
+	changed := false
+	toConst := func(in *ir.Instr, c int64) {
+		in.Op = ir.OpConst
+		in.Const = c
+		in.Args = nil
+		st.ConstsFolded++
+		changed = true
+	}
+	// identity replaces the instruction's result with an existing value by
+	// rewriting uses; the now-dead instruction is collected by DCE.
+	identity := func(in *ir.Instr, v *ir.Value) {
+		replaceUses(f, in.Result, v)
+		st.ConstsFolded++
+		changed = true
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpUn:
+				if c, ok := constOf(in.Args[0]); ok {
+					if in.UnOp == ir.Neg {
+						toConst(in, -c)
+					} else if c == 0 {
+						toConst(in, 1)
+					} else {
+						toConst(in, 0)
+					}
+				}
+			case ir.OpBin:
+				a, aok := constOf(in.Args[0])
+				bc, bok := constOf(in.Args[1])
+				switch {
+				case aok && bok:
+					toConst(in, evalConstBin(in.BinOp, a, bc))
+				case bok:
+					switch {
+					case bc == 0 && (in.BinOp == ir.Add || in.BinOp == ir.Sub ||
+						in.BinOp == ir.Or || in.BinOp == ir.Xor ||
+						in.BinOp == ir.Shl || in.BinOp == ir.Shr):
+						identity(in, in.Args[0])
+					case bc == 1 && (in.BinOp == ir.Mul || in.BinOp == ir.Div):
+						identity(in, in.Args[0])
+					case bc == 0 && (in.BinOp == ir.Mul || in.BinOp == ir.And ||
+						in.BinOp == ir.Div || in.BinOp == ir.Mod):
+						toConst(in, 0)
+					}
+				case aok:
+					switch {
+					case a == 0 && (in.BinOp == ir.Add || in.BinOp == ir.Or || in.BinOp == ir.Xor):
+						identity(in, in.Args[1])
+					case a == 1 && in.BinOp == ir.Mul:
+						identity(in, in.Args[1])
+					case a == 0 && (in.BinOp == ir.Mul || in.BinOp == ir.And):
+						toConst(in, 0)
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// evalConstBin mirrors the interpreter's total arithmetic. Keeping the two
+// in sync is checked by a differential property test.
+func evalConstBin(op ir.BinOp, a, b int64) int64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case ir.Mod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return a << (uint64(b) & 63)
+	case ir.Shr:
+		return a >> (uint64(b) & 63)
+	case ir.Eq:
+		return b2i(a == b)
+	case ir.Ne:
+		return b2i(a != b)
+	case ir.Lt:
+		return b2i(a < b)
+	case ir.Le:
+		return b2i(a <= b)
+	case ir.Gt:
+		return b2i(a > b)
+	case ir.Ge:
+		return b2i(a >= b)
+	}
+	return 0
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// foldBranches turns conditional branches with constant conditions (or with
+// identical arms) into unconditional branches.
+func foldBranches(f *ir.Function, st *Stats) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		if c, ok := constOf(t.Args[0]); ok {
+			taken := t.Succs[1]
+			if c != 0 {
+				taken = t.Succs[0]
+			}
+			t.Op = ir.OpBr
+			t.Args = nil
+			t.Succs = []ir.Succ{taken}
+			st.BranchesFolded++
+			changed = true
+			continue
+		}
+		if sameSucc(t.Succs[0], t.Succs[1]) {
+			t.Op = ir.OpBr
+			t.Args = nil
+			t.Succs = t.Succs[:1]
+			st.BranchesFolded++
+			changed = true
+		}
+	}
+	return changed
+}
+
+func sameSucc(a, b ir.Succ) bool {
+	if a.Dest != b.Dest || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// removeUnreachable deletes blocks not reachable from the entry.
+func removeUnreachable(f *ir.Function, st *Stats) bool {
+	reach := f.Reachable()
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			st.BlocksRemoved++
+		}
+	}
+	f.Blocks = kept
+	return true
+}
+
+// mergeBlocks splices a block into its unique predecessor when that
+// predecessor ends in an unconditional branch to it.
+func mergeBlocks(f *ir.Function, st *Stats) bool {
+	changed := false
+	for {
+		merged := false
+		predEdges := make(map[*ir.Block]int)
+		predOf := make(map[*ir.Block]*ir.Block)
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil {
+				continue
+			}
+			for _, s := range t.Succs {
+				predEdges[s.Dest]++
+				predOf[s.Dest] = b
+			}
+		}
+		for _, b := range f.Blocks {
+			if b == f.Entry() || predEdges[b] != 1 {
+				continue
+			}
+			p := predOf[b]
+			if p == b {
+				continue
+			}
+			t := p.Term()
+			if t.Op != ir.OpBr {
+				continue
+			}
+			// Substitute params (propagateParams usually did this already,
+			// but merging may expose new single-pred blocks mid-loop).
+			for i, prm := range b.Params {
+				replaceUses(f, prm, t.Succs[0].Args[i])
+			}
+			p.Instrs = p.Instrs[:len(p.Instrs)-1] // drop the br
+			p.Instrs = append(p.Instrs, b.Instrs...)
+			for i, bb := range f.Blocks {
+				if bb == b {
+					f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+					break
+				}
+			}
+			st.BlocksRemoved++
+			merged, changed = true, true
+			break // maps are stale; recompute
+		}
+		if !merged {
+			return changed
+		}
+	}
+}
+
+// removeDeadInstrs deletes pure instructions whose results are unused.
+// Calls, stores, outputs, and terminators are never deleted here.
+func removeDeadInstrs(f *ir.Function, st *Stats) bool {
+	changed := false
+	for {
+		used := make(map[*ir.Value]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+				for _, s := range in.Succs {
+					for _, a := range s.Args {
+						used[a] = true
+					}
+				}
+			}
+		}
+		removedAny := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Result != nil && !used[in.Result] && !in.HasSideEffects() {
+					st.InstrsRemoved++
+					removedAny = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removedAny {
+			return changed
+		}
+		changed = true
+	}
+}

@@ -1,0 +1,379 @@
+// Package outline implements function outlining — the inverse of inlining —
+// for code-size reduction. The paper's related-work section (Chabbi et al.,
+// CGO'21) proposes running an outliner after inlining decisions are tuned
+// "to further reduce code size"; this package provides that combination
+// partner for the autotuner.
+//
+// The outliner finds repeated straightline sequences of pure instructions
+// across the whole module, estimates the byte profit of extracting each
+// repeated shape into a fresh function under the active size model, and
+// rewrites profitable occurrences into calls. Candidate shapes are matched
+// structurally: operands defined inside the window are matched by position,
+// external operands become parameters (matched by first-use order), and
+// constants must agree exactly.
+package outline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"optinline/internal/codegen"
+	"optinline/internal/ir"
+)
+
+// Options bounds the search.
+type Options struct {
+	MinLen    int // minimum window length; default 3
+	MaxLen    int // maximum window length; default 18
+	MaxInputs int // maximum externally defined operands; default 3
+	Target    codegen.Target
+}
+
+func (o Options) normalized() Options {
+	if o.MinLen <= 0 {
+		o.MinLen = 3
+	}
+	if o.MaxLen < o.MinLen {
+		o.MaxLen = 18
+	}
+	if o.MaxInputs <= 0 {
+		o.MaxInputs = 3
+	}
+	return o
+}
+
+// Stats reports what the outliner did.
+type Stats struct {
+	FunctionsCreated int
+	CallsInserted    int
+	InstrsRemoved    int
+	BytesSaved       int // estimated, under the option's size model
+}
+
+// window is one candidate occurrence.
+type window struct {
+	fn    *ir.Function
+	block *ir.Block
+	start int
+	n     int
+	ins   []*ir.Value // external inputs in canonical order
+	out   *ir.Value   // the single outside-visible defined value
+}
+
+// Module outlines repeated sequences in m until no profitable candidate
+// remains. New functions are named outlined_<n>; call sites receive fresh
+// site IDs so the module stays well-formed for downstream tooling.
+func Module(m *ir.Module, opt Options) Stats {
+	opt = opt.normalized()
+	var st Stats
+	for round := 0; ; round++ {
+		if !outlineOnce(m, opt, &st) {
+			break
+		}
+		if round > 64 {
+			break // safety valve
+		}
+	}
+	m.AssignSites()
+	return st
+}
+
+// outlineOnce extracts the single most profitable repeated shape; returns
+// false when nothing profitable remains.
+func outlineOnce(m *ir.Module, opt Options, st *Stats) bool {
+	type group struct {
+		occ     []window
+		bytes   int // encoded size of the window body
+		ninputs int
+	}
+	groups := make(map[string]*group)
+
+	for _, f := range m.Funcs {
+		uses := externalUses(f)
+		for _, b := range f.Blocks {
+			limit := len(b.Instrs) - 1 // exclude the terminator
+			for start := 0; start < limit; start++ {
+				maxN := opt.MaxLen
+				if start+maxN > limit {
+					maxN = limit - start
+				}
+				for n := maxN; n >= opt.MinLen; n-- {
+					w, key, ok := fingerprint(f, b, start, n, opt, uses)
+					if !ok {
+						continue
+					}
+					g := groups[key]
+					if g == nil {
+						g = &group{bytes: windowBytes(b, start, n, opt.Target), ninputs: len(w.ins)}
+						groups[key] = g
+					}
+					g.occ = append(g.occ, w)
+				}
+			}
+		}
+	}
+
+	// Rank candidates by estimated profit, deterministically.
+	type cand struct {
+		key    string
+		g      *group
+		profit int
+	}
+	var cands []cand
+	for key, g := range groups {
+		occ := nonOverlapping(g.occ)
+		if len(occ) < 2 {
+			continue
+		}
+		g.occ = occ
+		profit := estimateProfit(len(occ), g.bytes, g.ninputs, opt.Target)
+		if profit > 0 {
+			cands = append(cands, cand{key: key, g: g, profit: profit})
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].profit != cands[j].profit {
+			return cands[i].profit > cands[j].profit
+		}
+		return cands[i].key < cands[j].key
+	})
+	best := cands[0]
+
+	// Materialize the outlined function from the first occurrence.
+	name := freshName(m)
+	proto := best.g.occ[0]
+	nf := buildOutlined(name, proto)
+	m.AddFunc(nf)
+	st.FunctionsCreated++
+	st.BytesSaved += best.profit
+
+	// Replace occurrences within each block from the highest offset down so
+	// earlier replacements do not shift later window indexes.
+	occ := append([]window(nil), best.g.occ...)
+	sort.Slice(occ, func(i, j int) bool {
+		if occ[i].block != occ[j].block {
+			return occ[i].block.Name < occ[j].block.Name
+		}
+		return occ[i].start > occ[j].start
+	})
+	for _, w := range occ {
+		replaceWindow(w, name)
+		st.CallsInserted++
+		st.InstrsRemoved += w.n - 1
+	}
+	return true
+}
+
+// externalUses maps each value to the number of uses it has in f.
+func externalUses(f *ir.Function) map[*ir.Value][]*ir.Instr {
+	uses := make(map[*ir.Value][]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				uses[a] = append(uses[a], in)
+			}
+			for _, s := range in.Succs {
+				for _, a := range s.Args {
+					uses[a] = append(uses[a], in)
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// fingerprint canonicalizes the window [start, start+n) of b. It fails when
+// the window contains impure or value-less instructions, needs more than
+// MaxInputs external inputs, or defines more than one outside-visible value.
+func fingerprint(f *ir.Function, b *ir.Block, start, n int, opt Options, uses map[*ir.Value][]*ir.Instr) (window, string, bool) {
+	instrs := b.Instrs[start : start+n]
+	inWindow := make(map[*ir.Value]int, n)
+	inside := make(map[*ir.Instr]bool, n)
+	for i, in := range instrs {
+		switch in.Op {
+		case ir.OpConst, ir.OpBin, ir.OpUn:
+		default:
+			return window{}, "", false
+		}
+		inWindow[in.Result] = i
+		inside[in] = true
+	}
+	var ins []*ir.Value
+	inputSlot := make(map[*ir.Value]int)
+	var sb strings.Builder
+	for _, in := range instrs {
+		switch in.Op {
+		case ir.OpConst:
+			fmt.Fprintf(&sb, "c%d;", in.Const)
+		case ir.OpUn:
+			fmt.Fprintf(&sb, "u%d:%s;", in.UnOp, operandKey(in.Args[0], inWindow, inputSlot, &ins))
+		case ir.OpBin:
+			fmt.Fprintf(&sb, "b%d:%s:%s;", in.BinOp,
+				operandKey(in.Args[0], inWindow, inputSlot, &ins),
+				operandKey(in.Args[1], inWindow, inputSlot, &ins))
+		}
+	}
+	if len(ins) > opt.MaxInputs {
+		return window{}, "", false
+	}
+	// Exactly one defined value may be visible outside the window.
+	var out *ir.Value
+	outIdx := -1
+	for i, in := range instrs {
+		visible := false
+		for _, user := range uses[in.Result] {
+			if !inside[user] {
+				visible = true
+				break
+			}
+		}
+		if visible {
+			if out != nil {
+				return window{}, "", false
+			}
+			out = in.Result
+			outIdx = i
+		}
+	}
+	if out == nil {
+		return window{}, "", false // fully dead; DCE territory
+	}
+	fmt.Fprintf(&sb, "out%d", outIdx)
+	return window{fn: f, block: b, start: start, n: n, ins: ins, out: out}, sb.String(), true
+}
+
+func operandKey(v *ir.Value, inWindow map[*ir.Value]int, slot map[*ir.Value]int, ins *[]*ir.Value) string {
+	if i, ok := inWindow[v]; ok {
+		return fmt.Sprintf("w%d", i)
+	}
+	s, ok := slot[v]
+	if !ok {
+		s = len(*ins)
+		slot[v] = s
+		*ins = append(*ins, v)
+	}
+	return fmt.Sprintf("p%d", s)
+}
+
+func windowBytes(b *ir.Block, start, n int, t codegen.Target) int {
+	total := 0
+	for _, in := range b.Instrs[start : start+n] {
+		total += codegen.InstrSize(in, t)
+	}
+	return total
+}
+
+// estimateProfit computes the byte saving of outlining occ occurrences of a
+// shape costing bytes, with ninputs parameters, under the size model.
+func estimateProfit(occ, bytes, ninputs int, t codegen.Target) int {
+	callCost := codegen.InstrSize(&ir.Instr{
+		Op: ir.OpCall, Callee: "x", Args: make([]*ir.Value, ninputs),
+	}, t)
+	retCost := codegen.InstrSize(&ir.Instr{Op: ir.OpRet, Args: make([]*ir.Value, 1)}, t)
+	// Function overhead approximation: prologue + params + ret + alignment
+	// slack; derived from the models via a probe function would be exact,
+	// but a fixed small constant keeps the estimate conservative.
+	funcOverhead := 8 + 2*ninputs + retCost + 3
+	return occ*(bytes-callCost) - (bytes + funcOverhead)
+}
+
+// nonOverlapping greedily filters occurrences so no two share instructions,
+// preferring earlier blocks/offsets for determinism.
+func nonOverlapping(occ []window) []window {
+	sort.Slice(occ, func(i, j int) bool {
+		if occ[i].fn.Name != occ[j].fn.Name {
+			return occ[i].fn.Name < occ[j].fn.Name
+		}
+		if occ[i].block.Name != occ[j].block.Name {
+			return occ[i].block.Name < occ[j].block.Name
+		}
+		return occ[i].start < occ[j].start
+	})
+	var out []window
+	lastEnd := make(map[*ir.Block]int)
+	for _, w := range occ {
+		if end, ok := lastEnd[w.block]; ok && w.start < end {
+			continue
+		}
+		lastEnd[w.block] = w.start + w.n
+		out = append(out, w)
+	}
+	return out
+}
+
+// buildOutlined creates the extracted function from a prototype occurrence.
+func buildOutlined(name string, w window) *ir.Function {
+	nf := &ir.Function{Name: name}
+	entry := nf.NewBlock("entry")
+	vmap := make(map[*ir.Value]*ir.Value)
+	for i, in := range w.ins {
+		p := nf.NewValue(fmt.Sprintf("p%d", i))
+		p.Parm = entry
+		entry.Params = append(entry.Params, p)
+		vmap[in] = p
+	}
+	remap := func(v *ir.Value) *ir.Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v // unreachable if the fingerprint was computed correctly
+	}
+	for _, in := range w.block.Instrs[w.start : w.start+w.n] {
+		ni := &ir.Instr{Op: in.Op, Const: in.Const, BinOp: in.BinOp, UnOp: in.UnOp}
+		for _, a := range in.Args {
+			ni.Args = append(ni.Args, remap(a))
+		}
+		nr := nf.NewValue("")
+		nr.Def = ni
+		ni.Result = nr
+		vmap[in.Result] = nr
+		entry.Instrs = append(entry.Instrs, ni)
+	}
+	entry.Instrs = append(entry.Instrs, &ir.Instr{Op: ir.OpRet, Args: []*ir.Value{vmap[w.out]}})
+	return nf
+}
+
+// replaceWindow rewrites one occurrence into a call to the outlined function.
+func replaceWindow(w window, callee string) {
+	call := &ir.Instr{Op: ir.OpCall, Callee: callee, Args: append([]*ir.Value(nil), w.ins...)}
+	res := w.fn.NewValue("")
+	res.Def = call
+	call.Result = res
+
+	rest := append([]*ir.Instr(nil), w.block.Instrs[w.start+w.n:]...)
+	w.block.Instrs = append(w.block.Instrs[:w.start], call)
+	w.block.Instrs = append(w.block.Instrs, rest...)
+	replaceUses(w.fn, w.out, res)
+}
+
+func replaceUses(f *ir.Function, old, new *ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old && in.Result != new {
+					in.Args[i] = new
+				}
+			}
+			for si := range in.Succs {
+				for i, a := range in.Succs[si].Args {
+					if a == old {
+						in.Succs[si].Args[i] = new
+					}
+				}
+			}
+		}
+	}
+}
+
+func freshName(m *ir.Module) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("outlined_%d", i)
+		if m.Func(name) == nil {
+			return name
+		}
+	}
+}

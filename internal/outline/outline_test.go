@@ -1,0 +1,275 @@
+package outline
+
+import (
+	"fmt"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/interp"
+	"optinline/internal/ir"
+	"optinline/internal/workload"
+)
+
+// dupSrc contains the same pure 10-instruction single-input shape in three
+// functions — long enough that extraction pays for the call sequences and
+// the new function's overhead under the x86 size model.
+const dupSrc = `
+export func @a(%x, %y) {
+entry:
+  %t1 = mul %x, %x
+  %t2 = add %t1, %x
+  %t3 = xor %t2, %x
+  %t4 = mul %t3, %x
+  %t5 = add %t4, %x
+  %t6 = xor %t5, %x
+  %t7 = mul %t6, %x
+  %t8 = add %t7, %x
+  %t9 = xor %t8, %x
+  %t10 = mul %t9, %x
+  %r = add %t10, %y
+  ret %r
+}
+
+export func @b(%p, %q) {
+entry:
+  %u1 = mul %p, %p
+  %u2 = add %u1, %p
+  %u3 = xor %u2, %p
+  %u4 = mul %u3, %p
+  %u5 = add %u4, %p
+  %u6 = xor %u5, %p
+  %u7 = mul %u6, %p
+  %u8 = add %u7, %p
+  %u9 = xor %u8, %p
+  %u10 = mul %u9, %p
+  %r = sub %u10, %q
+  ret %r
+}
+
+export func @c(%m, %n) {
+entry:
+  %v1 = mul %m, %m
+  %v2 = add %v1, %m
+  %v3 = xor %v2, %m
+  %v4 = mul %v3, %m
+  %v5 = add %v4, %m
+  %v6 = xor %v5, %m
+  %v7 = mul %v6, %m
+  %v8 = add %v7, %m
+  %v9 = xor %v8, %m
+  %v10 = mul %v9, %m
+  %r = mul %v10, %n
+  ret %r
+}
+`
+
+func TestOutlineFindsRepeatedShape(t *testing.T) {
+	m := ir.MustParse("dup", dupSrc)
+	before := codegen.ModuleSize(m, codegen.TargetX86)
+	want := map[string][3]uint64{}
+	for _, fn := range []string{"a", "b", "c"} {
+		res, err := interp.Run(m, fn, []int64{5, 7}, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fn] = res.Observable()
+	}
+
+	st := Module(m, Options{Target: codegen.TargetX86, MaxLen: 12})
+	if st.FunctionsCreated == 0 || st.CallsInserted < 3 {
+		t.Fatalf("nothing outlined: %+v\n%s", st, m.String())
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-outline verify: %v\n%s", err, m.String())
+	}
+	after := codegen.ModuleSize(m, codegen.TargetX86)
+	if after >= before {
+		t.Fatalf("outlining did not shrink: %d -> %d", before, after)
+	}
+	for _, fn := range []string{"a", "b", "c"} {
+		res, err := interp.Run(m, fn, []int64{5, 7}, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Observable() != want[fn] {
+			t.Fatalf("%s changed behaviour", fn)
+		}
+	}
+}
+
+func TestOutlineSkipsUnprofitable(t *testing.T) {
+	// Two occurrences of a 3-instruction shape are below the profit line
+	// on x86 (function overhead eats the saving).
+	src := `
+export func @a(%x) {
+entry:
+  %t1 = mul %x, %x
+  %t2 = add %t1, %x
+  %t3 = xor %t2, %x
+  ret %t3
+}
+export func @b(%x) {
+entry:
+  %u1 = mul %x, %x
+  %u2 = add %u1, %x
+  %u3 = xor %u2, %x
+  %r = add %u3, %u3
+  ret %r
+}
+`
+	m := ir.MustParse("small", src)
+	before := codegen.ModuleSize(m, codegen.TargetX86)
+	Module(m, Options{Target: codegen.TargetX86})
+	after := codegen.ModuleSize(m, codegen.TargetX86)
+	if after > before {
+		t.Fatalf("outlining made it worse: %d -> %d", before, after)
+	}
+}
+
+func TestOutlineRespectsSideEffects(t *testing.T) {
+	src := `
+global @g
+export func @a(%x) {
+entry:
+  %t1 = mul %x, %x
+  storeg @g, %t1
+  %t2 = add %t1, %x
+  %t3 = xor %t2, %x
+  %t4 = mul %t3, %t2
+  ret %t4
+}
+export func @b(%x) {
+entry:
+  %u1 = mul %x, %x
+  storeg @g, %u1
+  %u2 = add %u1, %x
+  %u3 = xor %u2, %x
+  %u4 = mul %u3, %u2
+  ret %u4
+}
+`
+	m := ir.MustParse("fx", src)
+	Module(m, Options{Target: codegen.TargetX86})
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Stores must remain in the original functions.
+	for _, fn := range []string{"a", "b"} {
+		found := false
+		for _, b := range m.Func(fn).Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStoreG {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("storeg outlined away from %s", fn)
+		}
+	}
+	m2 := ir.MustParse("fx", src)
+	want, _ := interp.Run(m2, "a", []int64{3}, interp.Options{})
+	got, _ := interp.Run(m, "a", []int64{3}, interp.Options{})
+	if want.Observable() != got.Observable() {
+		t.Fatal("behaviour changed")
+	}
+}
+
+func TestOutlineMultipleOccurrencesInOneBlock(t *testing.T) {
+	block := func(pfx, in string) string {
+		out := ""
+		ops := []string{"mul", "add", "xor", "mul", "add", "xor", "mul", "add", "xor", "mul"}
+		prev := in
+		for i, op := range ops {
+			v := fmt.Sprintf("%%%s%d", pfx, i+1)
+			out += fmt.Sprintf("  %s = %s %s, %s\n", v, op, prev, in)
+			prev = v
+		}
+		return out
+	}
+	src := "export func @f(%x, %y) {\nentry:\n" +
+		block("a", "%x") + block("b", "%y") + block("c", "%x") +
+		"  %s1 = add %a10, %b10\n  %s2 = add %s1, %c10\n  ret %s2\n}\n"
+	m := ir.MustParse("oneblock", src)
+	want, _ := interp.Run(m, "f", []int64{3, 4}, interp.Options{})
+	st := Module(m, Options{Target: codegen.TargetX86, MaxLen: 12})
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, m.String())
+	}
+	got, err := interp.Run(m, "f", []int64{3, 4}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observable() != want.Observable() {
+		t.Fatal("behaviour changed")
+	}
+	if st.CallsInserted < 3 {
+		t.Fatalf("expected 3 occurrences outlined, got %+v\n%s", st, m.String())
+	}
+}
+
+func TestOutlineDeterministic(t *testing.T) {
+	m1 := ir.MustParse("dup", dupSrc)
+	m2 := ir.MustParse("dup", dupSrc)
+	Module(m1, Options{Target: codegen.TargetX86, MaxLen: 12})
+	Module(m2, Options{Target: codegen.TargetX86, MaxLen: 12})
+	if m1.String() != m2.String() {
+		t.Fatal("outlining not deterministic")
+	}
+}
+
+func TestOutlineAfterAutotuneOnCorpus(t *testing.T) {
+	// The combination the paper suggests: tune inlining for size, then
+	// outline the result. Behaviour must be preserved and size must not
+	// grow; usually it shrinks further.
+	p := workload.Profile{
+		Name: "outl", Files: 6, TotalEdges: 50,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.35, LoopProb: 0.35,
+		RecProb: 0.05, BranchProb: 0.45, MultiRootPct: 0.12,
+	}
+	shrunk := 0
+	for _, f := range workload.Generate(p).Files {
+		c := compile.New(f.Module, codegen.TargetX86)
+		g := c.Graph()
+		cfg := heuristic.OsConfig(c.Module(), g)
+		if len(g.Edges) == 0 {
+			cfg = callgraph.NewConfig()
+		}
+		built, err := c.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base interp.Result
+		canRun := false
+		if built.Func("entry") != nil {
+			if r, err := interp.Run(built, "entry", []int64{3}, interp.Options{Fuel: 10_000_000}); err == nil {
+				base, canRun = r, true
+			}
+		}
+		before := codegen.ModuleSize(built, codegen.TargetX86)
+		Module(built, Options{Target: codegen.TargetX86})
+		if err := built.Verify(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		after := codegen.ModuleSize(built, codegen.TargetX86)
+		if after > before {
+			t.Fatalf("%s: outlining grew the module %d -> %d", f.Name, before, after)
+		}
+		if after < before {
+			shrunk++
+		}
+		if canRun {
+			got, err := interp.Run(built, "entry", []int64{3}, interp.Options{Fuel: 10_000_000})
+			if err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+			if got.Observable() != base.Observable() {
+				t.Fatalf("%s: behaviour changed", f.Name)
+			}
+		}
+	}
+	t.Logf("outlining shrank %d files further", shrunk)
+}

@@ -1,0 +1,66 @@
+package search
+
+import "optinline/internal/graph"
+
+// Selector picks the partition edge at a binary node of the inlining tree.
+// The choice does not affect the optimality of the search, only how many
+// configurations it must evaluate (Section 3.2 of the paper).
+type Selector func(mg *graph.Multigraph) graph.Edge
+
+// SelectFirstEdge is the ablation baseline: always partition on the first
+// remaining edge, ignoring graph structure. On bridge-rich graphs this
+// degenerates toward the naive 2^E exploration.
+func SelectFirstEdge(mg *graph.Multigraph) graph.Edge {
+	if len(mg.Edges) == 0 {
+		panic("search: SelectFirstEdge on empty graph")
+	}
+	return mg.Edges[0]
+}
+
+// SelectLowestID partitions on the lowest-numbered edge; another
+// structure-blind baseline that is stable under edge reordering.
+func SelectLowestID(mg *graph.Multigraph) graph.Edge {
+	if len(mg.Edges) == 0 {
+		panic("search: SelectLowestID on empty graph")
+	}
+	best := mg.Edges[0]
+	for _, e := range mg.Edges[1:] {
+		if e.ID < best.ID {
+			best = e
+		}
+	}
+	return best
+}
+
+// SpaceSizeWith counts the recursively partitioned space under an arbitrary
+// partition-edge selector, for ablating the paper's heuristic. Semantics
+// match RecursiveSpaceSize.
+func SpaceSizeWith(g interface{ Undirected() *graph.Multigraph }, cap uint64, sel Selector) (uint64, bool) {
+	return countSpaceSel(g.Undirected(), cap, sel)
+}
+
+func countSpaceSel(mg *graph.Multigraph, cap uint64, sel Selector) (uint64, bool) {
+	if len(mg.Edges) == 0 {
+		return 1, false
+	}
+	subs := edgeComponents(mg)
+	if len(subs) > 1 {
+		total := uint64(1)
+		for _, sub := range subs {
+			n, capped := countSpaceSel(sub, cap, sel)
+			total += n
+			if capped || (cap > 0 && total > cap) {
+				return total, true
+			}
+		}
+		return total, false
+	}
+	e := sel(mg)
+	n1, c1 := countSpaceSel(mg.RemoveEdge(e.ID), cap, sel)
+	if c1 || (cap > 0 && n1 > cap) {
+		return n1, true
+	}
+	n2, c2 := countSpaceSel(mg.ContractEdge(e.ID), cap, sel)
+	total := n1 + n2
+	return total, c2 || (cap > 0 && total > cap)
+}

@@ -1,0 +1,116 @@
+package search
+
+import (
+	"sort"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/graph"
+)
+
+// ChainLengths analyses the inlined call chains of a configuration (paper
+// Figure 9). An inlined call chain is a maximal directed path of
+// inline-labeled edges: it starts at an edge whose caller is not itself the
+// callee of another inlined edge, and its length is the longest run of
+// nested inlined calls from there (cycles are cut, matching the
+// inline-once recursion bound). Chains that share a callee are distinct
+// chains — inlining gives each caller its own copy. The result is one
+// length per chain, ascending.
+func ChainLengths(g *callgraph.Graph, cfg *callgraph.Config) []int {
+	var edges []graph.Edge
+	for _, e := range g.Edges {
+		if cfg.Inline(e.Site) {
+			edges = append(edges, graph.Edge{ID: e.Site, U: g.Index[e.Caller], V: g.Index[e.Callee]})
+		}
+	}
+	if len(edges) == 0 {
+		return nil
+	}
+	adj := make(map[int][]int)   // tail node -> head nodes (inline edges)
+	inDeg := make(map[int]int)   // head node -> #incoming from other nodes
+	tails := make(map[int][]int) // tail node -> edge indices
+	for i, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		if e.U != e.V {
+			inDeg[e.V]++
+		}
+		tails[e.U] = append(tails[e.U], i)
+	}
+
+	// depth(n): longest run of inlined edges starting at node n.
+	memo := make(map[int]int)
+	onPath := make(map[int]bool)
+	var depth func(n int) int
+	depth = func(n int) int {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		if onPath[n] {
+			return 0 // cycle: cut (recursion inlines at most once)
+		}
+		onPath[n] = true
+		best := 0
+		for _, s := range adj[n] {
+			if l := depth(s) + 1; l > best {
+				best = l
+			}
+		}
+		onPath[n] = false
+		memo[n] = best
+		return best
+	}
+
+	var out []int
+	counted := make(map[int]bool) // edge index -> belongs to a counted chain
+	markReachable := func(start int) {
+		// Mark every inline edge reachable from node start as covered.
+		stack := []int{start}
+		seenNode := map[int]bool{start: true}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, ei := range tails[n] {
+				counted[ei] = true
+			}
+			for _, s := range adj[n] {
+				if !seenNode[s] {
+					seenNode[s] = true
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+	for n := range tails {
+		if inDeg[n] == 0 { // chain start: nothing inlines into this caller
+			out = append(out, depth(n))
+			markReachable(n)
+		}
+	}
+	// Pure cycles (e.g. mutual recursion fully inlined) have no start edge;
+	// count one chain per leftover group.
+	for i, e := range edges {
+		if counted[i] {
+			continue
+		}
+		out = append(out, maxInt(depth(e.U), 1))
+		markReachable(e.U)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ChainHistogram buckets chain lengths: hist[k] = number of inlined chains
+// with length exactly k (k >= 1).
+func ChainHistogram(lengths []int) map[int]int {
+	h := make(map[int]int)
+	for _, l := range lengths {
+		h[l]++
+	}
+	return h
+}

@@ -1,0 +1,154 @@
+package search
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/ir"
+)
+
+// figure5Module builds a call structure shaped like the paper's Figure 5:
+// F -> G -> K -> L -> H -> I, a 5-edge path whose central bridge partitions
+// the space.
+func figure5Module(t *testing.T) *ir.Module {
+	t.Helper()
+	src := `
+func @i(%x) {
+entry:
+  %c = const 3
+  %r = mul %x, %c
+  ret %r
+}
+func @h(%x) {
+entry:
+  %r = call @i(%x) !site 5
+  ret %r
+}
+func @l(%x) {
+entry:
+  %r = call @h(%x) !site 4
+  ret %r
+}
+func @k(%x) {
+entry:
+  %r = call @l(%x) !site 3
+  ret %r
+}
+func @g(%x) {
+entry:
+  %r = call @k(%x) !site 2
+  ret %r
+}
+export func @f(%x) {
+entry:
+  %r = call @g(%x) !site 1
+  ret %r
+}
+`
+	m, err := ir.Parse("fig5", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildTreeFigure5(t *testing.T) {
+	m := figure5Module(t)
+	g := callgraph.Build(m)
+	root, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != BinaryNode {
+		t.Fatalf("root kind %v, want binary (connected graph)", root.Kind)
+	}
+	// Not inlining a central bridge must produce a components node.
+	if root.NotInlined.Kind != ComponentsNode {
+		t.Fatalf("no-inline side kind %v, want components\n%s", root.NotInlined.Kind, root)
+	}
+	leaves, comps := root.Count()
+	counted, capped := RecursiveSpaceSize(g, 0)
+	if capped || uint64(leaves+comps) != counted {
+		t.Fatalf("tree count %d+%d != counted space %d", leaves, comps, counted)
+	}
+	// The tree count must beat the naive 2^5 = 32.
+	if leaves+comps >= 32 {
+		t.Fatalf("no reduction: %d", leaves+comps)
+	}
+}
+
+func TestTreeEvaluateMatchesFusedSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	trials := 0
+	for trials < 12 {
+		m := randomModule(rng)
+		c := compile.New(m, codegen.TargetX86)
+		g := c.Graph()
+		if len(g.Edges) == 0 || len(g.Edges) > 9 {
+			continue
+		}
+		trials++
+		root, err := BuildTree(g, 1<<14)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trials, err)
+		}
+		_, treeSize := root.Evaluate(c)
+		res, ok := Optimal(compile.New(m, codegen.TargetX86), Options{})
+		if !ok || treeSize != res.Size {
+			t.Fatalf("trial %d: tree evaluation %d != fused search %d", trials, treeSize, res.Size)
+		}
+	}
+}
+
+func TestBuildTreeCap(t *testing.T) {
+	m := figure5Module(t)
+	g := callgraph.Build(m)
+	_, err := BuildTree(g, 3)
+	if !errors.Is(err, ErrTreeTooLarge) {
+		t.Fatalf("want ErrTreeTooLarge, got %v", err)
+	}
+}
+
+func TestTreeRendering(t *testing.T) {
+	m := figure5Module(t)
+	g := callgraph.Build(m)
+	root, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := root.String()
+	for _, want := range []string{"partition on", "independent components", "leaf", "no-inline", "inline"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, text)
+		}
+	}
+	// Merged node labels must appear once edges are inlined ("g+k" style).
+	if !strings.Contains(text, "+") {
+		t.Fatalf("no merged node labels:\n%s", text)
+	}
+}
+
+func TestTreeLeafDecisionsComplete(t *testing.T) {
+	m := figure5Module(t)
+	g := callgraph.Build(m)
+	root, err := BuildTree(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the always-inline path: every edge should end up labeled.
+	n := root
+	for n.Kind == BinaryNode {
+		n = n.Inlined
+	}
+	if n.Kind != LeafNode {
+		t.Fatalf("all-inline path should end at a leaf, got %v", n.Kind)
+	}
+	if n.Decisions.InlineCount() != len(g.Edges) {
+		t.Fatalf("all-inline leaf has %d labels, want %d", n.Decisions.InlineCount(), len(g.Edges))
+	}
+}

@@ -1,0 +1,35 @@
+// Package source loads program modules for the command-line tools: MinC
+// source (.minc) through the frontend, textual IR (.ir) through the parser.
+package source
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+)
+
+// Load reads the file and compiles/parses it to an IR module based on its
+// extension: ".minc" (MinC source) or ".ir" (textual IR).
+func Load(path string) (*ir.Module, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromBytes(path, data)
+}
+
+// FromBytes compiles source held in memory, dispatching on the extension
+// of name.
+func FromBytes(name string, data []byte) (*ir.Module, error) {
+	switch filepath.Ext(name) {
+	case ".minc":
+		return lang.Compile(name, string(data))
+	case ".ir":
+		return ir.Parse(name, string(data))
+	default:
+		return nil, fmt.Errorf("source: %s: unsupported extension (want .minc or .ir)", name)
+	}
+}

@@ -1,0 +1,66 @@
+package source
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadMinC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.minc")
+	src := "export func main(x) { return x + 1; }"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("main") == nil {
+		t.Fatal("main missing")
+	}
+}
+
+func TestLoadIR(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ir")
+	src := "export func @f(%x) {\nentry:\n  ret %x\n}\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Func("f") == nil {
+		t.Fatal("f missing")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/zzz.minc"); err == nil {
+		t.Fatal("expected file error")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	os.WriteFile(path, []byte("x"), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("expected extension error")
+	}
+	bad := filepath.Join(dir, "bad.minc")
+	os.WriteFile(bad, []byte("func ("), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	if _, err := FromBytes("x.ir", []byte("garbage")); err == nil {
+		t.Fatal("expected IR parse error")
+	}
+	m, err := FromBytes("x.minc", []byte("export func main() { return 7; }"))
+	if err != nil || m.Func("main") == nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+}

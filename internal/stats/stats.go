@@ -1,0 +1,228 @@
+// Package stats provides the small statistical and rendering helpers the
+// experiment harness uses: percentiles, geometric means, histograms, and
+// fixed-width text tables in the spirit of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank
+// on a sorted copy. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Max returns the maximum, or 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum, or 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// values are skipped. It returns 0 if nothing remains.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Sum returns the sum.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Table renders rows as a fixed-width text table with a header row and a
+// separator, right-aligning numeric-looking cells.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) String() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if isNumeric(c) {
+				fmt.Fprintf(&sb, "%*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot, digits := false, false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits = true
+		case r == '-' && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		case r == '%' && i == len(s)-1:
+		case r == 'x' && i == len(s)-1:
+		default:
+			return false
+		}
+	}
+	return digits
+}
+
+// Bar renders a horizontal ASCII bar chart of labeled values scaled to
+// width characters.
+func Bar(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := Max(values)
+	if max <= 0 {
+		max = 1
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		n := int(v / max * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s | %s %.1f\n", lw, labels[i], strings.Repeat("#", n), v)
+	}
+	return sb.String()
+}
+
+// Histogram buckets integer samples and renders counts per bucket.
+func Histogram(samples []int) map[int]int {
+	h := make(map[int]int)
+	for _, s := range samples {
+		h[s]++
+	}
+	return h
+}

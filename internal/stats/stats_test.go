@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 5}, {75, 8}, {95, 10}, {100, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v=%v want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileUnsortedInputUntouched(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if Median(xs) != 3 {
+		t.Fatal("median wrong")
+	}
+	if xs[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean=%v", g)
+	}
+	if g := GeoMean([]float64{4, 0, -1}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean with nonpositive=%v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestMinMaxMeanSum(t *testing.T) {
+	xs := []float64{3, -1, 4}
+	if Min(xs) != -1 || Max(xs) != 4 || Sum(xs) != 6 || Mean(xs) != 2 {
+		t.Fatalf("min/max/sum/mean wrong: %v %v %v %v", Min(xs), Max(xs), Sum(xs), Mean(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Median(xs)
+		return m >= Min(xs) && m <= Max(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"name", "value", "pct"}
+	tb.AddRow("alpha", 42, 3.14159)
+	tb.AddRow("beta-long-name", -7, "12%")
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "3.14") || !strings.Contains(out, "12%") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	out := Bar([]string{"a", "bb"}, []float64{1, 2}, 10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("bar output:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Fatal("half bar missing")
+	}
+	if Bar(nil, nil, 0) != "" {
+		t.Fatal("empty bar should be empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{1, 1, 2, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 1 || len(h) != 3 {
+		t.Fatalf("hist=%v", h)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for s, want := range map[string]bool{
+		"42": true, "-3.5": true, "97%": true, "2x": true,
+		"abc": false, "": false, "1.2.3": false, "-": false,
+	} {
+		if got := isNumeric(s); got != want {
+			t.Errorf("isNumeric(%q)=%v", s, got)
+		}
+	}
+}

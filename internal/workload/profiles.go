@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SPECProfiles returns the 20 benchmark profiles standing in for the C/C++
+// SPEC2017 benchmarks. Edge budgets are the paper's per-benchmark naive
+// search-space sizes (Figure 3) scaled down by roughly 20x, preserving the
+// ordering; shape knobs vary per benchmark so the corpus covers the
+// call-graph structures discussed in the paper.
+func SPECProfiles() []Profile {
+	return []Profile{
+		{Name: "cam4", Files: 2, TotalEdges: 5, TrivialPct: 1,
+			ConstArgProb: 0.3, HubProb: 0.1, BigBodyProb: 0.2, LoopProb: 0.2, RecProb: 0, BranchProb: 0.3, MultiRootPct: 0.1},
+		{Name: "lbm", Files: 2, TotalEdges: 7, TrivialPct: 1,
+			ConstArgProb: 0.2, HubProb: 0.1, BigBodyProb: 0.4, LoopProb: 0.5, RecProb: 0, BranchProb: 0.2, MultiRootPct: 0.1},
+		{Name: "mfc", Files: 2, TotalEdges: 9, TrivialPct: 0.5,
+			ConstArgProb: 0.5, HubProb: 0.2, BigBodyProb: 0.15, LoopProb: 0.3, RecProb: 0, BranchProb: 0.5, MultiRootPct: 0.1},
+		{Name: "xz", Files: 2, TotalEdges: 11, TrivialPct: 0.5,
+			ConstArgProb: 0.3, HubProb: 0.2, BigBodyProb: 0.3, LoopProb: 0.4, RecProb: 0.05, BranchProb: 0.4, MultiRootPct: 0.15},
+		{Name: "deepsjeng", Files: 4, TotalEdges: 16, TrivialPct: 0.25,
+			ConstArgProb: 0.25, HubProb: 0.25, BigBodyProb: 0.3, LoopProb: 0.3, RecProb: 0.1, BranchProb: 0.4, MultiRootPct: 0.15},
+		{Name: "nab", Files: 4, TotalEdges: 20, TrivialPct: 0.25,
+			ConstArgProb: 0.3, HubProb: 0.15, BigBodyProb: 0.35, LoopProb: 0.4, RecProb: 0.02, BranchProb: 0.3, MultiRootPct: 0.1},
+		{Name: "wrf", Files: 5, TotalEdges: 20, TrivialPct: 0.4,
+			ConstArgProb: 0.2, HubProb: 0.1, BigBodyProb: 0.45, LoopProb: 0.5, RecProb: 0, BranchProb: 0.25, MultiRootPct: 0.2},
+		{Name: "pop2", Files: 5, TotalEdges: 26, TrivialPct: 0.4,
+			ConstArgProb: 0.25, HubProb: 0.15, BigBodyProb: 0.4, LoopProb: 0.45, RecProb: 0, BranchProb: 0.3, MultiRootPct: 0.2},
+		{Name: "povray", Files: 6, TotalEdges: 27, TrivialPct: 0.3,
+			ConstArgProb: 0.35, HubProb: 0.3, BigBodyProb: 0.25, LoopProb: 0.3, RecProb: 0.1, BranchProb: 0.45, MultiRootPct: 0.1},
+		{Name: "imagick", Files: 6, TotalEdges: 28, TrivialPct: 0.3,
+			ConstArgProb: 0.4, HubProb: 0.35, BigBodyProb: 0.3, LoopProb: 0.35, RecProb: 0.05, BranchProb: 0.5, MultiRootPct: 0.1},
+		{Name: "x264", Files: 7, TotalEdges: 34, TrivialPct: 0.3,
+			ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.3, LoopProb: 0.45, RecProb: 0.02, BranchProb: 0.4, MultiRootPct: 0.15},
+		{Name: "namd", Files: 7, TotalEdges: 38, TrivialPct: 0.2,
+			ConstArgProb: 0.25, HubProb: 0.2, BigBodyProb: 0.45, LoopProb: 0.5, RecProb: 0, BranchProb: 0.3, MultiRootPct: 0.2},
+		{Name: "perlbench", Files: 9, TotalEdges: 56, TrivialPct: 0.25,
+			ConstArgProb: 0.4, HubProb: 0.35, BigBodyProb: 0.2, LoopProb: 0.3, RecProb: 0.15, BranchProb: 0.55, MultiRootPct: 0.1},
+		{Name: "blender", Files: 12, TotalEdges: 70, TrivialPct: 0.3,
+			ConstArgProb: 0.3, HubProb: 0.25, BigBodyProb: 0.3, LoopProb: 0.35, RecProb: 0.05, BranchProb: 0.4, MultiRootPct: 0.15},
+		{Name: "cactuBSSN", Files: 12, TotalEdges: 76, TrivialPct: 0.2,
+			ConstArgProb: 0.2, HubProb: 0.15, BigBodyProb: 0.5, LoopProb: 0.5, RecProb: 0, BranchProb: 0.25, MultiRootPct: 0.25},
+		{Name: "leela", Files: 13, TotalEdges: 88, TrivialPct: 0.2,
+			ConstArgProb: 0.45, HubProb: 0.3, BigBodyProb: 0.15, LoopProb: 0.25, RecProb: 0.1, BranchProb: 0.55, MultiRootPct: 0.1},
+		{Name: "omnetpp", Files: 14, TotalEdges: 130, TrivialPct: 0.25,
+			ConstArgProb: 0.35, HubProb: 0.3, BigBodyProb: 0.25, LoopProb: 0.3, RecProb: 0.08, BranchProb: 0.5, MultiRootPct: 0.12},
+		{Name: "xalancbmk", Files: 16, TotalEdges: 160, TrivialPct: 0.3,
+			ConstArgProb: 0.4, HubProb: 0.35, BigBodyProb: 0.2, LoopProb: 0.25, RecProb: 0.06, BranchProb: 0.5, MultiRootPct: 0.1},
+		{Name: "gcc", Files: 28, TotalEdges: 250, TrivialPct: 0.35,
+			ConstArgProb: 0.35, HubProb: 0.3, BigBodyProb: 0.3, LoopProb: 0.35, RecProb: 0.12, BranchProb: 0.45, MultiRootPct: 0.15},
+		{Name: "parest", Files: 26, TotalEdges: 260, TrivialPct: 0.25,
+			ConstArgProb: 0.3, HubProb: 0.25, BigBodyProb: 0.35, LoopProb: 0.4, RecProb: 0.04, BranchProb: 0.4, MultiRootPct: 0.18},
+	}
+}
+
+// SPECSuite generates all 20 benchmarks.
+func SPECSuite() []Benchmark {
+	profiles := SPECProfiles()
+	out := make([]Benchmark, len(profiles))
+	for i, p := range profiles {
+		out[i] = Generate(p)
+	}
+	return out
+}
+
+// SPECSpeedSubset returns the benchmark names in the paper's Figure 19
+// SPECspeed measurement (the non-Fortran subset).
+func SPECSpeedSubset() map[string]bool {
+	return map[string]bool{
+		"deepsjeng": true, "gcc": true, "imagick": true, "lbm": true,
+		"leela": true, "mfc": true, "nab": true, "omnetpp": true,
+		"perlbench": true, "x264": true, "xalancbmk": true, "xz": true,
+	}
+}
+
+// SQLiteAmalgamation generates the stand-in for the SQLite amalgamation:
+// one very large translation unit (the paper's file has 18,125 inlinable
+// calls; this one is scaled down ~30x).
+func SQLiteAmalgamation() File {
+	rng := rand.New(rand.NewSource(seedFor("sqlite-amalgamation", 0)))
+	p := Profile{
+		Name:         "sqlite",
+		ConstArgProb: 0.4,
+		HubProb:      0.3,
+		BigBodyProb:  0.25,
+		LoopProb:     0.3,
+		RecProb:      0.08,
+		BranchProb:   0.5,
+		MultiRootPct: 0.12,
+	}
+	return File{
+		Name:   "sqlite3.c",
+		Module: genModule(rng, "sqlite3.c", 600, p),
+	}
+}
+
+// LLVMCodebase generates the stand-in for llvm-project/llvm/lib: files with
+// far larger call graphs than the SPEC-like corpus (paper: median 1,004
+// inlinable calls per file vs 41 for SPEC2017; scaled down ~10x here).
+func LLVMCodebase() Benchmark {
+	b := Benchmark{Name: "llvm-lib"}
+	sizes := []int{60, 80, 90, 110, 120, 150, 170, 210, 260, 340}
+	p := Profile{
+		Name:         "llvm-lib",
+		ConstArgProb: 0.35,
+		HubProb:      0.3,
+		BigBodyProb:  0.3,
+		LoopProb:     0.35,
+		RecProb:      0.1,
+		BranchProb:   0.45,
+		MultiRootPct: 0.15,
+	}
+	for i, edges := range sizes {
+		rng := rand.New(rand.NewSource(seedFor("llvm-lib", i)))
+		name := fmt.Sprintf("llvm/lib/Component%02d.cpp", i)
+		b.Files = append(b.Files, File{Name: name, Module: genModule(rng, name, edges, p)})
+	}
+	return b
+}

@@ -1,0 +1,439 @@
+// Package workload generates the deterministic synthetic program corpora
+// that stand in for the paper's evaluation subjects: the 20 C/C++ SPEC2017
+// benchmarks (populations of translation units with benchmark-specific
+// call-graph shape and size), the SQLite amalgamation (one very large
+// translation unit), and the LLVM codebase (many large files).
+//
+// Everything is seeded and reproducible: the same benchmark name always
+// yields byte-identical modules. Generated programs terminate on any input
+// (loops are constant-bounded, recursion strictly decreases a clamped
+// counter), so they can be executed by the interpreter as well as sized.
+//
+// The generator deliberately produces the structures the paper's analysis
+// cares about: trivial wrappers (inlining shrinks), heavyweight callees
+// (inlining bloats), branches on parameters that fold away under constant
+// arguments, callees with many callers (group-DCE opportunities), bridges
+// and independent components (search-space partitioning), and bounded
+// recursion.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"optinline/internal/ir"
+)
+
+// File is one generated translation unit.
+type File struct {
+	Name   string
+	Module *ir.Module
+}
+
+// Benchmark is a named set of files, the granularity of the paper's
+// per-benchmark figures.
+type Benchmark struct {
+	Name  string
+	Files []File
+}
+
+// TotalEdgesHint returns the approximate number of inlining candidates a
+// profile will generate, used for scheduling in the harness.
+func (p Profile) TotalEdgesHint() int { return p.TotalEdges }
+
+// Profile describes the call-graph population of one benchmark.
+type Profile struct {
+	Name       string
+	Files      int     // number of non-trivial translation units
+	TrivialPct float64 // fraction of additional trivial files (no candidates)
+	TotalEdges int     // approximate candidate call sites across all files
+	// Shape knobs, all 0..1:
+	ConstArgProb float64 // calls passing constant arguments
+	HubProb      float64 // calls targeting a shared "hub" callee
+	BigBodyProb  float64 // functions with heavyweight straightline bodies
+	LoopProb     float64 // functions containing a constant-bounded loop
+	RecProb      float64 // functions with bounded self-recursion
+	BranchProb   float64 // functions guarding on their first parameter
+	MultiRootPct float64 // fraction of extra exported roots
+}
+
+// seedFor derives a stable per-file seed.
+func seedFor(bench string, file int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", bench, file)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Generate produces the benchmark described by the profile.
+func Generate(p Profile) Benchmark {
+	b := Benchmark{Name: p.Name}
+	edgesPerFile := p.TotalEdges / maxi(p.Files, 1)
+	for i := 0; i < p.Files; i++ {
+		rng := rand.New(rand.NewSource(seedFor(p.Name, i)))
+		// Lognormal-ish spread: most files near the mean, a few much larger.
+		target := edgesPerFile/2 + rng.Intn(maxi(edgesPerFile, 1))
+		if rng.Intn(8) == 0 {
+			target *= 2 + rng.Intn(3)
+		}
+		if target < 1 {
+			target = 1
+		}
+		name := fmt.Sprintf("%s/file%03d", p.Name, i)
+		b.Files = append(b.Files, File{Name: name, Module: genModule(rng, name, target, p)})
+	}
+	ntrivial := int(float64(p.Files) * p.TrivialPct)
+	for i := 0; i < ntrivial; i++ {
+		rng := rand.New(rand.NewSource(seedFor(p.Name+"/trivial", i)))
+		name := fmt.Sprintf("%s/trivial%03d", p.Name, i)
+		b.Files = append(b.Files, File{Name: name, Module: genTrivialModule(rng, name)})
+	}
+	return b
+}
+
+// genModule builds one translation unit with roughly targetEdges candidate
+// call sites.
+func genModule(rng *rand.Rand, name string, targetEdges int, p Profile) *ir.Module {
+	m := ir.NewModule(name)
+	m.AddGlobal("state")
+	m.AddGlobal("counter")
+
+	// Function count scales with the edge budget; call fan-out fills the gap.
+	nfuncs := maxi(3, targetEdges*2/3+2)
+	if nfuncs > targetEdges+4 {
+		nfuncs = targetEdges + 4
+	}
+	specs := make([]funcSpec, nfuncs)
+	for i := range specs {
+		specs[i] = funcSpec{
+			name:    fmt.Sprintf("fn%03d", i),
+			nparams: 1 + rng.Intn(2),
+			big:     rng.Float64() < p.BigBodyProb,
+			loop:    rng.Float64() < p.LoopProb,
+			rec:     rng.Float64() < p.RecProb,
+			branch:  rng.Float64() < p.BranchProb,
+		}
+		// Pure forwarding wrappers are common in real code and are what
+		// -Os inlining erases wholesale (they inline to nothing and die
+		// to dead-function elimination).
+		if !specs[i].big && rng.Float64() < 0.3 {
+			specs[i].wrapper = true
+			specs[i].loop, specs[i].rec, specs[i].branch = false, false, false
+		}
+	}
+	// A few hub callees that attract extra callers.
+	nhubs := 1 + nfuncs/8
+	hubs := make([]int, 0, nhubs)
+	for h := 0; h < nhubs; h++ {
+		hubs = append(hubs, nfuncs/2+rng.Intn(nfuncs-nfuncs/2))
+	}
+
+	// Assign callees: calls always target a strictly higher index, which
+	// keeps the static call DAG acyclic (self-recursion aside) and the
+	// dynamic call tree finite.
+	edges := 0
+	for i := 0; i < nfuncs-1 && edges < targetEdges; i++ {
+		ncalls := 1 + rng.Intn(3)
+		if specs[i].big {
+			ncalls = rng.Intn(2)
+		}
+		if specs[i].wrapper {
+			ncalls = 1
+		}
+		for c := 0; c < ncalls && edges < targetEdges; c++ {
+			var callee int
+			if rng.Float64() < p.HubProb {
+				callee = hubs[rng.Intn(len(hubs))]
+			} else {
+				// Nearby callee: produces chains and bridges.
+				callee = i + 1 + rng.Intn(mini(4, nfuncs-i-1))
+			}
+			if callee <= i {
+				callee = i + 1
+			}
+			specs[i].callees = append(specs[i].callees, callee)
+			edges++
+		}
+	}
+
+	// Shared straightline snippets: templates of op/constant chains that
+	// several functions embed verbatim, modelling copy-pasted code and
+	// macro expansions. These are what a post-inlining outliner can
+	// extract (see internal/outline).
+	var snippets [][]snipOp
+	nsnips := 1 + nfuncs/12
+	for sn := 0; sn < nsnips; sn++ {
+		length := 8 + rng.Intn(5)
+		ops := make([]snipOp, length)
+		for i := range ops {
+			ops[i] = snipOp{
+				op:       []ir.BinOp{ir.Add, ir.Mul, ir.Xor, ir.Sub}[rng.Intn(4)],
+				c:        int64(1 + rng.Intn(30)),
+				useParam: rng.Float64() < 0.7,
+			}
+		}
+		snippets = append(snippets, ops)
+	}
+	for i := range specs {
+		if !specs[i].wrapper && rng.Float64() < 0.35 {
+			specs[i].snippet = 1 + rng.Intn(len(snippets))
+		}
+	}
+
+	// Exported roots: the first function plus a sampling of others. Roots
+	// are what keeps code alive; everything else is internal linkage.
+	specs[0].exported = true
+	for i := 1; i < nfuncs; i++ {
+		if rng.Float64() < p.MultiRootPct {
+			specs[i].exported = true
+		}
+	}
+
+	for i := nfuncs - 1; i >= 0; i-- {
+		m.AddFunc(genFunction(rng, specs, i, p, snippets))
+	}
+	genEntry(rng, m, specs)
+	m.AssignSites()
+	return m
+}
+
+type funcSpec struct {
+	name     string
+	nparams  int
+	exported bool
+	big      bool
+	wrapper  bool // body is a pure forwarding call
+	loop     bool
+	rec      bool
+	branch   bool
+	snippet  int // 1-based index of an embedded shared snippet; 0 = none
+	callees  []int
+}
+
+// snipOp is one step of a shared straightline snippet: v = v <op> x when
+// useParam is set, else v = v <op> const. Mostly parameter-based steps keep
+// the shape intact through constant deduplication, as copy-pasted source
+// code would be.
+type snipOp struct {
+	op       ir.BinOp
+	c        int64
+	useParam bool
+}
+
+// genFunction builds the body of specs[i] from the motif knobs.
+func genFunction(rng *rand.Rand, specs []funcSpec, i int, p Profile, snippets [][]snipOp) *ir.Function {
+	sp := specs[i]
+	b := ir.NewFunction(sp.name, sp.nparams, sp.exported)
+	x := b.Param(0)
+	v := x
+
+	if sp.wrapper && len(sp.callees) > 0 {
+		// Pure forwarding: call the callees with the incoming arguments
+		// and combine the results. Nothing else.
+		for _, ci := range sp.callees {
+			callee := specs[ci]
+			args := make([]*ir.Value, callee.nparams)
+			for a := range args {
+				args[a] = x
+			}
+			r := b.Call(callee.name, args...)
+			v = b.Bin(ir.Add, v, r)
+		}
+		b.Ret(v)
+		return b.Fn
+	}
+
+	// Foldable guard: `if (p0 == C) return K;` — collapses under constant
+	// propagation when the call site passes a constant.
+	if sp.branch {
+		c := b.Const(int64(rng.Intn(4)))
+		cond := b.Bin(ir.Eq, x, c)
+		early := b.Block("early", 0)
+		rest := b.Block("rest", 0)
+		b.CondBr(cond, early, nil, rest, nil)
+		b.SetBlock(early)
+		k := b.Const(int64(10 + rng.Intn(90)))
+		b.Ret(k)
+		b.SetBlock(rest)
+	}
+
+	// Bounded self-recursion on a clamped counter.
+	if sp.rec {
+		lim := b.Const(int64(2 + rng.Intn(4)))
+		mcl := b.Bin(ir.Mod, x, lim)
+		zero := b.Const(0)
+		cond := b.Bin(ir.Gt, mcl, zero)
+		recB := b.Block("rec", 0)
+		cont := b.Block("cont", 1)
+		b.CondBr(cond, recB, nil, cont, []*ir.Value{v})
+		b.SetBlock(recB)
+		one := b.Const(1)
+		dec := b.Bin(ir.Sub, mcl, one)
+		args := []*ir.Value{dec}
+		for a := 1; a < sp.nparams; a++ {
+			args = append(args, dec)
+		}
+		r := b.Call(sp.name, args...)
+		acc := b.Bin(ir.Add, r, v)
+		b.Br(cont, acc)
+		b.SetBlock(cont)
+		v = b.Cur.Params[0]
+	}
+
+	// Body weight: most functions are small (real code is dominated by
+	// accessors and thin wrappers — that is what makes -Os inlining pay),
+	// some are heavyweight straightline blocks.
+	steps := 1 + rng.Intn(2)
+	if rng.Intn(3) == 0 {
+		steps += 2 + rng.Intn(3)
+	}
+	if sp.big {
+		steps = 10 + rng.Intn(14)
+	}
+	for s := 0; s < steps; s++ {
+		switch rng.Intn(6) {
+		case 0:
+			c := b.Const(int64(rng.Intn(64)))
+			v = b.Bin(ir.Add, v, c)
+		case 1:
+			c := b.Const(int64(1 + rng.Intn(7)))
+			v = b.Bin(ir.Mul, v, c)
+		case 2:
+			c := b.Const(int64(1 + rng.Intn(15)))
+			v = b.Bin(ir.Xor, v, c)
+		case 3:
+			v = b.Bin(ir.Add, v, x)
+		case 4:
+			c := b.Const(int64(1 + rng.Intn(5)))
+			v = b.Bin(ir.Shr, v, c)
+		case 5:
+			if sp.nparams > 1 {
+				v = b.Bin(ir.Add, v, b.Param(1))
+			} else {
+				v = b.Un(ir.Neg, v)
+			}
+		}
+	}
+
+	// Embedded shared snippet (verbatim repeated across functions).
+	if sp.snippet > 0 && sp.snippet <= len(snippets) {
+		for _, op := range snippets[sp.snippet-1] {
+			if op.useParam {
+				v = b.Bin(op.op, v, x)
+			} else {
+				c := b.Const(op.c)
+				v = b.Bin(op.op, v, c)
+			}
+		}
+	}
+
+	// Constant-bounded loop (no calls inside: keeps dynamic cost bounded).
+	if sp.loop {
+		k := b.Const(int64(2 + rng.Intn(5)))
+		zero := b.Const(0)
+		head := b.Block("head", 2)
+		body := b.Block("body", 0)
+		exit := b.Block("exit", 0)
+		b.Br(head, zero, v)
+		b.SetBlock(head)
+		iv, acc := head.Params[0], head.Params[1]
+		cond := b.Bin(ir.Lt, iv, k)
+		b.CondBr(cond, body, nil, exit, nil)
+		b.SetBlock(body)
+		one := b.Const(1)
+		ni := b.Bin(ir.Add, iv, one)
+		na := b.Bin(ir.Add, acc, iv)
+		b.Br(head, ni, na)
+		b.SetBlock(exit)
+		v = acc
+	}
+
+	// Calls to assigned callees.
+	for _, ci := range sp.callees {
+		callee := specs[ci]
+		args := make([]*ir.Value, callee.nparams)
+		for a := range args {
+			if rng.Float64() < p.ConstArgProb {
+				args[a] = b.Const(int64(rng.Intn(6)))
+			} else {
+				args[a] = v
+			}
+		}
+		r := b.Call(callee.name, args...)
+		v = b.Bin(ir.Add, v, r)
+	}
+
+	// Occasional observable side effect.
+	switch rng.Intn(5) {
+	case 0:
+		b.Output(v)
+	case 1:
+		b.StoreG("state", v)
+		g := b.LoadG("state")
+		v = b.Bin(ir.Add, v, g)
+	}
+	b.Ret(v)
+	return b.Fn
+}
+
+// genEntry appends the exported driver that experiments execute.
+func genEntry(rng *rand.Rand, m *ir.Module, specs []funcSpec) {
+	b := ir.NewFunction("entry", 1, true)
+	x := b.Param(0)
+	acc := b.Const(0)
+	for i, sp := range specs {
+		if !sp.exported && i != 0 {
+			continue
+		}
+		args := make([]*ir.Value, sp.nparams)
+		for a := range args {
+			if rng.Intn(2) == 0 {
+				args[a] = b.Const(int64(rng.Intn(5)))
+			} else {
+				args[a] = x
+			}
+		}
+		r := b.Call(sp.name, args...)
+		acc = b.Bin(ir.Add, acc, r)
+	}
+	b.Output(acc)
+	b.Ret(acc)
+	m.AddFunc(b.Fn)
+}
+
+// genTrivialModule builds a file that needs no inlining decisions: leaf
+// functions and calls that leave the module (the paper's 746 trivial files).
+func genTrivialModule(rng *rand.Rand, name string) *ir.Module {
+	m := ir.NewModule(name)
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		b := ir.NewFunction(fmt.Sprintf("leaf%d", i), 1, true)
+		v := b.Param(0)
+		for s := 0; s < 2+rng.Intn(4); s++ {
+			c := b.Const(int64(rng.Intn(32)))
+			v = b.Bin(ir.Add, v, c)
+		}
+		if rng.Intn(2) == 0 {
+			r := b.Call("lib_external", v)
+			v = b.Bin(ir.Xor, v, r)
+		}
+		b.Ret(v)
+		m.AddFunc(b.Fn)
+	}
+	m.AssignSites()
+	return m
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

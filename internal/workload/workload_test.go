@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/inline"
+	"optinline/internal/interp"
+	"optinline/internal/search"
+)
+
+func smallProfile() Profile {
+	return Profile{
+		Name: "testbench", Files: 4, TotalEdges: 24, TrivialPct: 0.5,
+		ConstArgProb: 0.4, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.4,
+		RecProb: 0.15, BranchProb: 0.5, MultiRootPct: 0.15,
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(smallProfile())
+	b := Generate(smallProfile())
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("file counts differ")
+	}
+	for i := range a.Files {
+		if a.Files[i].Module.String() != b.Files[i].Module.String() {
+			t.Fatalf("file %d differs across generations", i)
+		}
+	}
+}
+
+func TestGeneratedModulesVerify(t *testing.T) {
+	bench := Generate(smallProfile())
+	if len(bench.Files) != 6 { // 4 regular + 2 trivial
+		t.Fatalf("files=%d, want 6", len(bench.Files))
+	}
+	for _, f := range bench.Files {
+		if err := f.Module.Verify(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+	}
+}
+
+func TestGeneratedModulesRun(t *testing.T) {
+	bench := Generate(smallProfile())
+	for _, f := range bench.Files {
+		entry := "entry"
+		if f.Module.Func(entry) == nil {
+			entry = f.Module.Funcs[0].Name // trivial files: first leaf
+		}
+		for _, arg := range []int64{0, 1, 7} {
+			res, err := interp.Run(f.Module, entry, []int64{arg}, interp.Options{Fuel: 5_000_000})
+			if err != nil {
+				t.Fatalf("%s(%d): %v", f.Name, arg, err)
+			}
+			_ = res
+		}
+	}
+}
+
+func TestTrivialFilesHaveNoCandidates(t *testing.T) {
+	bench := Generate(smallProfile())
+	regular, trivial := 0, 0
+	for _, f := range bench.Files {
+		g := callgraph.Build(f.Module)
+		if len(g.Edges) == 0 {
+			trivial++
+		} else {
+			regular++
+		}
+	}
+	if trivial < 2 || regular < 4 {
+		t.Fatalf("regular=%d trivial=%d", regular, trivial)
+	}
+}
+
+func TestEdgeBudgetRoughlyMet(t *testing.T) {
+	p := smallProfile()
+	bench := Generate(p)
+	total := 0
+	for _, f := range bench.Files {
+		total += len(callgraph.Build(f.Module).Edges)
+	}
+	if total < p.TotalEdges/3 || total > p.TotalEdges*3 {
+		t.Fatalf("edge budget %d, generated %d", p.TotalEdges, total)
+	}
+}
+
+func TestGeneratedInliningPreservesSemantics(t *testing.T) {
+	// End-to-end on generated code: random configurations must not change
+	// observable behaviour.
+	bench := Generate(smallProfile())
+	for _, f := range bench.Files {
+		if f.Module.Func("entry") == nil {
+			continue
+		}
+		g := callgraph.Build(f.Module)
+		if len(g.Edges) == 0 || len(g.Edges) > 12 {
+			continue
+		}
+		base, err := interp.Run(f.Module, "entry", []int64{3}, interp.Options{Fuel: 5_000_000})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		for mask := 0; mask < 1<<len(g.Edges); mask += 3 {
+			cfg := callgraph.NewConfig()
+			for i, e := range g.Edges {
+				if mask&(1<<i) != 0 {
+					cfg.Set(e.Site, true)
+				}
+			}
+			m := f.Module.Clone()
+			if err := inline.Apply(m, cfg, inline.Options{}); err != nil {
+				t.Fatalf("%s %v: %v", f.Name, cfg, err)
+			}
+			got, err := interp.Run(m, "entry", []int64{3}, interp.Options{Fuel: 5_000_000})
+			if err != nil {
+				t.Fatalf("%s %v: %v", f.Name, cfg, err)
+			}
+			if got.Observable() != base.Observable() {
+				t.Fatalf("%s %v: behaviour changed", f.Name, cfg)
+			}
+		}
+	}
+}
+
+func TestSPECProfilesShape(t *testing.T) {
+	profiles := SPECProfiles()
+	if len(profiles) != 20 {
+		t.Fatalf("got %d profiles, want 20", len(profiles))
+	}
+	names := make(map[string]bool)
+	prev := 0
+	for _, p := range profiles {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.TotalEdges < prev {
+			t.Fatalf("profiles not ordered by edge budget at %s", p.Name)
+		}
+		prev = p.TotalEdges
+		if p.Files < 1 {
+			t.Fatalf("%s has no files", p.Name)
+		}
+	}
+	for n := range SPECSpeedSubset() {
+		if !names[n] {
+			t.Fatalf("SPECspeed name %s not a benchmark", n)
+		}
+	}
+}
+
+func TestSQLiteAmalgamation(t *testing.T) {
+	f := SQLiteAmalgamation()
+	if err := f.Module.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	g := callgraph.Build(f.Module)
+	if len(g.Edges) < 300 {
+		t.Fatalf("amalgamation too small: %d edges", len(g.Edges))
+	}
+	// It must be compilable under a configuration.
+	c := compile.New(f.Module, codegen.TargetX86)
+	if c.Size(callgraph.NewConfig()) <= 0 {
+		t.Fatal("size not positive")
+	}
+}
+
+func TestLLVMCodebase(t *testing.T) {
+	b := LLVMCodebase()
+	if len(b.Files) < 8 {
+		t.Fatalf("files=%d", len(b.Files))
+	}
+	total := 0
+	for _, f := range b.Files {
+		if err := f.Module.Verify(); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		total += len(callgraph.Build(f.Module).Edges)
+	}
+	if total < 800 {
+		t.Fatalf("llvm corpus too small: %d edges", total)
+	}
+}
+
+func TestSearchSpaceIsPartitionable(t *testing.T) {
+	// The generator must produce bridge-rich graphs so the recursive
+	// partition actually reduces the space (the paper's Table 1).
+	bench := Generate(Profile{
+		Name: "partition", Files: 6, TotalEdges: 60,
+		ConstArgProb: 0.3, HubProb: 0.2, BigBodyProb: 0.3, LoopProb: 0.3,
+		RecProb: 0.05, BranchProb: 0.4, MultiRootPct: 0.15,
+	})
+	reduced := 0
+	eligible := 0
+	for _, f := range bench.Files {
+		g := callgraph.Build(f.Module)
+		if len(g.Edges) < 6 {
+			continue
+		}
+		eligible++
+		rec, capped := search.RecursiveSpaceSize(g, 1<<22)
+		if capped {
+			continue
+		}
+		if float64(rec) < float64(uint64(1)<<uint(len(g.Edges)))*0.75 {
+			reduced++
+		}
+	}
+	if eligible == 0 || reduced*2 < eligible {
+		t.Fatalf("partitioning ineffective: %d/%d files reduced", reduced, eligible)
+	}
+}

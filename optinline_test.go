@@ -1,0 +1,195 @@
+package optinline
+
+import (
+	"strings"
+	"testing"
+)
+
+const demo = `
+global tally;
+
+func helper(x) {
+  if (x == 0) { return 1; }
+  return x * x + 3;
+}
+
+func wrapper(x) {
+  return helper(x) + 1;
+}
+
+func heavy(x) {
+  var acc = x;
+  for (var i = 0; i < 5; i = i + 1) {
+    acc = acc * 3 + i ^ 7;
+    acc = acc >> 1;
+  }
+  return acc;
+}
+
+export func main(n) {
+  var a = wrapper(n);
+  var b = helper(0);
+  var c = heavy(n) + heavy(a);
+  tally = a + b + c;
+  output tally;
+  return tally;
+}
+`
+
+func compileDemo(t *testing.T) *Program {
+	t.Helper()
+	p, err := Compile("demo.minc", demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileAndCounts(t *testing.T) {
+	p := compileDemo(t)
+	if p.NumCallSites() != 5 {
+		t.Fatalf("call sites = %d, want 5", p.NumCallSites())
+	}
+	if p.NumFunctions() != 4 {
+		t.Fatalf("functions = %d, want 4", p.NumFunctions())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("x.minc", "func broken("); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := Compile("x.txt", "whatever"); err == nil {
+		t.Fatal("expected unsupported-extension error")
+	}
+}
+
+func TestSizesOrdering(t *testing.T) {
+	p := compileDemo(t)
+	opt, ok := p.Optimal(1 << 16)
+	if !ok {
+		t.Fatal("search aborted")
+	}
+	if opt.Size > p.HeuristicSize() || opt.Size > p.NoInlineSize() {
+		t.Fatalf("optimal %d worse than heuristic %d or no-inline %d",
+			opt.Size, p.HeuristicSize(), p.NoInlineSize())
+	}
+	tuned := p.Autotune(TuneOptions{Rounds: 4})
+	if tuned.Size > p.HeuristicSize() {
+		t.Fatalf("autotuner %d worse than heuristic %d", tuned.Size, p.HeuristicSize())
+	}
+	if tuned.Size < opt.Size {
+		t.Fatal("autotuner beat the certified optimum")
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	p := compileDemo(t)
+	sp := p.Space(0)
+	if sp.CallSites != 5 || sp.NaiveLog2 != 5 {
+		t.Fatalf("space: %+v", sp)
+	}
+	if sp.Recursive == 0 || sp.RecursiveOver {
+		t.Fatalf("recursive count: %+v", sp)
+	}
+	capped := p.Space(1)
+	if !capped.RecursiveOver {
+		t.Fatal("cap not reported")
+	}
+}
+
+func TestRunPreservedAcrossDecisions(t *testing.T) {
+	p := compileDemo(t)
+	base, err := p.Run(p.NoInlining(), "main", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := p.Run(p.Heuristic(), "main", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := p.Autotune(TuneOptions{Rounds: 2})
+	tr, err := p.Run(tuned.Decisions, "main", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Ret != heur.Ret || base.Ret != tr.Ret {
+		t.Fatalf("return values diverge: %d %d %d", base.Ret, heur.Ret, tr.Ret)
+	}
+	if base.Outputs != heur.Outputs || base.Outputs != tr.Outputs {
+		t.Fatal("output counts diverge")
+	}
+	// Inlining removes dynamic calls.
+	if heur.DynCalls >= base.DynCalls {
+		t.Fatalf("heuristic inlining should cut calls: %d vs %d", heur.DynCalls, base.DynCalls)
+	}
+}
+
+func TestDecisionsIntrospection(t *testing.T) {
+	p := compileDemo(t)
+	h := p.Heuristic()
+	if len(h.InlinedSites()) == 0 {
+		t.Fatal("heuristic inlined nothing")
+	}
+	dot := h.DOT("demo")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "solid") {
+		t.Fatalf("DOT output:\n%s", dot)
+	}
+	if len(p.NoInlining().InlinedSites()) != 0 {
+		t.Fatal("clean slate not clean")
+	}
+}
+
+func TestListingAndIR(t *testing.T) {
+	p := compileDemo(t)
+	l, err := p.Listing(p.Heuristic())
+	if err != nil || !strings.Contains(l, "main:") {
+		t.Fatalf("listing: %v\n%s", err, l)
+	}
+	irText, err := p.IR(p.Heuristic())
+	if err != nil || !strings.Contains(irText, "export func @main") {
+		t.Fatalf("IR: %v", err)
+	}
+}
+
+func TestWASMTargetDiffers(t *testing.T) {
+	x86, err := CompileFor("demo.minc", demo, TargetX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasm, err := CompileFor("demo.minc", demo, TargetWASM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x86.NoInlineSize() == wasm.NoInlineSize() {
+		t.Fatal("targets should produce different sizes")
+	}
+}
+
+func TestTuneRoundsReported(t *testing.T) {
+	p := compileDemo(t)
+	res := p.Autotune(TuneOptions{Rounds: 3, Init: InitHeuristic})
+	if len(res.Rounds) == 0 || res.Compilations == 0 {
+		t.Fatalf("rounds/compilations not reported: %+v", res)
+	}
+	for _, r := range res.Rounds {
+		if r.Inlined+r.NotInlined != p.NumCallSites() {
+			t.Fatalf("round counts wrong: %+v", r)
+		}
+	}
+}
+
+func TestIRRoundTripThroughFacade(t *testing.T) {
+	p := compileDemo(t)
+	text, err := p.IR(p.NoInlining())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Compile("demo.ir", text)
+	if err != nil {
+		t.Fatalf("re-parse of emitted IR failed: %v", err)
+	}
+	if q.NoInlineSize() != p.NoInlineSize() {
+		t.Fatal("size changed across IR round trip")
+	}
+}
