@@ -217,6 +217,107 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchSequentialVsParallel measures the exhaustive search at
+// different worker counts on the same translation unit. A fresh compiler
+// per iteration keeps the caches cold, so the measured work is the full
+// recursive search. Recorded in BENCH_search.json.
+func BenchmarkSearchSequentialVsParallel(b *testing.B) {
+	// Pick the generated unit with the largest recursive space that still
+	// fits the cap; the scan is bounded so a hostile generator can't hang
+	// the benchmark.
+	var f workload.File
+	var best uint64
+	for e := 10; e <= 48; e++ {
+		cand := benchFile(e)
+		c := compile.New(cand.Module, codegen.TargetX86)
+		if n, capped := search.RecursiveSpaceSize(c.Graph(), 1<<12); !capped && n > best {
+			f, best = cand, n
+		}
+	}
+	if best == 0 {
+		b.Fatal("no searchable unit under the cap")
+	}
+	b.Logf("unit: %d-evaluation recursive space", best)
+	for _, jobs := range []int{-1, 2, 4, 8} {
+		name := fmt.Sprintf("jobs=%d", jobs)
+		if jobs < 0 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				comp := compile.New(f.Module, codegen.TargetX86)
+				if _, ok := search.Optimal(comp, search.Options{Workers: jobs, MaxSpace: 1 << 12}); !ok {
+					b.Fatal("aborted")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSizeCachedVsUncached measures an autotuner-shaped workload — a
+// base configuration plus every single-site toggle — with the per-component
+// memo cache on and off. With the cache, toggling one site only recompiles
+// that site's connected component; without it, every probe pays a full
+// whole-module pipeline. Recorded in BENCH_search.json.
+func BenchmarkSizeCachedVsUncached(b *testing.B) {
+	// The memo path pays off when the candidate graph has several
+	// components (a toggle recompiles one component, not the module), so
+	// scan the generator for the most fragmented unit — the realistic
+	// shape: real translation units hold many unrelated call clusters.
+	var f workload.File
+	bestComps := 0
+	for e := 30; e <= 70; e += 4 {
+		p := workload.Profile{
+			Name: "bench-memo", Files: 4, TotalEdges: e,
+			ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.35,
+			RecProb: 0.08, BranchProb: 0.45, MultiRootPct: 0.3,
+		}
+		for _, cand := range workload.Generate(p).Files {
+			g := callgraph.Build(cand.Module)
+			if len(g.Edges) < 20 {
+				continue
+			}
+			comps := 0
+			for _, comp := range g.Undirected().ConnectedComponents() {
+				if len(comp) > 1 {
+					comps++
+				}
+			}
+			if comps > bestComps {
+				f, bestComps = cand, comps
+			}
+		}
+	}
+	if bestComps == 0 {
+		b.Fatal("no multi-component unit found")
+	}
+	b.Logf("unit: %d edge-bearing components", bestComps)
+	probe := compile.New(f.Module, codegen.TargetX86)
+	sites := probe.Graph().Sites()
+	base := heuristic.OsConfig(probe.Module(), probe.Graph())
+	configs := []*callgraph.Config{base}
+	for _, s := range sites {
+		c := base.Clone()
+		c.Set(s, !base.Inline(s))
+		configs = append(configs, c)
+	}
+	run := func(b *testing.B, memo bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			comp := compile.New(f.Module, codegen.TargetX86)
+			comp.SetMemoize(memo)
+			for _, cfg := range configs {
+				if comp.Size(cfg) <= 0 {
+					b.Fatal("bad size")
+				}
+			}
+		}
+	}
+	b.Run("memoized", func(b *testing.B) { run(b, true) })
+	b.Run("uncached", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkAblationPartition compares the paper's partition-edge heuristic
 // against a structure-blind baseline by explored-configuration count
 // (DESIGN.md ablation 1). The reported metric configs/op is the search

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# CI gate: vet plus the full test suite under the race detector.
+# The parallel search engine and the memoized compile caches are
+# concurrency-heavy; every change must keep this script green.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"

@@ -11,7 +11,12 @@
 //	-scale F      workload scale, 1.0 = full corpus (default 1.0)
 //	-rounds N     autotuning rounds (default 4)
 //	-cap N        recursive-space cap for exhaustive experiments (default 2^14)
-//	-workers N    parallelism (default GOMAXPROCS)
+//	-jobs N       parallelism: files, subtrees, and experiment cases
+//	              (default GOMAXPROCS; -jobs 1 forces a sequential run)
+//	-workers N    deprecated alias for -jobs
+//
+// Results are bit-identical for every -jobs value; the run ends with
+// compile-cache statistics and total wall-clock time on stderr.
 package main
 
 import (
@@ -38,9 +43,14 @@ func run() error {
 		scale   = flag.Float64("scale", 1.0, "workload scale")
 		rounds  = flag.Int("rounds", 4, "autotuning rounds")
 		cap     = flag.Uint64("cap", 1<<14, "recursive-space cap for exhaustive experiments")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		jobs    = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "deprecated alias for -jobs")
+		noMemo  = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
 	)
 	flag.Parse()
+	if *jobs == 0 && *workers != 0 {
+		*jobs = *workers
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -51,9 +61,10 @@ func run() error {
 	start := time.Now()
 	h := experiments.NewHarness(experiments.Config{
 		Scale:         *scale,
-		Workers:       *workers,
+		Workers:       *jobs,
 		ExhaustiveCap: *cap,
 		Rounds:        *rounds,
+		DisableMemo:   *noMemo,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -75,6 +86,8 @@ func run() error {
 		fmt.Printf("================================================================\n\n")
 		fmt.Println(r.Text)
 	}
+	fmt.Fprintf(os.Stderr, "config cache:    %v\n", h.ConfigCacheStats())
+	fmt.Fprintf(os.Stderr, "function cache:  %v\n", h.FuncCacheStats())
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -9,7 +9,9 @@
 //
 //	-target x86|wasm    size model (default x86)
 //	-max-space N        abort if the recursive space exceeds N evaluations
-//	-workers N          parallel subtree evaluations
+//	-jobs N             parallel subtree evaluations (default GOMAXPROCS;
+//	                    results are bit-identical for every value)
+//	-workers N          deprecated alias for -jobs
 //	-dot                print optimal-vs-heuristic call graphs as DOT
 package main
 
@@ -39,11 +41,18 @@ func run() error {
 	var (
 		targetName = flag.String("target", "x86", "size model: x86|wasm")
 		maxSpace   = flag.Uint64("max-space", 1<<20, "abort beyond this many evaluations")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel subtree evaluations")
+		jobs       = flag.Int("jobs", 0, "parallel subtree evaluations (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "deprecated alias for -jobs")
 		dot        = flag.Bool("dot", false, "print DOT call graphs (optimal vs heuristic)")
 		tree       = flag.Bool("tree", false, "print the materialized inlining tree (paper Figure 6)")
 	)
 	flag.Parse()
+	if *jobs == 0 && *workers != 0 {
+		*jobs = *workers
+	}
+	if *jobs == 0 {
+		*jobs = runtime.GOMAXPROCS(0)
+	}
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: inlinesearch [flags] file.minc")
 	}
@@ -65,7 +74,7 @@ func run() error {
 	}
 	fmt.Printf("recursively partitioned space: %d evaluations (2^%.1f)\n", rec, math.Log2(float64(rec)))
 
-	res, ok := search.Optimal(comp, search.Options{Workers: *workers, MaxSpace: *maxSpace})
+	res, ok := search.Optimal(comp, search.Options{Workers: *jobs, MaxSpace: *maxSpace})
 	if !ok {
 		return fmt.Errorf("search aborted")
 	}
@@ -76,7 +85,8 @@ func run() error {
 	fmt.Printf("\nno inlining:    %6d bytes\n", noInline)
 	fmt.Printf("-Os heuristic:  %6d bytes (%.1f%% of optimal)\n", heurSize, f(heurSize, res.Size))
 	fmt.Printf("optimal:        %6d bytes, inlining %d of %d sites\n", res.Size, res.Config.InlineCount(), len(g.Edges))
-	fmt.Printf("evaluations: %d real compilations (cache hits %d)\n", res.Evaluations, comp.CacheHits())
+	fmt.Printf("evaluations: %d configurations compiled (config cache %v)\n", res.Evaluations, comp.ConfigCacheStats())
+	fmt.Printf("function cache: %v\n", comp.FuncCacheStats())
 	fmt.Printf("optimal inline sites: %v\n", res.Config.InlineSites())
 
 	matrix := callgraph.Agreement(g.Sites(), res.Config, hc)

@@ -1,0 +1,58 @@
+package callgraph
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the DOT golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s: DOT output drifted from golden file (re-run with -update if intended)\n--- got\n%s--- want\n%s", name, got, want)
+	}
+}
+
+// TestDOTGolden pins the exact Graphviz text for the shared test module:
+// a nil config (all edges dashed), and a config inlining sites 1 and 4
+// (those edges turn solid). The DOT output feeds the paper's case-study
+// figures, so its format is a compatibility surface worth freezing.
+func TestDOTGolden(t *testing.T) {
+	_, g := build(t)
+	checkGolden(t, "dot_nil_config", g.DOT("cg", nil))
+
+	cfg := NewConfig()
+	cfg.Set(1, true)
+	cfg.Set(4, true)
+	checkGolden(t, "dot_partial_inline", g.DOT("cg", cfg))
+}
+
+// TestSideBySideDOTGolden pins the two-cluster optimal-vs-heuristic figure.
+func TestSideBySideDOTGolden(t *testing.T) {
+	_, g := build(t)
+	a := NewConfig()
+	a.Set(1, true)
+	a.Set(2, true)
+	b := NewConfig()
+	b.Set(5, true)
+	checkGolden(t, "dot_side_by_side", g.SideBySideDOT("cg", "optimal", a, "heuristic", b))
+}

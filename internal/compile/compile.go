@@ -1,8 +1,11 @@
 // Package compile is the driver that turns an inlining configuration into a
 // binary size: clone → inline → optimize → label-based dead-function
-// elimination → measure. It memoizes sizes by canonical configuration key
-// and is safe for concurrent use, which the search and the autotuner exploit
-// (the paper calls both "embarrassingly parallel").
+// elimination → measure. It memoizes sizes at two levels — by canonical
+// whole-module configuration key, and per function keyed by (module
+// fingerprint, function, inline closure labels; see memo.go) — and is safe
+// for concurrent use, which the search and the autotuner exploit (the paper calls both "embarrassingly parallel"). Both
+// caches are single-flight: concurrent requests for the same key share one
+// compilation, which also makes evaluation counters schedule-independent.
 package compile
 
 import (
@@ -16,6 +19,7 @@ import (
 	"optinline/internal/inline"
 	"optinline/internal/ir"
 	"optinline/internal/opt"
+	"optinline/internal/stats"
 )
 
 // InfSize is returned for configurations that fail to compile (the inliner's
@@ -24,16 +28,28 @@ const InfSize = math.MaxInt32
 
 // Compiler evaluates inlining configurations against a fixed base module.
 type Compiler struct {
-	base   *ir.Module
-	graph  *callgraph.Graph
-	target codegen.Target
+	base        *ir.Module
+	graph       *callgraph.Graph
+	target      codegen.Target
+	fingerprint uint64
 
 	mu    sync.Mutex
-	cache map[string]int
+	cache map[string]*sizeEntry
 
-	evals  atomic.Int64
-	hits   atomic.Int64
-	errors atomic.Int64
+	memo    *memoState
+	memoize bool
+
+	evals      atomic.Int64
+	hits       atomic.Int64
+	errors     atomic.Int64
+	funcHits   atomic.Int64
+	funcMisses atomic.Int64
+}
+
+// sizeEntry is a single-flight slot of the whole-configuration cache.
+type sizeEntry struct {
+	done chan struct{}
+	size int
 }
 
 // New prepares a compiler for the module. The module is cloned defensively;
@@ -41,13 +57,27 @@ type Compiler struct {
 func New(m *ir.Module, target codegen.Target) *Compiler {
 	base := m.Clone()
 	base.AssignSites()
+	g := callgraph.Build(base)
 	return &Compiler{
-		base:   base,
-		graph:  callgraph.Build(base),
-		target: target,
-		cache:  make(map[string]int),
+		base:        base,
+		graph:       g,
+		target:      target,
+		fingerprint: base.Fingerprint(),
+		cache:       make(map[string]*sizeEntry),
+		memo:        buildMemo(base, g),
+		memoize:     true,
 	}
 }
+
+// SetMemoize switches the per-function memoized evaluation path on or off
+// (on by default). Off, every cache miss runs the whole-module pipeline —
+// kept for benchmarking and for differential tests of the memo engine
+// itself. Not safe to call concurrently with Size.
+func (c *Compiler) SetMemoize(on bool) { c.memoize = on }
+
+// Fingerprint returns the base module's fingerprint; per-function cache
+// entries are keyed under it.
+func (c *Compiler) Fingerprint() uint64 { return c.fingerprint }
 
 // Graph returns the inlining-candidate call graph of the base module.
 func (c *Compiler) Graph() *callgraph.Graph { return c.graph }
@@ -76,27 +106,32 @@ func (c *Compiler) Build(cfg *callgraph.Config) (*ir.Module, error) {
 }
 
 // Size returns the .text size of the configuration, compiling at most once
-// per canonical configuration.
+// per canonical configuration. Concurrent calls for the same configuration
+// share one compilation (single-flight), so the evaluation counter counts
+// distinct configurations regardless of scheduling.
 func (c *Compiler) Size(cfg *callgraph.Config) int {
 	key := cfg.Key()
 	c.mu.Lock()
-	if s, ok := c.cache[key]; ok {
+	if e, ok := c.cache[key]; ok {
 		c.mu.Unlock()
+		<-e.done
 		c.hits.Add(1)
-		return s
+		return e.size
 	}
+	e := &sizeEntry{done: make(chan struct{})}
+	c.cache[key] = e
 	c.mu.Unlock()
 
-	size := c.measure(cfg)
-
-	c.mu.Lock()
-	c.cache[key] = size
-	c.mu.Unlock()
-	return size
+	e.size = c.measure(cfg)
+	close(e.done)
+	return e.size
 }
 
 func (c *Compiler) measure(cfg *callgraph.Config) int {
 	c.evals.Add(1)
+	if c.memoize {
+		return c.measureMemo(cfg)
+	}
 	m, err := c.Build(cfg)
 	if err != nil {
 		c.errors.Add(1)
@@ -140,11 +175,25 @@ func (c *Compiler) SizeParallel(cfgs []*callgraph.Config, workers int) []int {
 	return out
 }
 
-// Evaluations returns the number of real (uncached) compilations so far.
+// Evaluations returns the number of distinct configurations evaluated so
+// far (configuration-cache misses).
 func (c *Compiler) Evaluations() int64 { return c.evals.Load() }
 
-// CacheHits returns the number of size requests served from the cache.
+// CacheHits returns the number of size requests served from the
+// configuration cache.
 func (c *Compiler) CacheHits() int64 { return c.hits.Load() }
 
 // Errors returns the number of configurations that failed to compile.
 func (c *Compiler) Errors() int64 { return c.errors.Load() }
+
+// ConfigCacheStats returns the whole-configuration cache counters.
+func (c *Compiler) ConfigCacheStats() stats.CacheStats {
+	return stats.CacheStats{Hits: c.hits.Load(), Misses: c.evals.Load()}
+}
+
+// FuncCacheStats returns the per-function memo cache counters; a hit means
+// a function's compilation was skipped because another configuration
+// already compiled it with the same inline-closure labels.
+func (c *Compiler) FuncCacheStats() stats.CacheStats {
+	return stats.CacheStats{Hits: c.funcHits.Load(), Misses: c.funcMisses.Load()}
+}

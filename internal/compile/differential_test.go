@@ -1,12 +1,14 @@
 package compile
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
 	"optinline/internal/interp"
+	"optinline/internal/lang"
 	"optinline/internal/workload"
 )
 
@@ -63,6 +65,76 @@ func TestFullPipelinePreservesSemanticsOnCorpus(t *testing.T) {
 	}
 	if checked < 20 {
 		t.Fatalf("only %d configurations checked; corpus too hostile", checked)
+	}
+}
+
+// TestDifferentialFuzzGeneratedPrograms is the second differential front:
+// where the corpus test above stresses synthetic IR shapes, this one
+// stresses the full front end. Random MinC sources from the seeded
+// generator are lowered, compiled under random inlining configurations,
+// and executed; the observable behaviour (return value, output stream)
+// must match the no-inline baseline for every configuration and argument.
+// It also cross-checks the memoized per-component size against the size of
+// the actually-built module, so the memo engine is fuzzed on lang-lowered
+// code, not just on workload-generated IR.
+func TestDifferentialFuzzGeneratedPrograms(t *testing.T) {
+	const fuel = 40_000_000
+	args := []int64{0, 4, 9}
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		name := fmt.Sprintf("fuzz%03d", seed)
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		mod, err := lang.Compile(name, src)
+		if err != nil {
+			t.Fatalf("seed %d: generated source does not lower: %v\n%s", seed, err, src)
+		}
+		c := New(mod, codegen.TargetX86)
+		g := c.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		base := make([]interp.Result, len(args))
+		for i, a := range args {
+			r, err := interp.Run(mod, "entry", []int64{a}, interp.Options{Fuel: fuel})
+			if err != nil {
+				t.Fatalf("seed %d arg %d: baseline run: %v\n%s", seed, a, err, src)
+			}
+			base[i] = r
+		}
+		for trial := 0; trial < 8; trial++ {
+			cfg := callgraph.NewConfig()
+			for _, e := range g.Edges {
+				// Trial 0 inlines everything (maximum DFE pressure);
+				// later trials sample the space.
+				if trial == 0 || rng.Intn(2) == 0 {
+					cfg.Set(e.Site, true)
+				}
+			}
+			m, err := c.Build(cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %v: build: %v", seed, cfg, err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("seed %d cfg %v: post-pipeline verify: %v", seed, cfg, err)
+			}
+			if got, want := c.Size(cfg), codegen.ModuleSize(m, codegen.TargetX86); got != want {
+				t.Fatalf("seed %d cfg %v: memoized size %d != built-module size %d", seed, cfg, got, want)
+			}
+			for i, a := range args {
+				got, err := interp.Run(m, "entry", []int64{a}, interp.Options{Fuel: fuel})
+				if err != nil {
+					t.Fatalf("seed %d cfg %v arg %d: run: %v", seed, cfg, a, err)
+				}
+				if got.Observable() != base[i].Observable() {
+					t.Fatalf("seed %d cfg %v arg %d: pipeline changed behaviour\n%s", seed, cfg, a, src)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 300 {
+		t.Fatalf("only %d program/config/arg triples checked; generator too timid", checked)
 	}
 }
 

@@ -1,0 +1,196 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/inline"
+	"optinline/internal/ir"
+	"optinline/internal/opt"
+)
+
+// This file implements the memoized evaluation engine: instead of running
+// the full pipeline over the whole module for every configuration, each
+// function's post-pipeline encoded size is cached keyed by
+// (module fingerprint, function, inlined sites in its inline closure).
+//
+// The inline closure of a function f under a configuration is the smallest
+// set of functions containing f that is closed under "callee of an
+// inline-labeled site owned by a member". Only those labels can reach f's
+// final code:
+//
+//   - a non-inlined site stays a plain call and never changes the caller's
+//     body, so only inline-labeled sites matter;
+//   - inline.Apply is a FIFO work queue seeded by scanning functions in
+//     module order; an expansion mutates only the function containing the
+//     site and enqueues only sites inside that function, so restricting the
+//     module to f's closure (kept in module order) yields exactly the
+//     projection of the global event sequence that touches the closure —
+//     f's expanded body is bit-identical to the whole-module run;
+//   - the optimization pipeline is function-local (package opt);
+//   - dead-function elimination is label-based and decided analytically
+//     from the labels of the callee's incoming edges (CalleesAllInline), so
+//     survival needs no compilation at all;
+//   - the size metric is additive per function (package codegen).
+//
+// Size(cfg) is therefore the sum of cached per-function sizes over the
+// surviving functions. A configuration that differs from an evaluated one
+// in a few labels recompiles only the functions whose closures contain a
+// flipped site — during the recursive search, sibling subtrees share the
+// rest. The one deliberate approximation is the inliner's global growth
+// bound (inline.DefaultMaxInstrs): the memoized path applies it per
+// closure rather than module-wide, so the two paths can diverge only on
+// configurations that trip the 4M-instruction safety valve, which the
+// corpus never approaches (and both paths still return InfSize for any
+// closure that trips it alone).
+
+// funcInfo is the per-function slice of the candidate graph.
+type funcInfo struct {
+	name     string
+	idx      int   // module order
+	exported bool
+	sites    []int // candidate sites owned (caller side), ascending
+}
+
+// memoState holds the per-function site ownership and the size cache.
+type memoState struct {
+	funcs      []*funcInfo // module order
+	siteCallee map[int]*funcInfo
+
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+}
+
+// memoEntry is a single-flight cache slot: the first requester computes,
+// concurrent requesters for the same key wait on done.
+type memoEntry struct {
+	done chan struct{}
+	size int
+}
+
+// buildMemo indexes site ownership per function.
+func buildMemo(base *ir.Module, g *callgraph.Graph) *memoState {
+	ms := &memoState{
+		siteCallee: make(map[int]*funcInfo),
+		entries:    make(map[string]*memoEntry),
+	}
+	byName := make(map[string]*funcInfo, len(base.Funcs))
+	for i, f := range base.Funcs {
+		fi := &funcInfo{name: f.Name, idx: i, exported: f.Exported}
+		ms.funcs = append(ms.funcs, fi)
+		byName[f.Name] = fi
+	}
+	for _, e := range g.Edges {
+		caller := byName[e.Caller]
+		caller.sites = append(caller.sites, e.Site)
+		ms.siteCallee[e.Site] = byName[e.Callee]
+	}
+	for _, fi := range ms.funcs {
+		sort.Ints(fi.sites)
+	}
+	return ms
+}
+
+// closure returns f's inline closure under cfg (module order) and the
+// inline-labeled sites owned by its members — the cache identity of f's
+// final code.
+func (ms *memoState) closure(f *funcInfo, cfg *callgraph.Config) ([]*funcInfo, []int) {
+	members := []*funcInfo{f}
+	seen := map[*funcInfo]bool{f: true}
+	var inlined []int
+	for i := 0; i < len(members); i++ {
+		for _, s := range members[i].sites {
+			if !cfg.Inline(s) {
+				continue
+			}
+			inlined = append(inlined, s)
+			if callee := ms.siteCallee[s]; !seen[callee] {
+				seen[callee] = true
+				members = append(members, callee)
+			}
+		}
+	}
+	// Module order matters: inline.Apply seeds its work queue by scanning
+	// functions in module order, and with recursion trails the expansion
+	// fixpoint depends on that order. Keeping it makes the sub-module
+	// queue an exact projection of the whole-module one.
+	sort.Slice(members, func(i, j int) bool { return members[i].idx < members[j].idx })
+	sort.Ints(inlined)
+	return members, inlined
+}
+
+// measureMemo is the memoized equivalent of one whole-module pipeline run:
+// label-based DFE decides survival analytically, and each survivor's size
+// comes from the per-closure cache.
+func (c *Compiler) measureMemo(cfg *callgraph.Config) int {
+	removable := c.graph.CalleesAllInline(cfg)
+	total := 0
+	for _, fi := range c.memo.funcs {
+		if !fi.exported && removable[fi.name] {
+			continue
+		}
+		s := c.funcSize(fi, cfg)
+		if s == InfSize {
+			c.errors.Add(1)
+			return InfSize
+		}
+		total += s
+	}
+	return total
+}
+
+// funcSize returns fi's post-pipeline encoded size under cfg, computing it
+// at most once per closure configuration (single-flight, so concurrent
+// search workers requesting the same closure share one compilation).
+func (c *Compiler) funcSize(fi *funcInfo, cfg *callgraph.Config) int {
+	members, inlined := c.memo.closure(fi, cfg)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%016x/%s/", c.fingerprint, fi.name)
+	for i, s := range inlined {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(s))
+	}
+	key := sb.String()
+
+	ms := c.memo
+	ms.mu.Lock()
+	if e, ok := ms.entries[key]; ok {
+		ms.mu.Unlock()
+		<-e.done
+		c.funcHits.Add(1)
+		return e.size
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	ms.entries[key] = e
+	ms.mu.Unlock()
+
+	c.funcMisses.Add(1)
+	e.size = c.compileClosure(fi, members, cfg)
+	close(e.done)
+	return e.size
+}
+
+// compileClosure runs inlining over just the closure's functions and
+// optimizes + measures the one function of interest.
+func (c *Compiler) compileClosure(fi *funcInfo, members []*funcInfo, cfg *callgraph.Config) int {
+	sub := ir.NewModule(c.base.Name)
+	for _, g := range c.base.Globals {
+		sub.AddGlobal(g)
+	}
+	for _, m := range members {
+		sub.AddFunc(c.base.Func(m.name).Clone())
+	}
+	if err := inline.Apply(sub, cfg, inline.Options{}); err != nil {
+		return InfSize
+	}
+	fn := sub.Func(fi.name)
+	opt.Function(fn)
+	return codegen.FunctionSize(fn, c.target)
+}

@@ -15,6 +15,7 @@ import (
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
 	"optinline/internal/search"
+	"optinline/internal/stats"
 	"optinline/internal/workload"
 )
 
@@ -30,6 +31,11 @@ type Config struct {
 	ExhaustiveCap uint64
 	// Rounds for round-based autotuning; 0 defaults to 4.
 	Rounds int
+	// DisableMemo turns off the per-function memoized compile path on
+	// every compiler in the corpus. Debug/measurement knob: it exists so
+	// the memo engine's speedup can be measured on one machine with one
+	// binary (inlinebench -no-memo).
+	DisableMemo bool
 }
 
 func (c Config) normalized() Config {
@@ -156,6 +162,9 @@ func NewHarness(cfg Config) *Harness {
 	parallelFor(len(jobs), cfg.Workers, func(i int) {
 		f := jobs[i].file
 		comp := compile.New(f.Module, codegen.TargetX86)
+		if cfg.DisableMemo {
+			comp.SetMemoize(false)
+		}
 		g := comp.Graph()
 		if len(g.Edges) == 0 {
 			return // trivial w.r.t. inlining, as in the paper's 746 files
@@ -184,6 +193,26 @@ func NewHarness(cfg Config) *Harness {
 
 // Benchmarks returns the benchmark names in canonical order.
 func (h *Harness) Benchmarks() []string { return h.order }
+
+// ConfigCacheStats aggregates the whole-configuration cache counters over
+// every compiler in the corpus.
+func (h *Harness) ConfigCacheStats() stats.CacheStats {
+	var total stats.CacheStats
+	for _, fd := range h.files {
+		total = total.Add(fd.comp.ConfigCacheStats())
+	}
+	return total
+}
+
+// FuncCacheStats aggregates the per-function memo cache counters over
+// every compiler in the corpus.
+func (h *Harness) FuncCacheStats() stats.CacheStats {
+	var total stats.CacheStats
+	for _, fd := range h.files {
+		total = total.Add(fd.comp.FuncCacheStats())
+	}
+	return total
+}
 
 // Files returns every non-trivial file.
 func (h *Harness) Files() []*fileData { return h.files }

@@ -74,15 +74,22 @@ func (h *Harness) Run(id string) (Result, error) {
 	return Result{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment, concurrently up to the harness's
+// worker budget, and returns the results in presentation order. The
+// expensive per-file work (exhaustive searches, tuning sessions) is
+// precomputed first in the same sequence a sequential run would trigger
+// it, so the rendered output is identical for any worker count.
 func (h *Harness) RunAll() []Result {
-	out := make([]Result, 0, len(IDs()))
-	for _, id := range IDs() {
-		r, err := h.Run(id)
+	h.exhaustiveSet()
+	h.ensureTuned()
+	ids := IDs()
+	out := make([]Result, len(ids))
+	parallelFor(len(ids), h.cfg.Workers, func(i int) {
+		r, err := h.Run(ids[i])
 		if err != nil {
-			r = Result{ID: id, Title: id, Text: "error: " + err.Error()}
+			r = Result{ID: ids[i], Title: ids[i], Text: "error: " + err.Error()}
 		}
-		out = append(out, r)
-	}
+		out[i] = r
+	})
 	return out
 }

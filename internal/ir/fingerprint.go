@@ -1,0 +1,16 @@
+package ir
+
+// Fingerprint returns a stable 64-bit FNV-1a hash of the module's printed
+// form. Two modules with equal fingerprints print identically and therefore
+// compile identically, so size caches key their entries on
+// (module fingerprint, inlining configuration); the printed form includes
+// site IDs, which makes the fingerprint sensitive to site assignment.
+func (m *Module) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(m.String()) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

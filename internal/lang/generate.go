@@ -1,0 +1,388 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenOptions bounds the shape of a generated program. The zero value asks
+// for sensible defaults.
+type GenOptions struct {
+	Funcs    int // internal functions besides entry (default 6)
+	Globals  int // global variables (default 3)
+	MaxStmts int // statements per function body, before the final return (default 5)
+	MaxDepth int // expression nesting depth (default 3)
+}
+
+func (o GenOptions) normalized() GenOptions {
+	if o.Funcs <= 0 {
+		o.Funcs = 6
+	}
+	if o.Globals <= 0 {
+		o.Globals = 3
+	}
+	if o.MaxStmts <= 0 {
+		o.MaxStmts = 5
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	return o
+}
+
+// Generate produces a random, deterministic-for-a-seed MinC program that is
+// guaranteed to terminate: every loop runs a bounded constant trip count and
+// the call structure is acyclic except for an optional self-recursive
+// function whose depth is clamped by its guard. Every arithmetic operator —
+// including / and % by a possibly-zero divisor — is fair game because the
+// language's semantics are total.
+//
+// The generator exists for differential fuzzing: render the program with
+// Render, compile it, and compare observable behaviour across inlining
+// configurations.
+func Generate(rng *rand.Rand, opts GenOptions) *Program {
+	opts = opts.normalized()
+	g := &generator{rng: rng, opts: opts}
+	return g.program()
+}
+
+// GenerateSource is Generate followed by Render, seeded for convenience.
+func GenerateSource(seed int64, opts GenOptions) string {
+	return Render(Generate(rand.New(rand.NewSource(seed)), opts))
+}
+
+type generator struct {
+	rng  *rand.Rand
+	opts GenOptions
+
+	globals []string
+	funcs   []*genFunc // index i may call index j only when j > i
+	cur     int        // function being generated
+	scope   []string   // visible params + locals of the current function
+	nextVar int
+	nextCtr int
+
+	// Dynamic-call budget: each function may make at most callBudget calls
+	// per invocation, where a call site inside loops costs the product of
+	// the enclosing trip counts (mult). This caps the dynamic call tree of
+	// an acyclic chain of k functions at budget^k invocations, keeping the
+	// whole program comfortably inside the interpreter's fuel.
+	mult       int64
+	callBudget int64
+}
+
+type genFunc struct {
+	name      string
+	params    []string
+	recursive bool
+}
+
+func (g *generator) program() *Program {
+	for i := 0; i < g.opts.Globals; i++ {
+		g.globals = append(g.globals, fmt.Sprintf("g%d", i))
+	}
+	// entry is function 0 so it may call everything below it.
+	g.funcs = append(g.funcs, &genFunc{name: "entry", params: []string{"n"}})
+	for i := 0; i < g.opts.Funcs; i++ {
+		fn := &genFunc{name: fmt.Sprintf("f%d", i)}
+		for p := 0; p < 1+g.rng.Intn(3); p++ {
+			fn.params = append(fn.params, fmt.Sprintf("p%d", p))
+		}
+		// A sprinkle of self-recursion exercises the inliner's trail
+		// mechanism; the body template keeps the depth bounded.
+		fn.recursive = g.rng.Float64() < 0.2
+		g.funcs = append(g.funcs, fn)
+	}
+
+	prog := &Program{Globals: g.globals}
+	for i, fn := range g.funcs {
+		g.cur = i
+		g.scope = append(g.scope[:0], fn.params...)
+		g.nextVar, g.nextCtr = 0, 0
+		g.mult, g.callBudget = 1, 3
+		decl := &FuncDecl{Name: fn.name, Params: fn.params, Exported: i == 0}
+		if fn.recursive {
+			decl.Body = g.recursiveBody(fn)
+		} else {
+			decl.Body = g.body()
+		}
+		prog.Funcs = append(prog.Funcs, decl)
+	}
+	return prog
+}
+
+// recursiveBody is a guarded count-down template: recursion depth is capped
+// by the window check no matter what argument the caller passes.
+func (g *generator) recursiveBody(fn *genFunc) []Stmt {
+	p := fn.params[0]
+	guard := &IfStmt{
+		Cond: &BinExpr{Op: "||",
+			L: &BinExpr{Op: "<", L: &VarExpr{Name: p}, R: &NumExpr{Value: 1}},
+			R: &BinExpr{Op: ">", L: &VarExpr{Name: p}, R: &NumExpr{Value: int64(4 + g.rng.Intn(8))}}},
+		Then: []Stmt{&ReturnStmt{Expr: g.expr(1)}},
+	}
+	args := []Expr{&BinExpr{Op: "-", L: &VarExpr{Name: p}, R: &NumExpr{Value: 1}}}
+	for i := 1; i < len(fn.params); i++ {
+		args = append(args, g.expr(1))
+	}
+	return []Stmt{
+		guard,
+		&OutputStmt{Expr: &VarExpr{Name: p}},
+		&ReturnStmt{Expr: &BinExpr{Op: "+",
+			L: g.expr(1),
+			R: &CallExpr{Name: fn.name, Args: args}}},
+	}
+}
+
+func (g *generator) body() []Stmt {
+	var out []Stmt
+	n := 2 + g.rng.Intn(g.opts.MaxStmts)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(2)...)
+	}
+	out = append(out, &ReturnStmt{Expr: g.expr(g.opts.MaxDepth)})
+	return out
+}
+
+// stmt generates one logical statement (the bounded-while form needs two:
+// its counter declaration plus the loop); depth bounds nested blocks.
+func (g *generator) stmt(depth int) []Stmt {
+	for {
+		switch k := g.rng.Intn(8); {
+		case k == 0: // new local
+			name := fmt.Sprintf("v%d", g.nextVar)
+			g.nextVar++
+			s := &VarStmt{Name: name, Init: g.expr(g.opts.MaxDepth)}
+			g.scope = append(g.scope, name)
+			return []Stmt{s}
+		case k == 1: // assign to a local/param
+			if len(g.scope) == 0 {
+				continue
+			}
+			return []Stmt{&AssignStmt{Name: g.scope[g.rng.Intn(len(g.scope))], Expr: g.expr(g.opts.MaxDepth)}}
+		case k == 2: // assign to a global
+			return []Stmt{&AssignStmt{Name: g.globals[g.rng.Intn(len(g.globals))], Expr: g.expr(g.opts.MaxDepth)}}
+		case k == 3: // observable output
+			return []Stmt{&OutputStmt{Expr: g.expr(g.opts.MaxDepth)}}
+		case k == 4 && depth > 0: // if / if-else
+			s := &IfStmt{Cond: g.expr(2), Then: g.block(depth - 1)}
+			if g.rng.Intn(2) == 0 {
+				s.Else = g.block(depth - 1)
+			}
+			return []Stmt{s}
+		case k == 5 && depth > 0: // bounded C-style for
+			ctr := fmt.Sprintf("i%d", g.nextCtr)
+			g.nextCtr++
+			trip := int64(1 + g.rng.Intn(5))
+			g.mult *= trip
+			body := g.block(depth - 1)
+			g.mult /= trip
+			return []Stmt{&ForStmt{
+				Init: &VarStmt{Name: ctr, Init: &NumExpr{Value: 0}},
+				Cond: &BinExpr{Op: "<", L: &VarExpr{Name: ctr}, R: &NumExpr{Value: trip}},
+				Post: &AssignStmt{Name: ctr, Expr: &BinExpr{Op: "+", L: &VarExpr{Name: ctr}, R: &NumExpr{Value: 1}}},
+				Body: body,
+			}}
+		case k == 6 && depth > 0: // bounded while, counting its counter down
+			ctr := fmt.Sprintf("w%d", g.nextCtr)
+			g.nextCtr++
+			trip := int64(1 + g.rng.Intn(5))
+			// ctr is deliberately kept out of g.scope: a generated
+			// assignment to it inside the body could reset the countdown
+			// every iteration and spin forever.
+			decl := &VarStmt{Name: ctr, Init: &NumExpr{Value: trip}}
+			g.mult *= trip
+			body := g.block(depth - 1)
+			g.mult /= trip
+			body = append(body, &AssignStmt{Name: ctr,
+				Expr: &BinExpr{Op: "-", L: &VarExpr{Name: ctr}, R: &NumExpr{Value: 1}}})
+			return []Stmt{decl, &WhileStmt{
+				Cond: &BinExpr{Op: ">", L: &VarExpr{Name: ctr}, R: &NumExpr{Value: 0}},
+				Body: body,
+			}}
+		case k == 7: // call for effect
+			if call := g.call(1); call != nil {
+				return []Stmt{&ExprStmt{Expr: call}}
+			}
+		}
+	}
+}
+
+// block generates a nested statement list. Locals declared inside are
+// block-scoped in MinC, so the generator's scope is truncated on exit to
+// keep later statements from referencing them.
+func (g *generator) block(depth int) []Stmt {
+	mark := len(g.scope)
+	n := 1 + g.rng.Intn(3)
+	out := make([]Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth)...)
+	}
+	g.scope = g.scope[:mark]
+	return out
+}
+
+// expr generates an expression of bounded depth.
+func (g *generator) expr(depth int) Expr {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		return g.leaf()
+	case 2, 3:
+		ops := []string{"+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^", "&&", "||"}
+		return &BinExpr{Op: ops[g.rng.Intn(len(ops))], L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 4:
+		if g.rng.Intn(2) == 0 {
+			return &UnExpr{Op: "-", E: g.expr(depth - 1)}
+		}
+		return &UnExpr{Op: "!", E: g.expr(depth - 1)}
+	default:
+		if call := g.call(depth - 1); call != nil {
+			return call
+		}
+		return g.leaf()
+	}
+}
+
+// call builds a call to a strictly later function (acyclic by construction),
+// charging the enclosing loops' trip-count product against the function's
+// dynamic-call budget.
+func (g *generator) call(argDepth int) Expr {
+	if g.cur+1 >= len(g.funcs) || g.mult > g.callBudget {
+		return nil
+	}
+	g.callBudget -= g.mult
+	callee := g.funcs[g.cur+1+g.rng.Intn(len(g.funcs)-g.cur-1)]
+	args := make([]Expr, len(callee.params))
+	for i := range args {
+		args[i] = g.expr(argDepth)
+	}
+	return &CallExpr{Name: callee.name, Args: args}
+}
+
+func (g *generator) leaf() Expr {
+	switch g.rng.Intn(4) {
+	case 0:
+		return &NumExpr{Value: int64(g.rng.Intn(97))}
+	case 1:
+		if len(g.scope) > 0 {
+			return &VarExpr{Name: g.scope[g.rng.Intn(len(g.scope))]}
+		}
+		return &NumExpr{Value: int64(g.rng.Intn(7))}
+	case 2:
+		return &VarExpr{Name: g.globals[g.rng.Intn(len(g.globals))]}
+	default:
+		return &NumExpr{Value: int64(g.rng.Intn(7))}
+	}
+}
+
+// Render prints a Program as parseable MinC source. Expressions are fully
+// parenthesized, so operator precedence never changes the reparse.
+func Render(p *Program) string {
+	var sb strings.Builder
+	for _, gl := range p.Globals {
+		fmt.Fprintf(&sb, "global %s;\n", gl)
+	}
+	if len(p.Globals) > 0 {
+		sb.WriteString("\n")
+	}
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		if fn.Exported {
+			sb.WriteString("export ")
+		}
+		fmt.Fprintf(&sb, "func %s(%s) {\n", fn.Name, strings.Join(fn.Params, ", "))
+		renderStmts(&sb, fn.Body, "    ")
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func renderStmts(sb *strings.Builder, list []Stmt, indent string) {
+	for _, s := range list {
+		renderStmt(sb, s, indent)
+	}
+}
+
+func renderStmt(sb *strings.Builder, s Stmt, indent string) {
+	switch st := s.(type) {
+	case *VarStmt:
+		fmt.Fprintf(sb, "%svar %s = %s;\n", indent, st.Name, renderExpr(st.Init))
+	case *AssignStmt:
+		fmt.Fprintf(sb, "%s%s = %s;\n", indent, st.Name, renderExpr(st.Expr))
+	case *IfStmt:
+		fmt.Fprintf(sb, "%sif (%s) {\n", indent, renderExpr(st.Cond))
+		renderStmts(sb, st.Then, indent+"    ")
+		if len(st.Else) > 0 {
+			fmt.Fprintf(sb, "%s} else {\n", indent)
+			renderStmts(sb, st.Else, indent+"    ")
+		}
+		fmt.Fprintf(sb, "%s}\n", indent)
+	case *WhileStmt:
+		fmt.Fprintf(sb, "%swhile (%s) {\n", indent, renderExpr(st.Cond))
+		renderStmts(sb, st.Body, indent+"    ")
+		fmt.Fprintf(sb, "%s}\n", indent)
+	case *ForStmt:
+		fmt.Fprintf(sb, "%sfor (%s; %s; %s) {\n", indent,
+			renderClause(st.Init), renderExpr(st.Cond), renderClause(st.Post))
+		renderStmts(sb, st.Body, indent+"    ")
+		fmt.Fprintf(sb, "%s}\n", indent)
+	case *ReturnStmt:
+		fmt.Fprintf(sb, "%sreturn %s;\n", indent, renderExpr(st.Expr))
+	case *OutputStmt:
+		fmt.Fprintf(sb, "%soutput %s;\n", indent, renderExpr(st.Expr))
+	case *ExprStmt:
+		fmt.Fprintf(sb, "%s%s;\n", indent, renderExpr(st.Expr))
+	case *BreakStmt:
+		fmt.Fprintf(sb, "%sbreak;\n", indent)
+	case *ContinueStmt:
+		fmt.Fprintf(sb, "%scontinue;\n", indent)
+	default:
+		panic(fmt.Sprintf("lang: render: unknown statement %T", s))
+	}
+}
+
+// renderClause prints a for-loop init/post clause (no trailing semicolon).
+func renderClause(s Stmt) string {
+	switch st := s.(type) {
+	case nil:
+		return ""
+	case *VarStmt:
+		return fmt.Sprintf("var %s = %s", st.Name, renderExpr(st.Init))
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", st.Name, renderExpr(st.Expr))
+	case *ExprStmt:
+		return renderExpr(st.Expr)
+	default:
+		panic(fmt.Sprintf("lang: render: bad for clause %T", s))
+	}
+}
+
+func renderExpr(e Expr) string {
+	switch ex := e.(type) {
+	case *NumExpr:
+		if ex.Value < 0 {
+			return fmt.Sprintf("(0 - %d)", -ex.Value)
+		}
+		return fmt.Sprintf("%d", ex.Value)
+	case *VarExpr:
+		return ex.Name
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", renderExpr(ex.L), ex.Op, renderExpr(ex.R))
+	case *UnExpr:
+		return fmt.Sprintf("(%s%s)", ex.Op, renderExpr(ex.E))
+	case *CallExpr:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = renderExpr(a)
+		}
+		return fmt.Sprintf("%s(%s)", ex.Name, strings.Join(args, ", "))
+	default:
+		panic(fmt.Sprintf("lang: render: unknown expression %T", e))
+	}
+}

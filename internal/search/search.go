@@ -20,6 +20,7 @@ package search
 import (
 	"math"
 	"math/big"
+	"runtime"
 	"sort"
 
 	"optinline/internal/callgraph"
@@ -216,7 +217,12 @@ type Result struct {
 
 // Options configures Optimal.
 type Options struct {
-	// Workers bounds concurrent subtree evaluations; <= 0 means sequential.
+	// Workers bounds the worker pool for concurrent subtree evaluations:
+	// 0 selects GOMAXPROCS, negative forces the sequential recursion, and
+	// any positive value is used as given. Results are bit-identical across
+	// worker counts: sibling subtrees are merged in deterministic order and
+	// the compile caches are single-flight, so even evaluation counters do
+	// not depend on scheduling.
 	Workers int
 	// MaxSpace aborts the search (returns ok=false) if the recursive space
 	// exceeds this many evaluations. 0 means no bound.
@@ -232,9 +238,13 @@ func Optimal(c *compile.Compiler, opts Options) (Result, bool) {
 	if opts.MaxSpace > 0 && (capped || space > opts.MaxSpace) {
 		return Result{SpaceSize: space}, false
 	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ev := &evaluator{c: c}
-	if opts.Workers > 1 {
-		ev.tokens = make(chan struct{}, opts.Workers)
+	if workers > 1 {
+		ev.tokens = make(chan struct{}, workers)
 	}
 	cfg, size := ev.eval(g.Undirected(), callgraph.NewConfig())
 	return Result{

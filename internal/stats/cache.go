@@ -1,0 +1,32 @@
+package stats
+
+import "fmt"
+
+// CacheStats aggregates the hit/miss counters of a memoization cache. The
+// compile driver exposes its configuration-level and component-level size
+// caches through this type, and the CLIs render it after a run.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Total returns the number of lookups.
+func (s CacheStats) Total() int64 { return s.Hits + s.Misses }
+
+// HitRate returns the fraction of lookups served from the cache, in [0, 1].
+func (s CacheStats) HitRate() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Add returns the element-wise sum of two counters (for aggregating across
+// compilers, e.g. the whole experiment corpus).
+func (s CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate)", s.Hits, s.Misses, s.HitRate()*100)
+}
