@@ -11,4 +11,21 @@ go vet ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== inlinelint (examples must be clean) =="
+# The shipped MinC programs are the reference corpus for "no findings":
+# a lint regression (false positive) shows up here before anywhere else.
+lint_out="$(go run ./cmd/inlinelint -check examples/minc/*.minc testdata/matrixsum.minc)"
+if [[ -n "${lint_out}" ]]; then
+  echo "${lint_out}"
+  echo "inlinelint reported findings on the clean example corpus"
+  exit 1
+fi
+
+echo "== checked-mode smoke =="
+# Per-step invariant verification across all three CLIs; each run fails
+# loudly (with stage/pass attribution) if any pipeline step breaks the IR.
+go run ./cmd/mincc -check -inline os -run trace -arg 6 testdata/matrixsum.minc >/dev/null
+go run ./cmd/inlinesearch -check testdata/matrixsum.minc >/dev/null
+go run ./cmd/inlinebench -check -exp fig3 -scale 0.05 >/dev/null
+
 echo "CI OK"

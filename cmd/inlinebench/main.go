@@ -14,6 +14,8 @@
 //	-jobs N       parallelism: files, subtrees, and experiment cases
 //	              (default GOMAXPROCS; -jobs 1 forces a sequential run)
 //	-workers N    deprecated alias for -jobs
+//	-check        checked compilation: verify IR invariants after every
+//	              inline step and opt pass of every evaluation (slow)
 //
 // Results are bit-identical for every -jobs value; the run ends with
 // compile-cache statistics and total wall-clock time on stderr.
@@ -46,6 +48,7 @@ func run() error {
 		jobs    = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
 		workers = flag.Int("workers", 0, "deprecated alias for -jobs")
 		noMemo  = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
+		check   = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
 	)
 	flag.Parse()
 	if *jobs == 0 && *workers != 0 {
@@ -65,6 +68,7 @@ func run() error {
 		ExhaustiveCap: *cap,
 		Rounds:        *rounds,
 		DisableMemo:   *noMemo,
+		Checked:       *check,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -89,5 +93,14 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "config cache:    %v\n", h.ConfigCacheStats())
 	fmt.Fprintf(os.Stderr, "function cache:  %v\n", h.FuncCacheStats())
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
+	if *check {
+		if fails := h.CheckFailures(); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "check:", f)
+			}
+			return fmt.Errorf("checked mode: %d file(s) hit invariant violations", len(fails))
+		}
+		fmt.Fprintln(os.Stderr, "checked mode: no invariant violations")
+	}
 	return nil
 }

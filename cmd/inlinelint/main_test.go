@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// repoRoot makes the test run from the repository root so the file paths
+// embedded in diagnostics are stable "testdata/lint/..." strings.
+func repoRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join(wd, "..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+}
+
+func corpus(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "lint", "*.minc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files under testdata/lint")
+	}
+	sort.Strings(files)
+	return files
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestLintGoldenText(t *testing.T) {
+	repoRoot(t)
+	for _, src := range corpus(t) {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := run([]string{src}, &out, &errOut)
+			if errOut.Len() != 0 {
+				t.Fatalf("stderr: %s", errOut.String())
+			}
+			// The corpus is warnings and infos only; error severity would
+			// change the exit code and belongs in a different test.
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0", code)
+			}
+			checkGolden(t, strings.TrimSuffix(src, ".minc")+".golden", out.Bytes())
+		})
+	}
+}
+
+func TestLintGoldenJSON(t *testing.T) {
+	repoRoot(t)
+	for _, src := range corpus(t) {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := run([]string{"-json", src}, &out, &errOut)
+			if errOut.Len() != 0 {
+				t.Fatalf("stderr: %s", errOut.String())
+			}
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0", code)
+			}
+			checkGolden(t, strings.TrimSuffix(src, ".minc")+".json.golden", out.Bytes())
+		})
+	}
+}
+
+func TestLintCleanHasNoFindings(t *testing.T) {
+	repoRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{filepath.Join("testdata", "lint", "clean.minc")}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, stderr %s", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean.minc produced findings:\n%s", out.String())
+	}
+}
+
+func TestLintCheckedModeClean(t *testing.T) {
+	repoRoot(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-check", filepath.Join("testdata", "lint", "clean.minc")}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("-check exit code = %d, stdout %s stderr %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestLintUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"does-not-exist.minc"}, &out, &errOut); code != 2 {
+		t.Errorf("missing file: exit code = %d, want 2", code)
+	}
+}

@@ -13,6 +13,8 @@
 //	                    results are bit-identical for every value)
 //	-workers N          deprecated alias for -jobs
 //	-dot                print optimal-vs-heuristic call graphs as DOT
+//	-check              checked compilation: verify IR invariants after
+//	                    every inline step and opt pass of every evaluation
 package main
 
 import (
@@ -45,6 +47,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "deprecated alias for -jobs")
 		dot        = flag.Bool("dot", false, "print DOT call graphs (optimal vs heuristic)")
 		tree       = flag.Bool("tree", false, "print the materialized inlining tree (paper Figure 6)")
+		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
 	)
 	flag.Parse()
 	if *jobs == 0 && *workers != 0 {
@@ -64,7 +67,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	comp := compile.New(mod, target)
+	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check})
 	g := comp.Graph()
 	fmt.Printf("%s: %d functions, %d inlinable call sites\n", flag.Arg(0), len(g.Nodes), len(g.Edges))
 	fmt.Printf("naive space: 2^%.0f configurations\n", search.NaiveSpaceLog2(g))
@@ -92,6 +95,13 @@ func run() error {
 	matrix := callgraph.Agreement(g.Sites(), res.Config, hc)
 	fmt.Printf("agreement optimal-vs-heuristic: both-no %d, heur-only %d, opt-only %d, both %d\n",
 		matrix[0][0], matrix[0][1], matrix[1][0], matrix[1][1])
+
+	if comp.Checked() {
+		if err := comp.CheckFailure(); err != nil {
+			return fmt.Errorf("invariant violation during search: %w", err)
+		}
+		fmt.Printf("checked mode: all %d evaluations passed per-step verification\n", comp.Evaluations())
+	}
 
 	if *dot {
 		fmt.Println()

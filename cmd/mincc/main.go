@@ -14,6 +14,8 @@
 //	-run <entry>                   interpret entry after compiling
 //	-arg N                         integer argument for -run (repeatable)
 //	-rounds N                      autotuner rounds for -inline tune
+//	-check                         checked compilation: verify IR invariants
+//	                               after every inline step and opt pass
 package main
 
 import (
@@ -61,6 +63,7 @@ func run() error {
 		entry      = flag.String("run", "", "interpret this entry function after compiling")
 		rounds     = flag.Int("rounds", 1, "autotuner rounds for -inline tune")
 		doOutline  = flag.Bool("outline", false, "run the size outliner after inlining")
+		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
 		args       intList
 	)
 	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
@@ -81,7 +84,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	comp := compile.New(mod, target)
+	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check})
 	g := comp.Graph()
 
 	var cfg *callgraph.Config
@@ -107,6 +110,11 @@ func run() error {
 	built, err := comp.Build(cfg)
 	if err != nil {
 		return err
+	}
+	if cerr := comp.CheckFailure(); cerr != nil {
+		// A search/tune strategy hit an invariant violation on some
+		// configuration along the way, even if the final build succeeded.
+		return cerr
 	}
 	if *doOutline {
 		st := outline.Module(built, outline.Options{Target: target})

@@ -1,0 +1,378 @@
+// Package analysis implements the IR static-analyzer suite that backs
+// checked compilation mode (internal/compile) and the inlinelint command.
+// Where ir.Verify checks structural well-formedness (terminators, dominance,
+// arities), these analyzers check semantic hygiene: unreachable blocks,
+// unused block parameters, dead stores to globals, constant-condition
+// branches, recursion cycles, calls to undefined callees, and calls to pure
+// functions whose results are ignored.
+//
+// Severity policy: plain runs report lints as warnings and observations as
+// infos. With Options.PostPipeline set — the module has been through the
+// optimization pipeline to a fixpoint — properties the pipeline guarantees
+// (no unreachable blocks, no constant-condition branches, no dead pure
+// instructions) escalate to errors: their presence means a pass is broken or
+// the fixpoint loop was cut short, which is exactly what checked compilation
+// mode exists to catch.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"optinline/internal/diag"
+	"optinline/internal/ir"
+)
+
+// Options selects the analysis mode.
+type Options struct {
+	// PostPipeline marks the module as the output of the optimization
+	// pipeline run to a fixpoint. Pipeline-guaranteed properties escalate to
+	// errors, and the post-only analyzers (unused-block-param, dead-instr)
+	// run.
+	PostPipeline bool
+}
+
+// Info describes one analyzer for documentation and CLI listings.
+type Info struct {
+	Name string
+	Doc  string
+}
+
+// Analyzers lists the suite in execution order.
+func Analyzers() []Info {
+	return []Info{
+		{"undefined-callee", "calls to functions not defined in the module (assumed extern)"},
+		{"dead-global-store", "stores to globals that are never read anywhere in the module"},
+		{"recursion-cycle", "cycles in the static call graph (inlined at most once)"},
+		{"pure-call", "unused results of calls to provably pure functions"},
+		{"unreachable-block", "basic blocks unreachable from the function entry"},
+		{"const-cond", "conditional branches on compile-time constants"},
+		{"unused-block-param", "block parameters without uses (post-pipeline only)"},
+		{"dead-instr", "pure instructions with unused results (post-pipeline only)"},
+	}
+}
+
+// RunModule runs the full analyzer suite over the module and returns the
+// sorted findings.
+func RunModule(m *ir.Module, opts Options) diag.List {
+	var out diag.List
+	out = append(out, checkUndefinedCallees(m)...)
+	out = append(out, checkDeadGlobalStores(m)...)
+	out = append(out, checkRecursionCycles(m)...)
+	out = append(out, checkPureCalls(m)...)
+	for _, f := range m.Funcs {
+		out = append(out, RunFunction(m, f, opts)...)
+	}
+	out.Sort()
+	return out
+}
+
+// RunFunction runs the function-scoped analyzers over a single function.
+// Checked compilation mode calls this after every optimization pass, where
+// re-running the module-scoped analyzers would be wasted work.
+func RunFunction(m *ir.Module, f *ir.Function, opts Options) diag.List {
+	var out diag.List
+	out = append(out, checkUnreachableBlocks(m, f, opts)...)
+	out = append(out, checkConstConds(m, f, opts)...)
+	if opts.PostPipeline {
+		out = append(out, checkUnusedBlockParams(m, f)...)
+		out = append(out, checkDeadInstrs(m, f)...)
+	}
+	return out
+}
+
+func report(m *ir.Module, analyzer string, sev diag.Severity, fn, block, format string, args ...interface{}) diag.Diagnostic {
+	return diag.Diagnostic{
+		Analyzer: analyzer,
+		Severity: sev,
+		Pos:      diag.Pos{File: m.Name},
+		Func:     fn,
+		Block:    block,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// checkUndefinedCallees flags calls whose callee is not defined in the
+// module. The toolchain models these as extern calls (the interpreter gives
+// them deterministic results, codegen a nominal size), so they are warnings,
+// not errors — but their arity is unchecked and they block inlining, which
+// is worth surfacing.
+func checkUndefinedCallees(m *ir.Module) diag.List {
+	var out diag.List
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && m.Func(in.Callee) == nil {
+					out = append(out, report(m, "undefined-callee", diag.Warning, f.Name, b.Name,
+						"call to undefined function @%s (assumed extern; arity unchecked, never inlinable)", in.Callee))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadGlobalStores flags stores to globals that no instruction in the
+// module ever loads. Globals are module-private and unobservable (only
+// output and return values are), so such stores are dead weight the
+// optimizer deliberately keeps (stores are effectful to it).
+func checkDeadGlobalStores(m *ir.Module) diag.List {
+	loaded := make(map[string]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpLoadG {
+					loaded[in.Global] = true
+				}
+			}
+		}
+	}
+	var out diag.List
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStoreG && !loaded[in.Global] {
+					out = append(out, report(m, "dead-global-store", diag.Warning, f.Name, b.Name,
+						"store to global @%s, which is never read anywhere in the module", in.Global))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkRecursionCycles reports the strongly connected components of the
+// static call graph that contain a cycle. These are informational: the
+// inliner handles them ("inline recursive functions at most once" via call
+// trails), but they bound what exhaustive search can expand, so surfacing
+// them explains search-space shapes.
+func checkRecursionCycles(m *ir.Module) diag.List {
+	var out diag.List
+	for _, scc := range callSCCs(m) {
+		if len(scc) == 1 {
+			f := scc[0]
+			if selfCalls(m.Func(f)) {
+				out = append(out, report(m, "recursion-cycle", diag.Info, f, "",
+					"function @%s is self-recursive (inlined at most once per call trail)", f))
+			}
+			continue
+		}
+		out = append(out, report(m, "recursion-cycle", diag.Info, scc[0], "",
+			"recursion cycle through functions: %s", "@"+strings.Join(scc, ", @")))
+	}
+	return out
+}
+
+func selfCalls(f *ir.Function) bool {
+	if f == nil {
+		return false
+	}
+	for _, in := range f.Calls() {
+		if in.Callee == f.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPureCalls flags calls to provably pure functions whose results are
+// unused. The optimizer treats every call as effectful (the property the
+// paper's search-space partition relies on), so such a call survives DCE
+// even though the effect analysis proves nothing observable depends on it;
+// labeling its site inline is what lets the pipeline delete it.
+func checkPureCalls(m *ir.Module) diag.List {
+	eff := AnalyzeEffects(m)
+	var out diag.List
+	for _, f := range m.Funcs {
+		used := usedValues(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.Result == nil || used[in.Result] {
+					continue
+				}
+				if eff.Pure(in.Callee) {
+					out = append(out, report(m, "pure-call", diag.Info, f.Name, b.Name,
+						"result of call to pure function @%s is unused; the call survives only because the optimizer treats calls as effectful (inlining the site lets DCE remove it)", in.Callee))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkUnreachableBlocks flags blocks unreachable from the entry. The
+// optimizer's removeUnreachable pass deletes them at fixpoint, so their
+// presence after the pipeline is an error.
+func checkUnreachableBlocks(m *ir.Module, f *ir.Function, opts Options) diag.List {
+	sev := diag.Warning
+	if opts.PostPipeline {
+		sev = diag.Error
+	}
+	reach := f.Reachable()
+	var out diag.List
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			msg := "block is unreachable from the entry"
+			if opts.PostPipeline {
+				msg = "block is unreachable from the entry but survived the pipeline (removeUnreachable should have deleted it)"
+			}
+			out = append(out, report(m, "unreachable-block", sev, f.Name, b.Name, "%s", msg))
+		}
+	}
+	return out
+}
+
+// checkConstConds flags conditional branches whose condition is a constant.
+// foldBranches rewrites these at fixpoint, so one surviving the pipeline is
+// an error; on raw lowered IR it is a lint (`if (0)`-style source).
+func checkConstConds(m *ir.Module, f *ir.Function, opts Options) diag.List {
+	sev := diag.Warning
+	if opts.PostPipeline {
+		sev = diag.Error
+	}
+	var out diag.List
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		cond := t.Args[0]
+		if cond != nil && cond.Def != nil && cond.Def.Op == ir.OpConst {
+			msg := fmt.Sprintf("conditional branch on constant %d (one arm is dead)", cond.Def.Const)
+			if opts.PostPipeline {
+				msg = fmt.Sprintf("conditional branch on constant %d survived the pipeline (foldBranches should have folded it)", cond.Def.Const)
+			}
+			out = append(out, report(m, "const-cond", sev, f.Name, b.Name, "%s", msg))
+		}
+	}
+	return out
+}
+
+// checkUnusedBlockParams flags non-entry block parameters with no uses.
+// Post-pipeline only: raw lowered IR passes every local through every join
+// block by construction, so unused parameters there are expected and the
+// finding would be pure noise. After the pipeline they mark values the
+// pass stack kept alive without need (there is no dead-block-param pass),
+// which is useful signal for optimizer work — informational, not an error.
+func checkUnusedBlockParams(m *ir.Module, f *ir.Function) diag.List {
+	used := usedValues(f)
+	var out diag.List
+	for i, b := range f.Blocks {
+		if i == 0 {
+			continue // entry params are the function signature
+		}
+		for _, p := range b.Params {
+			if !used[p] {
+				out = append(out, report(m, "unused-block-param", diag.Info, f.Name, b.Name,
+					"block parameter %s has no uses", p))
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadInstrs flags pure instructions whose results are unused.
+// Post-pipeline only, at error severity: removeDeadInstrs deletes exactly
+// these at fixpoint, so one surviving means DCE and the effect model
+// disagreed — the invariant this analyzer shares with the optimizer via
+// ir.Instr.HasSideEffects.
+func checkDeadInstrs(m *ir.Module, f *ir.Function) diag.List {
+	used := usedValues(f)
+	var out diag.List
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Result != nil && !used[in.Result] && !in.HasSideEffects() {
+				out = append(out, report(m, "dead-instr", diag.Error, f.Name, b.Name,
+					"pure %s instruction with unused result survived the pipeline (removeDeadInstrs should have deleted it)", in.Op))
+			}
+		}
+	}
+	return out
+}
+
+// usedValues returns the set of values used as operands anywhere in f.
+func usedValues(f *ir.Function) map[*ir.Value]bool {
+	used := make(map[*ir.Value]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				used[a] = true
+			}
+			for _, s := range in.Succs {
+				for _, a := range s.Args {
+					used[a] = true
+				}
+			}
+		}
+	}
+	return used
+}
+
+// callSCCs returns the strongly connected components of the defined-callee
+// call graph in deterministic (module, discovery) order.
+func callSCCs(m *ir.Module) [][]string {
+	index := make(map[string]int)   // Tarjan discovery index
+	lowlink := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	callees := func(name string) []string {
+		f := m.Func(name)
+		if f == nil {
+			return nil
+		}
+		var out []string
+		seen := make(map[string]bool)
+		for _, in := range f.Calls() {
+			if m.Func(in.Callee) != nil && !seen[in.Callee] {
+				seen[in.Callee] = true
+				out = append(out, in.Callee)
+			}
+		}
+		return out
+	}
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range callees(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			// Tarjan pops in reverse discovery order; restore it.
+			for i, j := 0, len(scc)-1; i < j; i, j = i+1, j-1 {
+				scc[i], scc[j] = scc[j], scc[i]
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, f := range m.Funcs {
+		if _, seen := index[f.Name]; !seen {
+			strongconnect(f.Name)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,224 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"optinline/internal/diag"
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+	"optinline/internal/opt"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := lang.Compile("test.minc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestUndefinedCalleeIsWarning(t *testing.T) {
+	m := mustCompile(t, `
+export func main(n) {
+    return ext_helper(n) + 1;
+}`)
+	ds := RunModule(m, Options{}).ByAnalyzer("undefined-callee")
+	if len(ds) != 1 {
+		t.Fatalf("got %d undefined-callee findings, want 1: %v", len(ds), ds)
+	}
+	if ds[0].Severity != diag.Warning {
+		t.Errorf("severity = %v, want warning (extern calls are supported)", ds[0].Severity)
+	}
+	if !strings.Contains(ds[0].Message, "ext_helper") {
+		t.Errorf("message should name the callee: %q", ds[0].Message)
+	}
+}
+
+func TestDeadGlobalStore(t *testing.T) {
+	dead := mustCompile(t, `
+global g;
+export func main(n) {
+    g = n;
+    return n;
+}`)
+	if ds := RunModule(dead, Options{}).ByAnalyzer("dead-global-store"); len(ds) != 1 {
+		t.Errorf("store-only global: got %d findings, want 1: %v", len(ds), ds)
+	}
+
+	live := mustCompile(t, `
+global g;
+export func main(n) {
+    g = n;
+    return g;
+}`)
+	if ds := RunModule(live, Options{}).ByAnalyzer("dead-global-store"); len(ds) != 0 {
+		t.Errorf("loaded global: got %d findings, want 0: %v", len(ds), ds)
+	}
+}
+
+func TestRecursionCycles(t *testing.T) {
+	m := mustCompile(t, `
+func self(n) {
+    if (n <= 0) { return 0; }
+    return self(n - 1);
+}
+func ping(n) {
+    if (n <= 0) { return 0; }
+    return pong(n - 1);
+}
+func pong(n) {
+    return ping(n - 1);
+}
+export func main(n) {
+    return self(n) + ping(n);
+}`)
+	ds := RunModule(m, Options{}).ByAnalyzer("recursion-cycle")
+	if len(ds) != 2 {
+		t.Fatalf("got %d recursion findings, want 2 (self + ping/pong): %v", len(ds), ds)
+	}
+	for _, d := range ds {
+		if d.Severity != diag.Info {
+			t.Errorf("recursion cycles are informational, got %v", d.Severity)
+		}
+	}
+}
+
+func TestPureCallUnusedResult(t *testing.T) {
+	m := mustCompile(t, `
+func sq(k) {
+    return k * k;
+}
+func noisy(k) {
+    output k;
+    return k;
+}
+export func main(n) {
+    sq(n);
+    noisy(n);
+    return n;
+}`)
+	ds := RunModule(m, Options{}).ByAnalyzer("pure-call")
+	if len(ds) != 1 {
+		t.Fatalf("got %d pure-call findings, want 1 (sq only; noisy has effects): %v", len(ds), ds)
+	}
+	if !strings.Contains(ds[0].Message, "sq") {
+		t.Errorf("finding should name @sq: %q", ds[0].Message)
+	}
+}
+
+// deadBlockFunc builds: entry -> ret p0, plus an unreachable block.
+func deadBlockFunc() *ir.Function {
+	b := ir.NewFunction("f", 1, true)
+	dead := b.Block("island", 0)
+	b.Ret(b.Param(0))
+	b.SetBlock(dead)
+	b.Ret(b.Const(1))
+	return b.Fn
+}
+
+func TestUnreachableBlockSeverityEscalates(t *testing.T) {
+	m := ir.NewModule("m")
+	m.AddFunc(deadBlockFunc())
+	pre := RunFunction(m, m.Funcs[0], Options{}).ByAnalyzer("unreachable-block")
+	if len(pre) != 1 || pre[0].Severity != diag.Warning {
+		t.Errorf("pre-pipeline: got %v, want one warning", pre)
+	}
+	post := RunFunction(m, m.Funcs[0], Options{PostPipeline: true}).ByAnalyzer("unreachable-block")
+	if len(post) != 1 || post[0].Severity != diag.Error {
+		t.Errorf("post-pipeline: got %v, want one error", post)
+	}
+}
+
+func TestConstCondSeverityEscalates(t *testing.T) {
+	b := ir.NewFunction("f", 0, true)
+	then := b.Block("then", 0)
+	els := b.Block("els", 0)
+	b.CondBr(b.Const(1), then, nil, els, nil)
+	b.SetBlock(then)
+	b.Ret(b.Const(1))
+	b.SetBlock(els)
+	b.Ret(b.Const(2))
+	m := ir.NewModule("m")
+	m.AddFunc(b.Fn)
+
+	pre := RunFunction(m, m.Funcs[0], Options{}).ByAnalyzer("const-cond")
+	if len(pre) != 1 || pre[0].Severity != diag.Warning {
+		t.Errorf("pre-pipeline: got %v, want one warning", pre)
+	}
+	post := RunFunction(m, m.Funcs[0], Options{PostPipeline: true}).ByAnalyzer("const-cond")
+	if len(post) != 1 || post[0].Severity != diag.Error {
+		t.Errorf("post-pipeline: got %v, want one error", post)
+	}
+}
+
+func TestDeadInstrPostPipelineOnly(t *testing.T) {
+	b := ir.NewFunction("f", 1, true)
+	b.Bin(ir.Add, b.Param(0), b.Const(1)) // result never used
+	b.Ret(b.Param(0))
+	m := ir.NewModule("m")
+	m.AddFunc(b.Fn)
+
+	if ds := RunFunction(m, m.Funcs[0], Options{}).ByAnalyzer("dead-instr"); len(ds) != 0 {
+		t.Errorf("dead-instr must not run pre-pipeline: %v", ds)
+	}
+	ds := RunFunction(m, m.Funcs[0], Options{PostPipeline: true}).ByAnalyzer("dead-instr")
+	// The adder and its constant operand are both dead.
+	if len(ds) == 0 {
+		t.Fatal("dead pure instruction not reported post-pipeline")
+	}
+	for _, d := range ds {
+		if d.Severity != diag.Error {
+			t.Errorf("dead-instr post-pipeline severity = %v, want error", d.Severity)
+		}
+	}
+}
+
+func TestOptimizedModulesAreCleanPostPipeline(t *testing.T) {
+	srcs := []string{
+		`export func main(n) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+        if (i % 2 == 0) { acc = acc + i; } else { acc = acc - 1; }
+        i = i + 1;
+    }
+    return acc;
+}`,
+		`global g;
+func helper(k) {
+    if (k > 10) { return k - 10; }
+    return k;
+}
+export func main(n) {
+    g = helper(n);
+    output g;
+    return g;
+}`,
+	}
+	for i, src := range srcs {
+		m := mustCompile(t, src)
+		opt.Module(m)
+		ds := RunModule(m, Options{PostPipeline: true}).MinSeverity(diag.Error)
+		if len(ds) != 0 {
+			t.Errorf("src %d: optimized module has analyzer errors:\n%s", i, ds.Text())
+		}
+	}
+}
+
+func TestAnalyzersListMatchesSuite(t *testing.T) {
+	names := make(map[string]bool)
+	for _, info := range Analyzers() {
+		if info.Name == "" || info.Doc == "" {
+			t.Errorf("analyzer entry %+v missing name or doc", info)
+		}
+		if names[info.Name] {
+			t.Errorf("duplicate analyzer name %q", info.Name)
+		}
+		names[info.Name] = true
+	}
+	if len(names) != 8 {
+		t.Errorf("suite lists %d analyzers, want 8", len(names))
+	}
+}

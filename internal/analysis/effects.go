@@ -1,0 +1,86 @@
+package analysis
+
+import "optinline/internal/ir"
+
+// This file is the effect/purity analysis. It is deliberately layered on
+// the same primitive the optimizer's dead-instruction elimination uses —
+// ir.Instr.HasSideEffects — so the two can never disagree: Effectful below
+// only ever *refines* HasSideEffects downward (a call to a provably pure
+// function), never upward. Anything opt.removeDeadInstrs deletes is
+// HasSideEffects-false and therefore Effectful-false here; the containment
+// is checked by TestEffectfulRefinesHasSideEffects.
+
+// Effects is the module-level result of the purity analysis.
+type Effects struct {
+	pure map[string]bool
+}
+
+// AnalyzeEffects computes, for every function defined in the module,
+// whether it is pure: it executes no store to a global and no output, and
+// every function it calls is itself defined and pure. Undefined (extern)
+// callees are conservatively impure. The computation is an optimistic
+// fixpoint, so mutually recursive functions with effect-free bodies are
+// still recognized as pure.
+//
+// Purity here is about observable effects only; it says nothing about
+// termination (the interpreter's fuel handles that concern).
+func AnalyzeEffects(m *ir.Module) *Effects {
+	pure := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		pure[f.Name] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if !pure[f.Name] {
+				continue
+			}
+			if hasDirectEffect(f) || callsImpure(f, pure) {
+				pure[f.Name] = false
+				changed = true
+			}
+		}
+	}
+	return &Effects{pure: pure}
+}
+
+// Pure reports whether the named function is defined in the module and
+// provably free of observable effects.
+func (e *Effects) Pure(name string) bool { return e.pure[name] }
+
+// Effectful reports whether the instruction can have an observable effect.
+// It agrees with ir.Instr.HasSideEffects — the predicate the optimizer's
+// DCE preserves instructions by — except that a call to a provably pure
+// function is refined to effect-free. The refinement is one-directional:
+// Effectful(in) implies in.HasSideEffects(), so the optimizer is always at
+// least as conservative as this analysis.
+func (e *Effects) Effectful(in *ir.Instr) bool {
+	if in.Op == ir.OpCall {
+		return !e.Pure(in.Callee)
+	}
+	return in.HasSideEffects()
+}
+
+// hasDirectEffect reports whether the function body itself writes a global
+// or emits output. Calls are handled separately by the fixpoint.
+func hasDirectEffect(f *ir.Function) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpStoreG || in.Op == ir.OpOutput {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsImpure reports whether the function calls anything not currently
+// marked pure (including undefined callees, which are absent from the map).
+func callsImpure(f *ir.Function, pure map[string]bool) bool {
+	for _, in := range f.Calls() {
+		if !pure[in.Callee] {
+			return true
+		}
+	}
+	return false
+}

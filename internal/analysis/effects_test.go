@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"optinline/internal/interp"
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+)
+
+func TestAnalyzeEffectsBasics(t *testing.T) {
+	m := mustCompile(t, `
+global g;
+func pure_leaf(k) {
+    return k * 2 + 1;
+}
+func pure_caller(k) {
+    return pure_leaf(k) + pure_leaf(k + 1);
+}
+func writes_global(k) {
+    g = k;
+    return k;
+}
+func emits(k) {
+    output k;
+    return k;
+}
+func calls_impure(k) {
+    return emits(k);
+}
+func calls_extern(k) {
+    return ext_thing(k);
+}
+export func main(n) {
+    return pure_caller(n) + writes_global(n) + calls_impure(n) + calls_extern(n);
+}`)
+	eff := AnalyzeEffects(m)
+	want := map[string]bool{
+		"pure_leaf":     true,
+		"pure_caller":   true,
+		"writes_global": false,
+		"emits":         false,
+		"calls_impure":  false,
+		"calls_extern":  false, // extern callees are conservatively impure
+		"main":          false,
+	}
+	for name, pure := range want {
+		if eff.Pure(name) != pure {
+			t.Errorf("Pure(%s) = %v, want %v", name, eff.Pure(name), pure)
+		}
+	}
+	if eff.Pure("not_defined") {
+		t.Error("undefined functions must not be pure")
+	}
+}
+
+func TestAnalyzeEffectsMutualRecursion(t *testing.T) {
+	m := mustCompile(t, `
+func even(n) {
+    if (n == 0) { return 1; }
+    return odd(n - 1);
+}
+func odd(n) {
+    if (n == 0) { return 0; }
+    return even(n - 1);
+}
+export func main(n) {
+    return even(n);
+}`)
+	eff := AnalyzeEffects(m)
+	if !eff.Pure("even") || !eff.Pure("odd") {
+		t.Error("effect-free mutual recursion should be pure (optimistic fixpoint)")
+	}
+}
+
+// TestEffectfulRefinesHasSideEffects checks the containment the optimizer
+// relies on: Effectful(in) implies in.HasSideEffects() for every instruction
+// of a corpus of generated modules, so the purity analysis only ever refines
+// the DCE predicate downward and the two can never disagree about what is
+// safe to delete.
+func TestEffectfulRefinesHasSideEffects(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		m, err := lang.Compile("gen.minc", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eff := AnalyzeEffects(m)
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if eff.Effectful(in) && !in.HasSideEffects() {
+						t.Fatalf("seed %d: func %s: Effectful(%v) but !HasSideEffects — refinement went the wrong way", seed, f.Name, in.Op)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPurityAgreesWithInterpreter differentially validates the purity
+// analysis: running any provably pure function in the interpreter must
+// produce zero observable output, for many generated programs and argument
+// choices.
+func TestPurityAgreesWithInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for seed := int64(0); seed < 30; seed++ {
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		m, err := lang.Compile("gen.minc", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eff := AnalyzeEffects(m)
+		for _, f := range m.Funcs {
+			if !eff.Pure(f.Name) {
+				continue
+			}
+			args := make([]int64, f.NumParams())
+			for i := range args {
+				args[i] = rng.Int63n(40) - 8
+			}
+			res, err := interp.Run(m, f.Name, args, interp.Options{})
+			if err != nil {
+				// Fuel exhaustion is about termination, not purity.
+				continue
+			}
+			checked++
+			if res.OutputLen != 0 {
+				t.Fatalf("seed %d: pure function %s produced %d outputs", seed, f.Name, res.OutputLen)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no pure functions exercised; generator or analysis changed shape")
+	}
+}
+
+func TestEffectfulRefinesPureCalls(t *testing.T) {
+	m := mustCompile(t, `
+func sq(k) { return k * k; }
+export func main(n) { return sq(n); }`)
+	eff := AnalyzeEffects(m)
+	call := m.Func("main").Calls()[0]
+	if !call.HasSideEffects() {
+		t.Fatal("the optimizer must treat calls as effectful")
+	}
+	if eff.Effectful(call) {
+		t.Error("a call to a provably pure function should be refined to effect-free")
+	}
+	var storeg *ir.Instr
+	m2 := mustCompile(t, `
+global g;
+export func main(n) { g = n; return n; }`)
+	for _, in := range m2.Func("main").Blocks[0].Instrs {
+		if in.Op == ir.OpStoreG {
+			storeg = in
+		}
+	}
+	if storeg == nil || !AnalyzeEffects(m2).Effectful(storeg) {
+		t.Error("global stores must stay effectful")
+	}
+}

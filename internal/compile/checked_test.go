@@ -1,0 +1,130 @@
+package compile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+)
+
+func chainModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := lang.Compile("chain.minc", `
+func leaf(k) {
+    return k + 1;
+}
+func mid(k) {
+    return leaf(k) * 2;
+}
+export func entry(n) {
+    return mid(n) + leaf(n);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func everySite(c *Compiler) *callgraph.Config {
+	cfg := callgraph.NewConfig()
+	for _, e := range c.Graph().Edges {
+		cfg.Set(e.Site, true)
+	}
+	return cfg
+}
+
+func TestCheckedBuildMatchesUnchecked(t *testing.T) {
+	mod := chainModule(t)
+	plain := New(mod, codegen.TargetX86)
+	chk := NewWithOptions(mod, codegen.TargetX86, Options{Check: true})
+	if !chk.Checked() || plain.Checked() {
+		t.Fatal("Checked() accessor wrong")
+	}
+	for _, cfg := range []*callgraph.Config{callgraph.NewConfig(), everySite(plain)} {
+		pm, err := plain.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := chk.Build(cfg)
+		if err != nil {
+			t.Fatalf("checked build: %v", err)
+		}
+		if pm.String() != cm.String() {
+			t.Errorf("cfg %v: checked mode changed the build output", cfg)
+		}
+	}
+}
+
+func TestCheckedModeBypassesMemoPath(t *testing.T) {
+	mod := chainModule(t)
+	chk := NewWithOptions(mod, codegen.TargetX86, Options{Check: true})
+	chk.Size(everySite(chk))
+	if st := chk.FuncCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("checked Size used the memo engine (%v); it must run the full pipeline", st)
+	}
+	if chk.Evaluations() != 1 {
+		t.Errorf("evaluations = %d, want 1", chk.Evaluations())
+	}
+	if err := chk.CheckFailure(); err != nil {
+		t.Errorf("unexpected check failure: %v", err)
+	}
+}
+
+// TestCheckedBuildFlagsInvalidInput feeds checked mode a module that
+// violates a Verify invariant (a call to a defined function with the wrong
+// arity) and expects an input-stage CheckError, a latched CheckFailure, and
+// an InfSize — while unchecked mode compiles the same module without noticing.
+func TestCheckedBuildFlagsInvalidInput(t *testing.T) {
+	callee := ir.NewFunction("callee", 2, false)
+	callee.Ret(callee.Param(0))
+	caller := ir.NewFunction("entry", 1, true)
+	caller.Ret(caller.Call("callee", caller.Param(0))) // arity 1, want 2
+	m := ir.NewModule("bad")
+	m.AddFunc(callee.Fn)
+	m.AddFunc(caller.Fn)
+
+	chk := NewWithOptions(m, codegen.TargetX86, Options{Check: true})
+	_, err := chk.Build(callgraph.NewConfig())
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CheckError", err)
+	}
+	if ce.Stage != "input" {
+		t.Errorf("Stage = %q, want input", ce.Stage)
+	}
+	if !strings.Contains(ce.Error(), "stage") {
+		t.Errorf("Error() should name the stage: %q", ce.Error())
+	}
+
+	// Size must stay total (InfSize) but latch the violation.
+	if size := chk.Size(callgraph.NewConfig()); size != InfSize {
+		t.Errorf("Size = %d, want InfSize", size)
+	}
+	if cerr := chk.CheckFailure(); cerr == nil {
+		t.Error("CheckFailure() = nil, want the latched CheckError")
+	}
+
+	// Unchecked mode happily compiles the same module — that asymmetry is
+	// the point of the mode.
+	plain := New(m, codegen.TargetX86)
+	if _, err := plain.Build(callgraph.NewConfig()); err != nil {
+		t.Errorf("unchecked build should not verify: %v", err)
+	}
+}
+
+func TestCheckErrorFormatting(t *testing.T) {
+	e := &CheckError{Stage: "opt", Pass: "fold-branches", Func: "f", Err: errors.New("boom")}
+	msg := e.Error()
+	for _, want := range []string{"opt", "fold-branches", "func f", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if !errors.Is(e, e.Err) {
+		t.Error("CheckError must unwrap to the underlying error")
+	}
+}

@@ -9,13 +9,17 @@
 package compile
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"optinline/internal/analysis"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
+	"optinline/internal/diag"
 	"optinline/internal/inline"
 	"optinline/internal/ir"
 	"optinline/internal/opt"
@@ -25,6 +29,23 @@ import (
 // InfSize is returned for configurations that fail to compile (the inliner's
 // growth bound tripped); it compares worse than any real size.
 const InfSize = math.MaxInt32
+
+// Options configures a Compiler beyond its module and target.
+type Options struct {
+	// Check enables checked compilation mode, the -verify-each analogue:
+	// ir.Verify runs after every individual inline expansion and after every
+	// optimization pass that changed a function, and the static-analyzer
+	// suite (internal/analysis) audits the final module with its
+	// post-pipeline invariants escalated to errors. The first violation
+	// aborts the build with a *CheckError naming the exact stage and pass.
+	//
+	// Checked mode bypasses the per-function memo fast path — that path
+	// skips whole-module pipelines, which is precisely the work being
+	// checked — so it is substantially slower; it exists as a regression
+	// tripwire for tests, fuzzing, and the CLIs' -check flags, not for
+	// production search runs.
+	Check bool
+}
 
 // Compiler evaluates inlining configurations against a fixed base module.
 type Compiler struct {
@@ -38,6 +59,10 @@ type Compiler struct {
 
 	memo    *memoState
 	memoize bool
+	check   bool
+
+	checkMu  sync.Mutex
+	checkErr error // first *CheckError observed by a cached Size path
 
 	evals      atomic.Int64
 	hits       atomic.Int64
@@ -45,6 +70,29 @@ type Compiler struct {
 	funcHits   atomic.Int64
 	funcMisses atomic.Int64
 }
+
+// CheckError is a checked-mode invariant violation, attributed to the first
+// stage and pass that broke it.
+type CheckError struct {
+	Stage string    // "input", "inline", "dead-function-elimination", "opt", "post-pipeline"
+	Pass  string    // inline step, opt pass name, or "analysis" — empty when the stage has no finer unit
+	Func  string    // function being transformed, when known
+	Diags diag.List // error-severity analyzer findings (Stage "post-pipeline")
+	Err   error
+}
+
+func (e *CheckError) Error() string {
+	msg := fmt.Sprintf("checked mode: stage %q", e.Stage)
+	if e.Pass != "" {
+		msg += fmt.Sprintf(", pass %q", e.Pass)
+	}
+	if e.Func != "" {
+		msg += fmt.Sprintf(", func %s", e.Func)
+	}
+	return msg + ": " + e.Err.Error()
+}
+
+func (e *CheckError) Unwrap() error { return e.Err }
 
 // sizeEntry is a single-flight slot of the whole-configuration cache.
 type sizeEntry struct {
@@ -55,6 +103,11 @@ type sizeEntry struct {
 // New prepares a compiler for the module. The module is cloned defensively;
 // callers may keep using the original. Site IDs are assigned if absent.
 func New(m *ir.Module, target codegen.Target) *Compiler {
+	return NewWithOptions(m, target, Options{})
+}
+
+// NewWithOptions is New with explicit options (checked compilation mode).
+func NewWithOptions(m *ir.Module, target codegen.Target, opts Options) *Compiler {
 	base := m.Clone()
 	base.AssignSites()
 	g := callgraph.Build(base)
@@ -66,7 +119,29 @@ func New(m *ir.Module, target codegen.Target) *Compiler {
 		cache:       make(map[string]*sizeEntry),
 		memo:        buildMemo(base, g),
 		memoize:     true,
+		check:       opts.Check,
 	}
+}
+
+// Checked reports whether checked compilation mode is enabled.
+func (c *Compiler) Checked() bool { return c.check }
+
+// CheckFailure returns the first checked-mode invariant violation observed
+// by a Size evaluation, or nil. Size must map build failures to InfSize to
+// stay a total function for the search algorithms, so checked-mode
+// violations are latched here for the caller to inspect after a run.
+func (c *Compiler) CheckFailure() error {
+	c.checkMu.Lock()
+	defer c.checkMu.Unlock()
+	return c.checkErr
+}
+
+func (c *Compiler) recordCheckFailure(err error) {
+	c.checkMu.Lock()
+	if c.checkErr == nil {
+		c.checkErr = err
+	}
+	c.checkMu.Unlock()
 }
 
 // SetMemoize switches the per-function memoized evaluation path on or off
@@ -89,10 +164,26 @@ func (c *Compiler) Module() *ir.Module { return c.base }
 func (c *Compiler) Target() codegen.Target { return c.target }
 
 // Build runs the full pipeline for a configuration and returns the
-// optimized module. It does not consult or fill the size cache.
+// optimized module. It does not consult or fill the size cache. In checked
+// mode the pipeline verifies after every inline expansion and every opt
+// pass, and any violation is returned as a *CheckError naming the stage and
+// pass that introduced it.
 func (c *Compiler) Build(cfg *callgraph.Config) (*ir.Module, error) {
 	m := c.base.Clone()
-	if err := inline.Apply(m, cfg, inline.Options{}); err != nil {
+	if c.check {
+		if err := m.Verify(); err != nil {
+			return nil, &CheckError{Stage: "input", Err: err}
+		}
+	}
+	iopts := inline.Options{}
+	if c.check {
+		iopts.Check = func(string) error { return m.Verify() }
+	}
+	if err := inline.Apply(m, cfg, iopts); err != nil {
+		var se *inline.StepError
+		if errors.As(err, &se) {
+			return nil, &CheckError{Stage: "inline", Pass: se.Step, Err: se.Err}
+		}
 		return nil, err
 	}
 	// Label-based dead-function elimination: an internal function whose
@@ -101,7 +192,47 @@ func (c *Compiler) Build(cfg *callgraph.Config) (*ir.Module, error) {
 	// which keeps independent components exactly independent (DESIGN.md).
 	removable := c.graph.CalleesAllInline(cfg)
 	opt.RemoveDeadFunctions(m, func(name string) bool { return removable[name] })
-	opt.Module(m)
+	if !c.check {
+		opt.Module(m)
+		return m, nil
+	}
+
+	if err := m.Verify(); err != nil {
+		return nil, &CheckError{Stage: "dead-function-elimination", Err: err}
+	}
+	// Per-pass verification: structural invariants plus the mid-pipeline
+	// analyzer suite (error severity only; Warning-level findings like
+	// not-yet-folded constant conditions are expected mid-flight).
+	perPass := func(pass string, f *ir.Function) error {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+		if ds := analysis.RunFunction(m, f, analysis.Options{}).MinSeverity(diag.Error); len(ds) > 0 {
+			return fmt.Errorf("analyzer %s: %s", ds[0].Analyzer, ds[0].Message)
+		}
+		return nil
+	}
+	if _, err := opt.ModuleChecked(m, perPass); err != nil {
+		var pe *opt.PassError
+		if errors.As(err, &pe) {
+			return nil, &CheckError{Stage: "opt", Pass: pe.Pass, Func: pe.Func, Err: pe.Err}
+		}
+		return nil, &CheckError{Stage: "opt", Err: err}
+	}
+	// Post-pipeline audit: the full analyzer suite with the fixpoint
+	// guarantees (no unreachable blocks, no constant conditions, no dead
+	// pure instructions, no unused block parameters) escalated to errors.
+	if err := m.Verify(); err != nil {
+		return nil, &CheckError{Stage: "post-pipeline", Err: err}
+	}
+	if ds := analysis.RunModule(m, analysis.Options{PostPipeline: true}).MinSeverity(diag.Error); len(ds) > 0 {
+		return nil, &CheckError{
+			Stage: "post-pipeline",
+			Pass:  "analysis",
+			Diags: ds,
+			Err:   fmt.Errorf("%d analyzer error(s), first: %s", len(ds), ds[0]),
+		}
+	}
 	return m, nil
 }
 
@@ -129,11 +260,17 @@ func (c *Compiler) Size(cfg *callgraph.Config) int {
 
 func (c *Compiler) measure(cfg *callgraph.Config) int {
 	c.evals.Add(1)
-	if c.memoize {
+	// Checked mode forces the full-pipeline path: the memo engine skips
+	// whole-module compilations, which is exactly the work being checked.
+	if c.memoize && !c.check {
 		return c.measureMemo(cfg)
 	}
 	m, err := c.Build(cfg)
 	if err != nil {
+		var ce *CheckError
+		if errors.As(err, &ce) {
+			c.recordCheckFailure(err)
+		}
 		c.errors.Add(1)
 		return InfSize
 	}

@@ -138,6 +138,74 @@ func TestDifferentialFuzzGeneratedPrograms(t *testing.T) {
 	}
 }
 
+// TestCheckedModeFuzzGeneratedPrograms pushes every generated seed through
+// checked compilation mode: invariants verified after every inline step and
+// every optimization pass, plus the post-pipeline analyzer audit. A
+// violation anywhere fails the build with a stage/pass attribution, so this
+// is the analyzer suite's false-positive regression test as much as the
+// pipeline's correctness test. It also pins checked-mode sizes to the
+// memoized fast path's, and asserts the frontend lints stay silent in the
+// categories the generator guarantees absent (generated programs do contain
+// write-only locals, so unused-local is deliberately not on that list).
+func TestCheckedModeFuzzGeneratedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cleanLints := []string{"use-before-init", "unreachable-stmt", "shadow"}
+	verified := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		name := fmt.Sprintf("chk%03d", seed)
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		prog, err := lang.Parse(name, src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		lints := lang.Lint(name, prog)
+		if lints.HasErrors() {
+			t.Fatalf("seed %d: lints at error severity on generated code:\n%s", seed, lints.Text())
+		}
+		for _, analyzer := range cleanLints {
+			if ds := lints.ByAnalyzer(analyzer); len(ds) > 0 {
+				t.Fatalf("seed %d: false-positive %s lints on generated code:\n%s\n%s",
+					seed, analyzer, ds.Text(), src)
+			}
+		}
+		mod, err := lang.Lower(name, prog)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		plain := New(mod, codegen.TargetX86)
+		chk := NewWithOptions(mod, codegen.TargetX86, Options{Check: true})
+		g := chk.Graph()
+		cfgs := []*callgraph.Config{callgraph.NewConfig()}
+		all := callgraph.NewConfig()
+		for _, e := range g.Edges {
+			all.Set(e.Site, true)
+		}
+		cfgs = append(cfgs, all)
+		for trial := 0; trial < 3; trial++ {
+			cfg := callgraph.NewConfig()
+			for _, e := range g.Edges {
+				if rng.Intn(2) == 0 {
+					cfg.Set(e.Site, true)
+				}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		for _, cfg := range cfgs {
+			got, want := chk.Size(cfg), plain.Size(cfg)
+			if err := chk.CheckFailure(); err != nil {
+				t.Fatalf("seed %d cfg %v: checked mode: %v\n%s", seed, cfg, err, src)
+			}
+			if got != want {
+				t.Fatalf("seed %d cfg %v: checked size %d != memoized size %d", seed, cfg, got, want)
+			}
+			verified++
+		}
+	}
+	if verified < 100 {
+		t.Fatalf("only %d checked configurations; corpus too small", verified)
+	}
+}
+
 // TestSizeMonotonicityUnderDFE: fully inlining every call edge of an
 // internal function can never be worse than inlining all of them except
 // leaving the function alive artificially — i.e., DFE only helps.

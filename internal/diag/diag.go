@@ -1,0 +1,209 @@
+// Package diag defines the structured diagnostics shared by the static
+// analyzers (internal/analysis), the MinC frontend lints (internal/lang),
+// and checked compilation mode (internal/compile). A diagnostic carries the
+// analyzer that produced it, a severity, an optional source position, and an
+// optional IR location (function/block), and renders both as stable
+// human-readable text and as machine-readable JSON — the two output modes of
+// the inlinelint command.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic. Errors are invariant violations that
+// fail checked compilation; warnings are suspicious-but-legal constructs;
+// infos are observations (e.g. recursion cycles) with no quality judgement.
+type Severity int
+
+// Severities, ordered from least to most severe.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the lower-case severity names.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("diag: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Pos is a source position. Line 0 means "no source position" (IR-level
+// diagnostics on modules that did not come from MinC source).
+type Pos struct {
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+}
+
+// IsValid reports whether the position carries at least a line number.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	switch {
+	case p.File == "" && !p.IsValid():
+		return ""
+	case !p.IsValid():
+		return p.File
+	case p.Col > 0:
+		return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	default:
+		return fmt.Sprintf("%s:%d", p.File, p.Line)
+	}
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	Pos      Pos      `json:"pos"`
+	Func     string   `json:"func,omitempty"`  // IR function, when known
+	Block    string   `json:"block,omitempty"` // IR basic block, when known
+	Message  string   `json:"message"`
+}
+
+// String renders the diagnostic in the compiler-style one-line form
+//
+//	file:line:col: severity: [analyzer] func f: block b: message
+//
+// omitting the parts that are absent.
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	if p := d.Pos.String(); p != "" {
+		sb.WriteString(p)
+		sb.WriteString(": ")
+	}
+	fmt.Fprintf(&sb, "%s: [%s] ", d.Severity, d.Analyzer)
+	if d.Func != "" {
+		fmt.Fprintf(&sb, "func %s: ", d.Func)
+	}
+	if d.Block != "" {
+		fmt.Fprintf(&sb, "block %s: ", d.Block)
+	}
+	sb.WriteString(d.Message)
+	return sb.String()
+}
+
+// List is an ordered collection of diagnostics.
+type List []Diagnostic
+
+// Sort orders the list deterministically: by file, line, column, function,
+// block, analyzer, and finally message. Renderers sort before printing so
+// text and JSON output are stable under golden tests.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Count returns the number of diagnostics at exactly the given severity.
+func (l List) Count(s Severity) int {
+	n := 0
+	for _, d := range l {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether the list contains any error-severity diagnostic.
+func (l List) HasErrors() bool { return l.Count(Error) > 0 }
+
+// MinSeverity returns the diagnostics at or above the given severity.
+func (l List) MinSeverity(s Severity) List {
+	var out List
+	for _, d := range l {
+		if d.Severity >= s {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByAnalyzer returns the diagnostics produced by the named analyzer.
+func (l List) ByAnalyzer(name string) List {
+	var out List
+	for _, d := range l {
+		if d.Analyzer == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Text renders the sorted list as one diagnostic per line.
+func (l List) Text() string {
+	sorted := append(List(nil), l...)
+	sorted.Sort()
+	var sb strings.Builder
+	for _, d := range sorted {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// JSON renders the sorted list as indented JSON. An empty list renders as
+// "[]", never "null", so consumers can always iterate.
+func (l List) JSON() ([]byte, error) {
+	sorted := append(List(nil), l...)
+	sorted.Sort()
+	if sorted == nil {
+		sorted = List{}
+	}
+	return json.MarshalIndent(sorted, "", "  ")
+}

@@ -1,0 +1,146 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityStrings(t *testing.T) {
+	cases := map[Severity]string{Info: "info", Warning: "warning", Error: "error"}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(sev), got, want)
+		}
+	}
+	if Info >= Warning || Warning >= Error {
+		t.Error("severity order must be Info < Warning < Error")
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{Info, Warning, Error} {
+		data, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Errorf("round trip %v -> %s -> %v", sev, data, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity name should fail to unmarshal")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	cases := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{}, ""},
+		{Pos{File: "a.minc"}, "a.minc"},
+		{Pos{File: "a.minc", Line: 3}, "a.minc:3"},
+		{Pos{File: "a.minc", Line: 3, Col: 7}, "a.minc:3:7"},
+	}
+	for _, c := range cases {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.pos, got, c.want)
+		}
+	}
+	if (Pos{File: "x"}).IsValid() {
+		t.Error("file-only position should not be valid (no line)")
+	}
+	if !(Pos{Line: 1}).IsValid() {
+		t.Error("line 1 should be valid")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "unused-local",
+		Severity: Warning,
+		Pos:      Pos{File: "a.minc", Line: 4},
+		Func:     "main",
+		Message:  "local \"x\" is assigned but never read",
+	}
+	want := `a.minc:4: warning: [unused-local] func main: local "x" is assigned but never read`
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	d2 := Diagnostic{Analyzer: "dead-instr", Severity: Error, Func: "f", Block: "b3", Message: "boom"}
+	want2 := "error: [dead-instr] func f: block b3: boom"
+	if got := d2.String(); got != want2 {
+		t.Errorf("String() = %q, want %q", got, want2)
+	}
+}
+
+func TestListSortAndFilters(t *testing.T) {
+	l := List{
+		{Analyzer: "b", Severity: Error, Pos: Pos{File: "z.minc", Line: 1}, Message: "m1"},
+		{Analyzer: "a", Severity: Info, Pos: Pos{File: "a.minc", Line: 9}, Message: "m2"},
+		{Analyzer: "a", Severity: Warning, Pos: Pos{File: "a.minc", Line: 2}, Message: "m3"},
+	}
+	l.Sort()
+	if l[0].Message != "m3" || l[1].Message != "m2" || l[2].Message != "m1" {
+		t.Errorf("sort order wrong: %v", l)
+	}
+	if got := l.Count(Warning); got != 1 {
+		t.Errorf("Count(Warning) = %d, want 1", got)
+	}
+	if !l.HasErrors() {
+		t.Error("HasErrors() = false, want true")
+	}
+	if got := len(l.MinSeverity(Warning)); got != 2 {
+		t.Errorf("MinSeverity(Warning) kept %d, want 2", got)
+	}
+	if got := len(l.ByAnalyzer("a")); got != 2 {
+		t.Errorf("ByAnalyzer(a) kept %d, want 2", got)
+	}
+}
+
+func TestListText(t *testing.T) {
+	l := List{
+		{Analyzer: "x", Severity: Info, Pos: Pos{File: "b.minc", Line: 2}, Message: "later"},
+		{Analyzer: "x", Severity: Info, Pos: Pos{File: "a.minc", Line: 1}, Message: "first"},
+	}
+	text := l.Text()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "first") {
+		t.Errorf("Text() not sorted: %q", text)
+	}
+	// Text must not mutate the receiver's order.
+	if l[0].Message != "later" {
+		t.Error("Text() mutated the list")
+	}
+}
+
+func TestListJSON(t *testing.T) {
+	var empty List
+	data, err := empty.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Errorf("empty list JSON = %s, want []", data)
+	}
+
+	l := List{{Analyzer: "a", Severity: Error, Message: "m"}}
+	data, err = l.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back List
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != l[0] {
+		t.Errorf("JSON round trip: got %+v, want %+v", back, l)
+	}
+}

@@ -36,6 +36,10 @@ type Config struct {
 	// the memo engine's speedup can be measured on one machine with one
 	// binary (inlinebench -no-memo).
 	DisableMemo bool
+	// Checked runs every compiler in checked compilation mode
+	// (compile.Options.Check): invariants verified after every inline step
+	// and opt pass. Much slower; regression tripwire for inlinebench -check.
+	Checked bool
 }
 
 func (c Config) normalized() Config {
@@ -161,7 +165,7 @@ func NewHarness(cfg Config) *Harness {
 	results := make([]*fileData, len(jobs))
 	parallelFor(len(jobs), cfg.Workers, func(i int) {
 		f := jobs[i].file
-		comp := compile.New(f.Module, codegen.TargetX86)
+		comp := compile.NewWithOptions(f.Module, codegen.TargetX86, compile.Options{Check: cfg.Checked})
 		if cfg.DisableMemo {
 			comp.SetMemoize(false)
 		}
@@ -216,6 +220,20 @@ func (h *Harness) FuncCacheStats() stats.CacheStats {
 
 // Files returns every non-trivial file.
 func (h *Harness) Files() []*fileData { return h.files }
+
+// CheckFailures returns every checked-mode invariant violation latched by
+// the corpus compilers (empty unless Config.Checked was set), formatted as
+// "file: error". Size evaluations map build failures to InfSize, so this is
+// the only place a checked experiment run surfaces what broke.
+func (h *Harness) CheckFailures() []string {
+	var out []string
+	for _, fd := range h.files {
+		if err := fd.comp.CheckFailure(); err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", fd.file.Name, err))
+		}
+	}
+	return out
+}
 
 // exhaustiveSet returns the files whose recursive space fits the cap, with
 // their optimal results computed.

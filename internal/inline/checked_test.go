@@ -1,0 +1,96 @@
+package inline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+)
+
+func chainModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := lang.Compile("chain.minc", `
+func leaf(k) {
+    return k + 1;
+}
+func mid(k) {
+    return leaf(k) * 2;
+}
+export func main(n) {
+    return mid(n) + leaf(n);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func allInline(m *ir.Module) *callgraph.Config {
+	cfg := callgraph.NewConfig()
+	for _, f := range m.Funcs {
+		for _, in := range f.Calls() {
+			cfg.Set(in.Site, true)
+		}
+	}
+	return cfg
+}
+
+func TestApplyInvokesCheckPerStep(t *testing.T) {
+	m := chainModule(t)
+	var steps []string
+	err := Apply(m, allInline(m), Options{Check: func(step string) error {
+		steps = append(steps, step)
+		return m.Verify()
+	}})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(steps) < 3 {
+		t.Fatalf("check ran %d times, want one per expansion (>= 3): %v", len(steps), steps)
+	}
+	for _, s := range steps {
+		if !strings.Contains(s, "<-") || !strings.Contains(s, "site ") {
+			t.Errorf("step description %q should read \"site N: caller <- callee\"", s)
+		}
+	}
+}
+
+func TestApplyWrapsCheckFailureInStepError(t *testing.T) {
+	m := chainModule(t)
+	boom := errors.New("boom")
+	calls := 0
+	err := Apply(m, allInline(m), Options{Check: func(string) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	}})
+	var se *StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StepError", err)
+	}
+	if se.Step == "" || !errors.Is(err, boom) {
+		t.Errorf("StepError = %+v, want named step wrapping the check error", se)
+	}
+	if calls != 2 {
+		t.Errorf("Apply kept expanding after a failed check (%d checks)", calls)
+	}
+}
+
+func TestApplyWithPassingCheckMatchesUnchecked(t *testing.T) {
+	plain := chainModule(t)
+	checked := chainModule(t)
+	if err := Apply(plain, allInline(plain), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(checked, allInline(checked), Options{Check: func(string) error { return checked.Verify() }}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != checked.String() {
+		t.Error("the check hook must not change the transformation result")
+	}
+}

@@ -65,10 +65,15 @@ func Call(f *ir.Function, call *ir.Instr, callee *ir.Function) error {
 		}
 	}
 
+	// One shared name pool for the continuation and the cloned blocks: the
+	// new blocks are not in f.Blocks until the splice below, so checking
+	// f.Blocks alone would let them collide with each other.
+	names := newNamePool(f)
+
 	// Continuation block: receives the return value as its parameter and
 	// takes over the instructions after the call (including the original
 	// terminator).
-	cont := &ir.Block{Name: uniqueName(f, host.Name+".cont")}
+	cont := &ir.Block{Name: names.unique(host.Name + ".cont")}
 	retParam := f.NewValue("")
 	retParam.Parm = cont
 	cont.Params = []*ir.Value{retParam}
@@ -96,7 +101,7 @@ func Call(f *ir.Function, call *ir.Instr, callee *ir.Function) error {
 	// Splice: cloned blocks (renamed for readability) then the continuation.
 	insert := make([]*ir.Block, 0, len(body.Blocks)+1)
 	for _, b := range body.Blocks {
-		b.Name = uniqueName(f, fmt.Sprintf("%s.%s", callee.Name, b.Name))
+		b.Name = names.unique(fmt.Sprintf("%s.%s", callee.Name, b.Name))
 		insert = append(insert, b)
 	}
 	insert = append(insert, cont)
@@ -113,7 +118,27 @@ type Options struct {
 	// MaxInstrs bounds the total module instruction count during expansion;
 	// 0 selects DefaultMaxInstrs.
 	MaxInstrs int
+
+	// Check, when non-nil, is invoked after every individual inline
+	// expansion with a description of the step ("site N: caller <- callee").
+	// A non-nil return aborts Apply with a *StepError naming that step —
+	// checked compilation mode uses this to attribute the first invariant
+	// violation to the exact expansion that introduced it.
+	Check func(step string) error
 }
+
+// StepError attributes an invariant violation to the inline expansion that
+// introduced it.
+type StepError struct {
+	Step string // "site N: caller <- callee"
+	Err  error
+}
+
+func (e *StepError) Error() string {
+	return fmt.Sprintf("inline step %q broke an invariant: %v", e.Step, e.Err)
+}
+
+func (e *StepError) Unwrap() error { return e.Err }
 
 // Apply expands every call site labeled inline in cfg, including labeled
 // calls that only materialize as clones during expansion. The module is
@@ -172,6 +197,12 @@ func Apply(m *ir.Module, cfg *callgraph.Config, opts Options) error {
 		if err := Call(w.fn, w.call, callee); err != nil {
 			return err
 		}
+		if opts.Check != nil {
+			step := fmt.Sprintf("site %d: %s <- %s", w.call.Site, w.fn.Name, callee.Name)
+			if err := opts.Check(step); err != nil {
+				return &StepError{Step: step, Err: err}
+			}
+		}
 		total += callee.NumInstrs()
 		for _, b := range w.fn.Blocks {
 			if before[b] {
@@ -195,21 +226,27 @@ func blockSet(f *ir.Function) map[*ir.Block]bool {
 	return s
 }
 
-// uniqueName returns name, suffixed if needed so that no block in f has it.
-func uniqueName(f *ir.Function, name string) string {
+// namePool hands out block names that are unique against both the
+// function's existing blocks and every name the pool already issued.
+type namePool struct {
+	taken map[string]bool
+}
+
+func newNamePool(f *ir.Function) *namePool {
 	taken := make(map[string]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
 		taken[b.Name] = true
 	}
-	if !taken[name] {
-		return name
+	return &namePool{taken: taken}
+}
+
+func (np *namePool) unique(name string) string {
+	cand := name
+	for i := 2; np.taken[cand]; i++ {
+		cand = fmt.Sprintf("%s%d", name, i)
 	}
-	for i := 2; ; i++ {
-		cand := fmt.Sprintf("%s%d", name, i)
-		if !taken[cand] {
-			return cand
-		}
-	}
+	np.taken[cand] = true
+	return cand
 }
 
 func replaceUses(f *ir.Function, old, new *ir.Value) {

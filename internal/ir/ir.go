@@ -254,13 +254,24 @@ func (f *Function) NewValue(name string) *Value {
 	return v
 }
 
-// NewBlock appends a fresh, empty block to the function.
+// NewBlock appends a fresh, empty block to the function. The requested name
+// is suffixed if another block already carries it: block names label branch
+// targets in the printed IR, so duplicates would make the textual form
+// ambiguous (Verify rejects them).
 func (f *Function) NewBlock(name string) *Block {
 	if name == "" {
 		name = fmt.Sprintf("b%d", f.nextBlock)
 	}
 	f.nextBlock++
-	b := &Block{Name: name}
+	taken := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		taken[b.Name] = true
+	}
+	unique := name
+	for i := 2; taken[unique]; i++ {
+		unique = fmt.Sprintf("%s%d", name, i)
+	}
+	b := &Block{Name: unique}
 	f.Blocks = append(f.Blocks, b)
 	return b
 }

@@ -2,13 +2,28 @@ package ir
 
 import "fmt"
 
-// Verify checks module-level structural invariants: function bodies verify,
-// call targets that are defined in the module are called with the right
-// arity, and referenced globals are declared.
+// Verify checks module-level structural invariants: function names are
+// unique, function bodies verify, call targets that are defined in the
+// module are called with the right arity, and referenced globals are
+// declared.
+//
+// Calls to callees not defined in the module are deliberately not errors:
+// the toolchain models them as extern calls (deterministic interpreter
+// results, nominal codegen size) and the synthetic workloads rely on them.
+// The analysis suite reports them as undefined-callee warnings instead.
 func (m *Module) Verify() error {
 	globals := make(map[string]bool, len(m.Globals))
 	for _, g := range m.Globals {
 		globals[g] = true
+	}
+	// AddFunc panics on duplicates, but hand-built modules (a Funcs slice
+	// assembled directly) and cloned/merged ones can slip through.
+	names := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if names[f.Name] {
+			return fmt.Errorf("module %s: duplicate function %s", m.Name, f.Name)
+		}
+		names[f.Name] = true
 	}
 	for _, f := range m.Funcs {
 		if err := f.Verify(); err != nil {
@@ -36,6 +51,7 @@ func (m *Module) Verify() error {
 }
 
 // Verify checks function-level invariants:
+//   - block names are unique (they label branch targets in the textual IR),
 //   - every block ends with exactly one terminator (and has no terminator
 //     in its interior),
 //   - branch argument counts match destination block parameter counts,
@@ -46,8 +62,13 @@ func (f *Function) Verify() error {
 		return fmt.Errorf("func %s: no blocks", f.Name)
 	}
 	blockSet := make(map[*Block]bool, len(f.Blocks))
+	blockNames := make(map[string]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
 		blockSet[b] = true
+		if blockNames[b.Name] {
+			return fmt.Errorf("func %s: duplicate block name %s", f.Name, b.Name)
+		}
+		blockNames[b.Name] = true
 	}
 	for _, b := range f.Blocks {
 		if len(b.Instrs) == 0 || !b.Instrs[len(b.Instrs)-1].Op.IsTerminator() {

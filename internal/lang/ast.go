@@ -37,12 +37,14 @@ type IfStmt struct {
 	Cond Expr
 	Then []Stmt
 	Else []Stmt
+	Line int
 }
 
 // WhileStmt is a while loop.
 type WhileStmt struct {
 	Cond Expr
 	Body []Stmt
+	Line int
 }
 
 // ForStmt is a C-style for loop.
@@ -51,6 +53,7 @@ type ForStmt struct {
 	Cond Expr // may be nil (infinite)
 	Post Stmt // may be nil
 	Body []Stmt
+	Line int
 }
 
 // ReturnStmt returns a value.
@@ -60,10 +63,16 @@ type ReturnStmt struct {
 }
 
 // OutputStmt emits a value to the observable output stream.
-type OutputStmt struct{ Expr Expr }
+type OutputStmt struct {
+	Expr Expr
+	Line int
+}
 
 // ExprStmt evaluates an expression for its side effects (calls).
-type ExprStmt struct{ Expr Expr }
+type ExprStmt struct {
+	Expr Expr
+	Line int
+}
 
 // BreakStmt exits the innermost loop.
 type BreakStmt struct{ Line int }

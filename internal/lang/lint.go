@@ -1,0 +1,357 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+
+	"optinline/internal/diag"
+)
+
+// Lint runs the MinC source-level lints over a parsed program and returns
+// the findings sorted for stable output. The lints target the sharp edges
+// of the language's deliberately forgiving semantics (Lower accepts all of
+// these and compiles them to something well-defined but surprising):
+//
+//   - unused-local: a `var` that is never read; it exists only to be
+//     assigned, and the optimizer will delete every trace of it.
+//   - unreachable-stmt: statements after a return/break/continue (or an
+//     if/else whose both arms leave), which Lower silently skips.
+//   - use-before-init: a local read on some path before its `var` executes;
+//     locals are hoisted and zero-initialized, so the read yields 0.
+//   - shadow: a parameter that shadows a module global (the global becomes
+//     inaccessible in the function), or a variable sharing a declared
+//     function's name (legal — separate namespaces — but confusing).
+func Lint(name string, prog *Program) diag.List {
+	globals := make(map[string]bool, len(prog.Globals))
+	for _, g := range prog.Globals {
+		globals[g] = true
+	}
+	funcs := make(map[string]bool, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		funcs[fn.Name] = true
+	}
+	var out diag.List
+	for _, fn := range prog.Funcs {
+		lintFunc(&out, name, globals, funcs, fn)
+	}
+	out.Sort()
+	return out
+}
+
+// LintSource parses and lints a MinC source file.
+func LintSource(name, src string) (diag.List, error) {
+	prog, err := Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return Lint(name, prog), nil
+}
+
+func lintFunc(out *diag.List, file string, globals, funcs map[string]bool, fn *FuncDecl) {
+	report := func(analyzer string, sev diag.Severity, line int, format string, args ...interface{}) {
+		*out = append(*out, diag.Diagnostic{
+			Analyzer: analyzer,
+			Severity: sev,
+			Pos:      diag.Pos{File: file, Line: line},
+			Func:     fn.Name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	params := make(map[string]bool, len(fn.Params))
+	for _, p := range fn.Params {
+		params[p] = true
+		if globals[p] {
+			report("shadow", diag.Warning, fn.Line,
+				"parameter %q shadows global %q, which becomes inaccessible here", p, p)
+		}
+		if funcs[p] {
+			report("shadow", diag.Info, fn.Line,
+				"parameter %q shares the name of a function", p)
+		}
+	}
+
+	// Hoist local declarations, mirroring Lower's function scoping.
+	locals := make(map[string]int) // name -> declaration line
+	var hoist func([]Stmt)
+	hoist = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *VarStmt:
+				if _, dup := locals[st.Name]; !dup && !params[st.Name] {
+					locals[st.Name] = st.Line
+				}
+				if funcs[st.Name] {
+					report("shadow", diag.Info, st.Line,
+						"local %q shares the name of a function", st.Name)
+				}
+			case *IfStmt:
+				hoist(st.Then)
+				hoist(st.Else)
+			case *WhileStmt:
+				hoist(st.Body)
+			case *ForStmt:
+				if st.Init != nil {
+					hoist([]Stmt{st.Init})
+				}
+				hoist(st.Body)
+			}
+		}
+	}
+	hoist(fn.Body)
+
+	// unused-local: count reads of each local anywhere in the function.
+	reads := make(map[string]int)
+	var readExpr func(Expr)
+	readExpr = func(e Expr) {
+		switch ex := e.(type) {
+		case *VarExpr:
+			reads[ex.Name]++
+		case *BinExpr:
+			readExpr(ex.L)
+			readExpr(ex.R)
+		case *UnExpr:
+			readExpr(ex.E)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				readExpr(a)
+			}
+		}
+	}
+	var readStmts func([]Stmt)
+	readStmts = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *VarStmt:
+				readExpr(st.Init)
+			case *AssignStmt:
+				readExpr(st.Expr)
+			case *ReturnStmt:
+				readExpr(st.Expr)
+			case *OutputStmt:
+				readExpr(st.Expr)
+			case *ExprStmt:
+				readExpr(st.Expr)
+			case *IfStmt:
+				readExpr(st.Cond)
+				readStmts(st.Then)
+				readStmts(st.Else)
+			case *WhileStmt:
+				readExpr(st.Cond)
+				readStmts(st.Body)
+			case *ForStmt:
+				if st.Init != nil {
+					readStmts([]Stmt{st.Init})
+				}
+				if st.Cond != nil {
+					readExpr(st.Cond)
+				}
+				if st.Post != nil {
+					readStmts([]Stmt{st.Post})
+				}
+				readStmts(st.Body)
+			}
+		}
+	}
+	readStmts(fn.Body)
+	names := make([]string, 0, len(locals))
+	for n := range locals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if reads[n] == 0 {
+			report("unused-local", diag.Warning, locals[n],
+				"local %q is assigned but never read", n)
+		}
+	}
+
+	lintUnreachable(report, fn.Body)
+	lintUseBeforeInit(report, locals, fn.Body)
+}
+
+// stmtLine returns the source line of a statement.
+func stmtLine(s Stmt) int {
+	switch st := s.(type) {
+	case *VarStmt:
+		return st.Line
+	case *AssignStmt:
+		return st.Line
+	case *IfStmt:
+		return st.Line
+	case *WhileStmt:
+		return st.Line
+	case *ForStmt:
+		return st.Line
+	case *ReturnStmt:
+		return st.Line
+	case *OutputStmt:
+		return st.Line
+	case *ExprStmt:
+		return st.Line
+	case *BreakStmt:
+		return st.Line
+	case *ContinueStmt:
+		return st.Line
+	}
+	return 0
+}
+
+type reportFunc func(analyzer string, sev diag.Severity, line int, format string, args ...interface{})
+
+// lintUnreachable flags the first statement in each list that can never
+// execute, using the same termination rule Lower's stmts applies when it
+// silently drops trailing statements.
+func lintUnreachable(report reportFunc, body []Stmt) {
+	var listTerminates func([]Stmt) bool
+	var terminates func(Stmt) bool
+	terminates = func(s Stmt) bool {
+		switch st := s.(type) {
+		case *ReturnStmt, *BreakStmt, *ContinueStmt:
+			return true
+		case *IfStmt:
+			return len(st.Else) > 0 && listTerminates(st.Then) && listTerminates(st.Else)
+		}
+		return false
+	}
+	listTerminates = func(list []Stmt) bool {
+		for _, s := range list {
+			if terminates(s) {
+				return true
+			}
+		}
+		return false
+	}
+	var check func([]Stmt)
+	check = func(list []Stmt) {
+		done := false
+		for _, s := range list {
+			if done {
+				report("unreachable-stmt", diag.Warning, stmtLine(s),
+					"unreachable statement (control already left this block)")
+				break // everything after is also unreachable; one report per list
+			}
+			switch st := s.(type) {
+			case *IfStmt:
+				check(st.Then)
+				check(st.Else)
+			case *WhileStmt:
+				check(st.Body)
+			case *ForStmt:
+				check(st.Body)
+			}
+			if terminates(s) {
+				done = true
+			}
+		}
+	}
+	check(body)
+}
+
+// lintUseBeforeInit runs a definite-initialization analysis: locals are
+// hoisted and zero-initialized, so a read on a path that has not yet
+// executed the local's `var` (or an assignment to it) yields 0 — legal, but
+// almost always a declaration-ordering bug.
+func lintUseBeforeInit(report reportFunc, locals map[string]int, body []Stmt) {
+	clone := func(s map[string]bool) map[string]bool {
+		c := make(map[string]bool, len(s))
+		for k := range s {
+			c[k] = true
+		}
+		return c
+	}
+	intersect := func(a, b map[string]bool) map[string]bool {
+		c := make(map[string]bool)
+		for k := range a {
+			if b[k] {
+				c[k] = true
+			}
+		}
+		return c
+	}
+	flagged := make(map[string]bool) // one report per local keeps cascades down
+	var checkExpr func(Expr, map[string]bool)
+	checkExpr = func(e Expr, in map[string]bool) {
+		switch ex := e.(type) {
+		case *VarExpr:
+			if declLine, isLocal := locals[ex.Name]; isLocal && !in[ex.Name] && !flagged[ex.Name] {
+				flagged[ex.Name] = true
+				report("use-before-init", diag.Warning, ex.Line,
+					"local %q is read before it is initialized (declared on line %d; reads as 0 here)",
+					ex.Name, declLine)
+			}
+		case *BinExpr:
+			checkExpr(ex.L, in)
+			checkExpr(ex.R, in)
+		case *UnExpr:
+			checkExpr(ex.E, in)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				checkExpr(a, in)
+			}
+		}
+	}
+	var checkStmts func([]Stmt, map[string]bool) (map[string]bool, bool)
+	var checkStmt func(Stmt, map[string]bool) (map[string]bool, bool)
+	checkStmt = func(s Stmt, in map[string]bool) (map[string]bool, bool) {
+		switch st := s.(type) {
+		case *VarStmt:
+			checkExpr(st.Init, in)
+			in[st.Name] = true
+		case *AssignStmt:
+			checkExpr(st.Expr, in)
+			if _, isLocal := locals[st.Name]; isLocal {
+				in[st.Name] = true
+			}
+		case *ReturnStmt:
+			checkExpr(st.Expr, in)
+			return in, true
+		case *BreakStmt, *ContinueStmt:
+			return in, true
+		case *OutputStmt:
+			checkExpr(st.Expr, in)
+		case *ExprStmt:
+			checkExpr(st.Expr, in)
+		case *IfStmt:
+			checkExpr(st.Cond, in)
+			tOut, tTerm := checkStmts(st.Then, clone(in))
+			eOut, eTerm := checkStmts(st.Else, clone(in))
+			switch {
+			case tTerm && eTerm:
+				return in, true
+			case tTerm:
+				return eOut, false
+			case eTerm:
+				return tOut, false
+			default:
+				return intersect(tOut, eOut), false
+			}
+		case *WhileStmt:
+			checkExpr(st.Cond, in)
+			checkStmts(st.Body, clone(in)) // body may never run
+		case *ForStmt:
+			if st.Init != nil {
+				in, _ = checkStmt(st.Init, in)
+			}
+			if st.Cond != nil {
+				checkExpr(st.Cond, in)
+			}
+			bodyOut, bTerm := checkStmts(st.Body, clone(in))
+			if st.Post != nil && !bTerm {
+				checkStmt(st.Post, bodyOut)
+			}
+		}
+		return in, false
+	}
+	checkStmts = func(list []Stmt, in map[string]bool) (map[string]bool, bool) {
+		for _, s := range list {
+			var term bool
+			in, term = checkStmt(s, in)
+			if term {
+				return in, true // trailing statements are unreachable
+			}
+		}
+		return in, false
+	}
+	checkStmts(body, make(map[string]bool))
+}

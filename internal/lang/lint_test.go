@@ -1,0 +1,194 @@
+package lang
+
+import (
+	"testing"
+
+	"optinline/internal/diag"
+)
+
+func lintSrc(t *testing.T, src string) diag.List {
+	t.Helper()
+	ds, err := LintSource("t.minc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestLintUnusedLocal(t *testing.T) {
+	ds := lintSrc(t, `
+func f(n) {
+    var used = n;
+    var dead = n * 2;
+    dead = dead;
+    return used;
+}`).ByAnalyzer("unused-local")
+	// `dead = dead` reads dead, so only a pure write-only local counts.
+	if len(ds) != 0 {
+		t.Errorf("self-assignment reads the local; got %v", ds)
+	}
+	ds = lintSrc(t, `
+func f(n) {
+    var dead = 0;
+    dead = n;
+    return n;
+}`).ByAnalyzer("unused-local")
+	if len(ds) != 1 || ds[0].Pos.Line != 3 {
+		t.Errorf("write-only local: got %v, want one finding on line 3", ds)
+	}
+}
+
+func TestLintUnreachableAfterElseIfChain(t *testing.T) {
+	ds := lintSrc(t, `
+func f(n) {
+    if (n > 0) {
+        return 1;
+    } else if (n < 0) {
+        return 2;
+    } else {
+        return 3;
+    }
+    output n;
+}`).ByAnalyzer("unreachable-stmt")
+	if len(ds) != 1 || ds[0].Pos.Line != 10 {
+		t.Errorf("else-if chain where every arm returns: got %v, want one finding on line 10", ds)
+	}
+}
+
+func TestLintUnreachableOnlyFirstPerList(t *testing.T) {
+	ds := lintSrc(t, `
+func f(n) {
+    return n;
+    output n;
+    output n;
+}`).ByAnalyzer("unreachable-stmt")
+	if len(ds) != 1 {
+		t.Errorf("want one finding per statement list, got %v", ds)
+	}
+}
+
+func TestLintIfWithoutElseDoesNotTerminate(t *testing.T) {
+	ds := lintSrc(t, `
+func f(n) {
+    if (n > 0) {
+        return 1;
+    }
+    return 0;
+}`).ByAnalyzer("unreachable-stmt")
+	if len(ds) != 0 {
+		t.Errorf("if without else must not terminate the list: %v", ds)
+	}
+}
+
+func TestLintUseBeforeInitFlowSensitive(t *testing.T) {
+	// Assignment initializes: no finding.
+	ds := lintSrc(t, `
+func f(n) {
+    x = n;
+    var x = 0;
+    return x;
+}`).ByAnalyzer("use-before-init")
+	if len(ds) != 0 {
+		t.Errorf("assignment before var initializes; got %v", ds)
+	}
+	// Initialized on only one branch: the read after the join is flagged.
+	ds = lintSrc(t, `
+func f(n) {
+    if (n > 0) {
+        x = n;
+    }
+    output x;
+    var x = 1;
+    return x;
+}`).ByAnalyzer("use-before-init")
+	if len(ds) != 1 || ds[0].Pos.Line != 6 {
+		t.Errorf("one-armed init: got %v, want one finding on line 6", ds)
+	}
+	// Initialized on both branches: clean.
+	ds = lintSrc(t, `
+func f(n) {
+    if (n > 0) {
+        x = n;
+    } else {
+        x = 0 - n;
+    }
+    output x;
+    var x = 1;
+    return x;
+}`).ByAnalyzer("use-before-init")
+	if len(ds) != 0 {
+		t.Errorf("both-armed init: got %v, want none", ds)
+	}
+	// A branch that returns does not constrain the join.
+	ds = lintSrc(t, `
+func f(n) {
+    if (n > 0) {
+        return 0;
+    } else {
+        x = n;
+    }
+    output x;
+    var x = 1;
+    return x;
+}`).ByAnalyzer("use-before-init")
+	if len(ds) != 0 {
+		t.Errorf("terminated branch must not constrain the join: %v", ds)
+	}
+}
+
+func TestLintUseBeforeInitForLoop(t *testing.T) {
+	ds := lintSrc(t, `
+func f(n) {
+    for (var i = 0; i < n; i = i + 1) {
+        output acc;
+        var acc = i;
+    }
+    return 0;
+}`).ByAnalyzer("use-before-init")
+	if len(ds) != 1 || ds[0].Pos.Line != 4 {
+		t.Errorf("read before var inside loop body: got %v, want one finding on line 4", ds)
+	}
+}
+
+func TestLintShadow(t *testing.T) {
+	ds := lintSrc(t, `
+global g;
+func f(g) {
+    return g;
+}`).ByAnalyzer("shadow")
+	if len(ds) != 1 || ds[0].Severity != diag.Warning {
+		t.Errorf("param shadowing global: got %v, want one warning", ds)
+	}
+	ds = lintSrc(t, `
+func helper(n) { return n; }
+func f(n) {
+    var helper = n;
+    return helper;
+}`).ByAnalyzer("shadow")
+	if len(ds) != 1 || ds[0].Severity != diag.Info {
+		t.Errorf("local sharing function name: got %v, want one info", ds)
+	}
+}
+
+func TestLintSortedAndPositioned(t *testing.T) {
+	ds := lintSrc(t, `
+func b(n) {
+    var dead2 = n;
+    return n;
+}
+func a(n) {
+    var dead1 = n;
+    return n;
+}`)
+	if len(ds) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(ds), ds)
+	}
+	if !(ds[0].Pos.Line < ds[1].Pos.Line) {
+		t.Errorf("findings not sorted by position: %v", ds)
+	}
+	for _, d := range ds {
+		if d.Pos.File != "t.minc" || d.Func == "" {
+			t.Errorf("finding missing file/function context: %+v", d)
+		}
+	}
+}

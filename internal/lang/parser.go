@@ -178,6 +178,7 @@ func (p *parser) stmt() (Stmt, error) {
 	case p.isKeyword("if"):
 		return p.ifStmt()
 	case p.isKeyword("while"):
+		line := p.tok.line
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -195,7 +196,7 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &WhileStmt{Cond: cond, Body: body}, nil
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
 	case p.isKeyword("for"):
 		return p.forStmt()
 	case p.isKeyword("return"):
@@ -209,6 +210,7 @@ func (p *parser) stmt() (Stmt, error) {
 		}
 		return &ReturnStmt{Expr: e, Line: line}, p.expectPunct(";")
 	case p.isKeyword("output"):
+		line := p.tok.line
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -216,7 +218,7 @@ func (p *parser) stmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &OutputStmt{Expr: e}, p.expectPunct(";")
+		return &OutputStmt{Expr: e, Line: line}, p.expectPunct(";")
 	case p.isKeyword("break"):
 		line := p.tok.line
 		if err := p.advance(); err != nil {
@@ -267,7 +269,7 @@ func (p *parser) simpleStmt(wantSemi bool) (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &ExprStmt{Expr: e}
+	st := &ExprStmt{Expr: e, Line: line}
 	if wantSemi {
 		return st, p.expectPunct(";")
 	}
@@ -275,6 +277,7 @@ func (p *parser) simpleStmt(wantSemi bool) (Stmt, error) {
 }
 
 func (p *parser) ifStmt() (Stmt, error) {
+	line := p.tok.line
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -292,7 +295,7 @@ func (p *parser) ifStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &IfStmt{Cond: cond, Then: then}
+	st := &IfStmt{Cond: cond, Then: then, Line: line}
 	if p.isKeyword("else") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -315,13 +318,14 @@ func (p *parser) ifStmt() (Stmt, error) {
 }
 
 func (p *parser) forStmt() (Stmt, error) {
+	line := p.tok.line
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
 	if err := p.expectPunct("("); err != nil {
 		return nil, err
 	}
-	st := &ForStmt{}
+	st := &ForStmt{Line: line}
 	if !p.isPunct(";") {
 		var err error
 		if p.isKeyword("var") {

@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"optinline/internal/ir"
+)
+
+// foldableFunc builds a function the pipeline will definitely change:
+// a constant conditional branch guarding two constant returns.
+func foldableFunc() *ir.Function {
+	b := ir.NewFunction("f", 0, true)
+	then := b.Block("then", 0)
+	els := b.Block("els", 0)
+	b.CondBr(b.Const(1), then, nil, els, nil)
+	b.SetBlock(then)
+	b.Ret(b.Const(10))
+	b.SetBlock(els)
+	b.Ret(b.Const(20))
+	return b.Fn
+}
+
+func TestPassNames(t *testing.T) {
+	names := PassNames()
+	if len(names) == 0 {
+		t.Fatal("no pass names")
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate pass name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestFunctionCheckedInvokesCheckPerPass(t *testing.T) {
+	f := foldableFunc()
+	valid := make(map[string]bool)
+	for _, n := range PassNames() {
+		valid[n] = true
+	}
+	calls := 0
+	_, err := FunctionChecked(f, func(pass string, fn *ir.Function) error {
+		calls++
+		if !valid[pass] {
+			t.Errorf("check called with unknown pass %q", pass)
+		}
+		if fn != f {
+			t.Error("check called with wrong function")
+		}
+		return fn.Verify()
+	})
+	if err != nil {
+		t.Fatalf("FunctionChecked: %v", err)
+	}
+	if calls == 0 {
+		t.Fatal("check never invoked although the pipeline changed the function")
+	}
+}
+
+func TestFunctionCheckedAttributesFailingPass(t *testing.T) {
+	f := foldableFunc()
+	boom := errors.New("boom")
+	_, err := FunctionChecked(f, func(pass string, _ *ir.Function) error {
+		if pass == "fold-branches" {
+			return boom
+		}
+		return nil
+	})
+	var pe *PassError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PassError", err)
+	}
+	if pe.Pass != "fold-branches" || pe.Func != "f" || pe.Iteration < 1 {
+		t.Errorf("PassError = %+v, want pass fold-branches on func f", pe)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("PassError must unwrap to the check's error")
+	}
+}
+
+func TestModuleCheckedStopsAtFirstViolation(t *testing.T) {
+	m := ir.NewModule("m")
+	m.AddFunc(foldableFunc())
+	g := foldableFunc()
+	g.Name = "g"
+	m.AddFunc(g)
+	checked := make(map[string]bool)
+	_, err := ModuleChecked(m, func(_ string, fn *ir.Function) error {
+		checked[fn.Name] = true
+		return fmt.Errorf("reject %s", fn.Name)
+	})
+	var pe *PassError
+	if !errors.As(err, &pe) || pe.Func != "f" {
+		t.Fatalf("err = %v, want PassError on first function f", err)
+	}
+	if checked["g"] {
+		t.Error("pipeline continued past the first violation")
+	}
+}
+
+func TestFunctionCheckedNilCheckMatchesFunction(t *testing.T) {
+	a, b := foldableFunc(), foldableFunc()
+	sa := Function(a)
+	sb, err := FunctionChecked(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Errorf("stats diverge: Function %+v vs FunctionChecked(nil) %+v", sa, sb)
+	}
+	if a.NumInstrs() != b.NumInstrs() {
+		t.Error("nil-check FunctionChecked produced different IR than Function")
+	}
+}

@@ -12,7 +12,11 @@
 // substrate (see DESIGN.md).
 package opt
 
-import "optinline/internal/ir"
+import (
+	"fmt"
+
+	"optinline/internal/ir"
+)
 
 // MaxIterations bounds the per-function fixpoint loop; the pipeline
 // normally converges in a handful of iterations.
@@ -29,30 +33,98 @@ type Stats struct {
 	FuncsRemoved   int
 }
 
+// pipeline is the fixed pass order, named so checked compilation mode can
+// attribute an invariant violation to the exact pass that introduced it.
+var pipeline = []struct {
+	name string
+	run  func(*ir.Function, *Stats) bool
+}{
+	{"propagate-params", propagateParams},
+	{"fold-constants", foldConstants},
+	{"cse-blocks", cseBlocks},
+	{"fold-branches", foldBranches},
+	{"remove-unreachable", removeUnreachable},
+	{"merge-blocks", mergeBlocks},
+	{"remove-dead-instrs", removeDeadInstrs},
+}
+
+// PassNames returns the pipeline's pass names in execution order.
+func PassNames() []string {
+	names := make([]string, len(pipeline))
+	for i, p := range pipeline {
+		names[i] = p.name
+	}
+	return names
+}
+
+// CheckFunc is invoked by the checked pipeline after every pass invocation
+// that reported a change, with the pass name and the function it mutated.
+// Returning a non-nil error aborts the pipeline; the error is wrapped in a
+// *PassError naming the offending pass.
+type CheckFunc func(pass string, f *ir.Function) error
+
+// PassError attributes an invariant violation to the first optimization
+// pass that introduced it.
+type PassError struct {
+	Pass      string // pass name, from PassNames
+	Func      string // function being optimized
+	Iteration int    // fixpoint iteration (1-based)
+	Err       error
+}
+
+func (e *PassError) Error() string {
+	return fmt.Sprintf("opt pass %q broke an invariant on func %s (iteration %d): %v",
+		e.Pass, e.Func, e.Iteration, e.Err)
+}
+
+func (e *PassError) Unwrap() error { return e.Err }
+
 // Function optimizes a single function to a fixpoint and returns statistics.
 func Function(f *ir.Function) Stats {
+	st, _ := FunctionChecked(f, nil)
+	return st
+}
+
+// FunctionChecked is Function with a per-pass invariant check: after every
+// pass invocation that changed the function, check is called with the pass
+// name (the -verify-each analogue). A check failure stops the pipeline
+// immediately — the function is left in its broken state for inspection —
+// and is returned as a *PassError. A nil check makes this identical to
+// Function.
+func FunctionChecked(f *ir.Function, check CheckFunc) (Stats, error) {
 	var st Stats
 	for st.Iterations = 1; st.Iterations <= MaxIterations; st.Iterations++ {
 		changed := false
-		changed = propagateParams(f, &st) || changed
-		changed = foldConstants(f, &st) || changed
-		changed = cseBlocks(f, &st) || changed
-		changed = foldBranches(f, &st) || changed
-		changed = removeUnreachable(f, &st) || changed
-		changed = mergeBlocks(f, &st) || changed
-		changed = removeDeadInstrs(f, &st) || changed
+		for _, p := range pipeline {
+			if !p.run(f, &st) {
+				continue
+			}
+			changed = true
+			if check != nil {
+				if err := check(p.name, f); err != nil {
+					return st, &PassError{Pass: p.name, Func: f.Name, Iteration: st.Iterations, Err: err}
+				}
+			}
+		}
 		if !changed {
 			break
 		}
 	}
-	return st
+	return st, nil
 }
 
 // Module optimizes every function in the module.
 func Module(m *ir.Module) Stats {
+	st, _ := ModuleChecked(m, nil)
+	return st
+}
+
+// ModuleChecked optimizes every function with a per-pass invariant check
+// (see FunctionChecked), stopping at the first violation.
+func ModuleChecked(m *ir.Module, check CheckFunc) (Stats, error) {
 	var total Stats
 	for _, f := range m.Funcs {
-		st := Function(f)
+		st, err := FunctionChecked(f, check)
 		total.InstrsRemoved += st.InstrsRemoved
 		total.BlocksRemoved += st.BlocksRemoved
 		total.BranchesFolded += st.BranchesFolded
@@ -61,8 +133,11 @@ func Module(m *ir.Module) Stats {
 		if st.Iterations > total.Iterations {
 			total.Iterations = st.Iterations
 		}
+		if err != nil {
+			return total, err
+		}
 	}
-	return total
+	return total, nil
 }
 
 // RemoveDeadFunctions removes every non-exported function for which
