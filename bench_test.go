@@ -318,6 +318,95 @@ func BenchmarkSizeCachedVsUncached(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) { run(b, false) })
 }
 
+// BenchmarkAutotuneRoundDeltaVsFull measures one single-edge-toggle
+// autotuner round (Algorithm 3, n+2 compilations) at the Table 2 workload's
+// scale — a translation unit carrying the SPEC-profile corpus' aggregate
+// candidate-edge budget — with the incremental delta engine on and off.
+// On: each probe recompiles only the toggled edge's dirty closure against
+// the round's Sized handle. Off: each probe is a whole-configuration memo
+// walk over every function. Results are byte-identical; only the time
+// differs, and the gap widens with module size (the walk is O(functions)
+// per probe, the delta O(dirty closure)). Recorded in BENCH_search.json.
+func BenchmarkAutotuneRoundDeltaVsFull(b *testing.B) {
+	edges := 0
+	for _, p := range workload.SPECProfiles() {
+		edges += p.TotalEdges
+	}
+	p := workload.Profile{
+		Name: "tab2-aggregate", Files: 1, TotalEdges: edges,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.35,
+		RecProb: 0.08, BranchProb: 0.45, MultiRootPct: 0.2,
+	}
+	f := workload.Generate(p).Files[0]
+	{
+		c := compile.New(f.Module, codegen.TargetX86)
+		b.Logf("unit: %d functions, %d candidate edges", len(c.Module().Funcs), len(c.Graph().Edges))
+	}
+	for _, mode := range []struct {
+		name  string
+		delta bool
+	}{{"delta", true}, {"full", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				comp := compile.New(f.Module, codegen.TargetX86)
+				comp.SetDelta(mode.delta)
+				res := autotune.CleanSlate(comp, autotune.Options{Rounds: 1})
+				if res.Size <= 0 {
+					b.Fatal("no size")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConfigKeyBitset measures the configuration-identity operations
+// the evaluation hot paths lean on: the compile cache's binary CacheKey,
+// the Hash + Equal pair, a cached Key, and a cold Key after invalidation.
+// Recorded in BENCH_search.json.
+func BenchmarkConfigKeyBitset(b *testing.B) {
+	cfg := callgraph.NewConfig()
+	for s := 1; s <= 192; s += 2 {
+		cfg.Set(s, true)
+	}
+	other := cfg.Clone()
+	b.Run("cache-key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cfg.CacheKey() == "" {
+				b.Fatal("empty cache key")
+			}
+		}
+	})
+	b.Run("hash-equal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if cfg.Hash() != other.Hash() || !cfg.Equal(other) {
+				b.Fatal("identity mismatch")
+			}
+		}
+	})
+	b.Run("key-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg.Key()
+		for i := 0; i < b.N; i++ {
+			if cfg.Key() == "" {
+				b.Fatal("empty key")
+			}
+		}
+	})
+	b.Run("key-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg.Clone()
+			c.Set(2, true).Set(2, false) // mutate: drops the cached key
+			if c.Key() == "" {
+				b.Fatal("empty key")
+			}
+		}
+	})
+}
+
 // BenchmarkAblationPartition compares the paper's partition-edge heuristic
 // against a structure-blind baseline by explored-configuration count
 // (DESIGN.md ablation 1). The reported metric configs/op is the search

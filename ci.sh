@@ -21,6 +21,11 @@ if [[ -n "${lint_out}" ]]; then
   exit 1
 fi
 
+echo "== delta-engine bench smoke =="
+# One iteration each: catches compile errors or assertion failures in the
+# delta-vs-full and config-identity benchmarks without paying bench time.
+go test -run '^$' -bench 'DeltaVsFull|ConfigKey' -benchtime=1x . >/dev/null
+
 echo "== checked-mode smoke =="
 # Per-step invariant verification across all three CLIs; each run fails
 # loudly (with stage/pass attribution) if any pipeline step breaks the IR.

@@ -16,15 +16,22 @@
 //	-workers N    deprecated alias for -jobs
 //	-check        checked compilation: verify IR invariants after every
 //	              inline step and opt pass of every evaluation (slow)
+//	-no-delta     disable the incremental delta-evaluation engine; every
+//	              probe prices a whole configuration (differential oracle)
+//	-cpuprofile f write a CPU profile to f
+//	-memprofile f write a heap profile to f at exit
 //
-// Results are bit-identical for every -jobs value; the run ends with
-// compile-cache statistics and total wall-clock time on stderr.
+// Results are bit-identical for every -jobs value and for -no-delta; the
+// run ends with compile-cache statistics and total wall-clock time on
+// stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,9 +55,37 @@ func run() error {
 		jobs    = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
 		workers = flag.Int("workers", 0, "deprecated alias for -jobs")
 		noMemo  = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
+		noDelta = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 		check   = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "inlinebench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "inlinebench: -memprofile:", err)
+			}
+		}()
+	}
 	if *jobs == 0 && *workers != 0 {
 		*jobs = *workers
 	}
@@ -68,6 +103,7 @@ func run() error {
 		ExhaustiveCap: *cap,
 		Rounds:        *rounds,
 		DisableMemo:   *noMemo,
+		DisableDelta:  *noDelta,
 		Checked:       *check,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
@@ -92,6 +128,7 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "config cache:    %v\n", h.ConfigCacheStats())
 	fmt.Fprintf(os.Stderr, "function cache:  %v\n", h.FuncCacheStats())
+	fmt.Fprintf(os.Stderr, "delta engine:    %v\n", h.DeltaStats())
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	if *check {
 		if fails := h.CheckFailures(); len(fails) > 0 {

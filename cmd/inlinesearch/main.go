@@ -15,6 +15,10 @@
 //	-dot                print optimal-vs-heuristic call graphs as DOT
 //	-check              checked compilation: verify IR invariants after
 //	                    every inline step and opt pass of every evaluation
+//	-no-delta           disable the incremental delta-evaluation engine;
+//	                    leaf/combine evaluations price whole configurations
+//	-cpuprofile f       write a CPU profile to f
+//	-memprofile f       write a heap profile to f at exit
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
@@ -48,8 +53,36 @@ func run() error {
 		dot        = flag.Bool("dot", false, "print DOT call graphs (optimal vs heuristic)")
 		tree       = flag.Bool("tree", false, "print the materialized inlining tree (paper Figure 6)")
 		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
+		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "inlinesearch: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "inlinesearch: -memprofile:", err)
+			}
+		}()
+	}
 	if *jobs == 0 && *workers != 0 {
 		*jobs = *workers
 	}
@@ -68,6 +101,9 @@ func run() error {
 		return err
 	}
 	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check})
+	if *noDelta {
+		comp.SetDelta(false)
+	}
 	g := comp.Graph()
 	fmt.Printf("%s: %d functions, %d inlinable call sites\n", flag.Arg(0), len(g.Nodes), len(g.Edges))
 	fmt.Printf("naive space: 2^%.0f configurations\n", search.NaiveSpaceLog2(g))

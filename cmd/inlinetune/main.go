@@ -10,6 +10,8 @@
 //	-target x86|wasm      size model (default x86)
 //	-workers N            parallel per-edge evaluations
 //	-dot                  print the tuned call graph as DOT
+//	-no-delta             disable the incremental delta-evaluation engine;
+//	                      every probe prices a whole configuration
 package main
 
 import (
@@ -42,6 +44,7 @@ func run() error {
 		dot        = flag.Bool("dot", false, "print tuned call graph as DOT")
 		groups     = flag.Bool("groups", false, "also test per-callee group inlining (paper 5.2.1 extension)")
 		incr       = flag.Bool("incremental", false, "incremental rounds: only re-tune changed regions (paper 6 extension)")
+		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -56,6 +59,9 @@ func run() error {
 		return err
 	}
 	comp := compile.New(mod, target)
+	if *noDelta {
+		comp.SetDelta(false)
+	}
 	g := comp.Graph()
 	osCfg := heuristic.OsConfig(comp.Module(), g)
 	osSize := comp.Size(osCfg)

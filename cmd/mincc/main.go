@@ -16,6 +16,8 @@
 //	-rounds N                      autotuner rounds for -inline tune
 //	-check                         checked compilation: verify IR invariants
 //	                               after every inline step and opt pass
+//	-no-delta                      disable the incremental delta-evaluation
+//	                               engine for -inline tune|optimal
 package main
 
 import (
@@ -64,6 +66,7 @@ func run() error {
 		rounds     = flag.Int("rounds", 1, "autotuner rounds for -inline tune")
 		doOutline  = flag.Bool("outline", false, "run the size outliner after inlining")
 		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
+		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 		args       intList
 	)
 	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
@@ -85,6 +88,9 @@ func run() error {
 		return err
 	}
 	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check})
+	if *noDelta {
+		comp.SetDelta(false)
+	}
 	g := comp.Graph()
 
 	var cfg *callgraph.Config

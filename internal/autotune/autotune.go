@@ -52,19 +52,27 @@ type Result struct {
 }
 
 // Tune runs a tuning session starting from init (nil means clean slate).
+//
+// Rounds run on the compiler's delta-evaluation engine: the starting point
+// is priced once into a Sized handle, each per-edge probe is a SizeDelta
+// against it (recompiling only the toggled edge's dirty closure), and the
+// kept toggles Rebase the handle for the next round. With the engine
+// disabled (-no-delta, checked mode) every call transparently falls back
+// to whole-configuration Size — results and evaluation counters are
+// byte-identical either way.
 func Tune(c *compile.Compiler, init *callgraph.Config, opts Options) Result {
 	rounds := opts.Rounds
 	if rounds <= 0 {
 		rounds = 1
 	}
-	g := c.Graph()
-	sites := g.Sites()
+	sites := c.Graph().Sites()
 
 	base := callgraph.NewConfig()
 	if init != nil {
 		base = init.Clone()
 	}
-	baseSize := c.Size(base)
+	sized := c.Sized(base)
+	baseSize := sized.Size()
 
 	res := Result{
 		Config:   base.Clone(),
@@ -72,23 +80,24 @@ func Tune(c *compile.Compiler, init *callgraph.Config, opts Options) Result {
 		InitSize: baseSize,
 	}
 	for round := 1; round <= rounds; round++ {
-		next, toggles := tuneRound(c, g, base, baseSize, sites, opts.Workers)
-		nextSize := c.Size(next)
+		kept := tuneRound(c, sized, baseSize, sites, opts.Workers)
+		nextSized := c.Rebase(sized, kept)
+		next, nextSize := nextSized.Config(), nextSized.Size()
 		res.Rounds = append(res.Rounds, RoundTrace{
 			Round:      round,
 			Size:       nextSize,
 			Inlined:    next.InlineCount(),
 			NotInlined: len(sites) - next.InlineCount(),
-			Toggles:    toggles,
+			Toggles:    len(kept),
 		})
 		if nextSize < res.Size {
 			res.Config, res.Size = next.Clone(), nextSize
 		}
 		res.Final, res.FinalSize = next, nextSize
-		if toggles == 0 {
+		if len(kept) == 0 {
 			break // fixpoint
 		}
-		base, baseSize = next, nextSize
+		sized, baseSize = nextSized, nextSize
 	}
 	if res.Final == nil {
 		res.Final, res.FinalSize = res.Config, res.Size
@@ -98,18 +107,18 @@ func Tune(c *compile.Compiler, init *callgraph.Config, opts Options) Result {
 }
 
 // tuneRound is Algorithm 3 generalized to an arbitrary starting point:
-// every edge is toggled against the same base; beneficial toggles are kept.
-// Matching Algorithm 3's tie handling, a toggle *to* inline is kept on
-// ties, while a toggle away from inline must strictly shrink the program.
-func tuneRound(c *compile.Compiler, g *callgraph.Graph, base *callgraph.Config, baseSize int, sites []int, workers int) (*callgraph.Config, int) {
-	cfgs := make([]*callgraph.Config, len(sites))
+// every edge is toggled against the same base; beneficial toggles are kept
+// and returned. Matching Algorithm 3's tie handling, a toggle *to* inline
+// is kept on ties, while a toggle away from inline must strictly shrink
+// the program.
+func tuneRound(c *compile.Compiler, base *compile.Sized, baseSize int, sites []int, workers int) []int {
+	toggles := make([][]int, len(sites))
 	for i, s := range sites {
-		cfgs[i] = base.Clone().Set(s, !base.Inline(s))
+		toggles[i] = []int{s}
 	}
-	sizes := c.SizeParallel(cfgs, workers)
+	sizes := c.SizeDeltaParallel(base, toggles, workers)
 
-	next := base.Clone()
-	toggles := 0
+	var kept []int
 	for i, s := range sites {
 		toInline := !base.Inline(s)
 		keep := false
@@ -119,11 +128,10 @@ func tuneRound(c *compile.Compiler, g *callgraph.Graph, base *callgraph.Config, 
 			keep = sizes[i] < baseSize
 		}
 		if keep {
-			next.Set(s, toInline)
-			toggles++
+			kept = append(kept, s)
 		}
 	}
-	return next, toggles
+	return kept
 }
 
 // CleanSlate tunes from the all-no-inline configuration.

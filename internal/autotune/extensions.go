@@ -44,13 +44,18 @@ func TuneExtended(c *compile.Compiler, init *callgraph.Config, opts ExtOptions) 
 	if init != nil {
 		base = init.Clone()
 	}
-	baseSize := c.Size(base)
+	sized := c.Sized(base)
+	baseSize := sized.Size()
 	res := Result{Config: base.Clone(), Size: baseSize, InitSize: baseSize}
 
 	active := allSites // sites to evaluate this round
 	for round := 1; round <= rounds; round++ {
-		next, toggled := extRound(c, g, base, baseSize, active, opts)
-		nextSize := c.Size(next)
+		next, toggled := extRound(c, g, sized, baseSize, active, opts)
+		// toggled can revisit a site (a single-edge toggle later overridden
+		// by a winning group), so rebase on the configuration diff, not the
+		// toggle log.
+		nextSized := c.Rebase(sized, sized.Config().DiffSites(next))
+		nextSize := nextSized.Size()
 		res.Rounds = append(res.Rounds, RoundTrace{
 			Round:      round,
 			Size:       nextSize,
@@ -65,7 +70,7 @@ func TuneExtended(c *compile.Compiler, init *callgraph.Config, opts ExtOptions) 
 		if len(toggled) == 0 {
 			break
 		}
-		base, baseSize = next, nextSize
+		sized, baseSize = nextSized, nextSize
 		if opts.Incremental {
 			active = neighbourhood(g, toggled)
 		}
@@ -78,12 +83,13 @@ func TuneExtended(c *compile.Compiler, init *callgraph.Config, opts ExtOptions) 
 }
 
 // extRound evaluates single-edge toggles over the active sites plus,
-// optionally, per-callee group configurations. It returns the next
-// configuration and the toggled sites.
-func extRound(c *compile.Compiler, g *callgraph.Graph, base *callgraph.Config, baseSize int, active []int, opts ExtOptions) (*callgraph.Config, []int) {
-	cfgs := make([]*callgraph.Config, 0, len(active)+8)
+// optionally, per-callee group configurations — all as deltas against the
+// round's base handle. It returns the next configuration and the toggled
+// sites.
+func extRound(c *compile.Compiler, g *callgraph.Graph, base *compile.Sized, baseSize int, active []int, opts ExtOptions) (*callgraph.Config, []int) {
+	toggleSets := make([][]int, 0, len(active)+8)
 	for _, s := range active {
-		cfgs = append(cfgs, base.Clone().Set(s, !base.Inline(s)))
+		toggleSets = append(toggleSets, []int{s})
 	}
 
 	// Group candidates: internal callees with >= 2 call sites not yet all
@@ -110,30 +116,27 @@ func extRound(c *compile.Compiler, g *callgraph.Graph, base *callgraph.Config, b
 			if len(sites) < 2 {
 				continue
 			}
-			allIn, touchesActive := true, false
+			var missing []int // group sites the base does not inline yet
+			touchesActive := false
 			for _, s := range sites {
 				if !base.Inline(s) {
-					allIn = false
+					missing = append(missing, s)
 				}
 				if activeSet[s] {
 					touchesActive = true
 				}
 			}
-			if allIn || !touchesActive {
+			if len(missing) == 0 || !touchesActive {
 				continue
 			}
-			cfg := base.Clone()
-			for _, s := range sites {
-				cfg.Set(s, true)
-			}
 			groups = append(groups, group{callee: callee, sites: sites})
-			cfgs = append(cfgs, cfg)
+			toggleSets = append(toggleSets, missing)
 		}
 	}
 
-	sizes := c.SizeParallel(cfgs, opts.Workers)
+	sizes := c.SizeDeltaParallel(base, toggleSets, opts.Workers)
 
-	next := base.Clone()
+	next := base.Config()
 	var toggled []int
 	for i, s := range active {
 		toInline := !base.Inline(s)

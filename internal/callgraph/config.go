@@ -1,90 +1,239 @@
 package callgraph
 
 import (
-	"fmt"
-	"sort"
+	"math/bits"
+	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Config is an inlining configuration: a label assignment over call sites.
-// Sites absent from the map are no-inline — the paper's "clean slate" is
-// the empty configuration. Configurations are value-like: use Clone before
-// mutating a shared one.
+// Sites never Set are no-inline — the paper's "clean slate" is the empty
+// configuration. Configurations are value-like: use Clone before mutating a
+// shared one.
+//
+// The representation is a dense bitset over site IDs (AssignSites hands
+// them out contiguously from 1), so Clone, Equal, Hash, and Merge are
+// O(words) instead of O(sites·log sites), and the canonical Key is computed
+// at most once per distinct label set. Mutation (Set, Merge) is not safe
+// for concurrent use; everything else — including the lazily cached Key and
+// Hash — is, so a configuration shared by search workers stays race-free.
 type Config struct {
-	inline map[int]bool
+	words []uint64 // bit s set = site s labeled inline; no trailing zero words
+	count int      // population count, kept incrementally
+
+	// key and hash cache the canonical identities; atomics because read-only
+	// sharing across goroutines is allowed (mutators reset both).
+	key  atomic.Pointer[string]
+	hash atomic.Uint64 // stored value is hash+1; 0 means "not computed"
 }
 
 // NewConfig returns the empty (clean-slate) configuration.
 func NewConfig() *Config {
-	return &Config{inline: make(map[int]bool)}
+	return &Config{}
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy, carrying over any cached Key/Hash.
 func (c *Config) Clone() *Config {
-	nc := &Config{inline: make(map[int]bool, len(c.inline))}
-	for k, v := range c.inline {
-		nc.inline[k] = v
+	nc := &Config{count: c.count}
+	if len(c.words) > 0 {
+		nc.words = make([]uint64, len(c.words))
+		copy(nc.words, c.words)
 	}
+	nc.key.Store(c.key.Load())
+	nc.hash.Store(c.hash.Load())
 	return nc
+}
+
+// invalidate drops the cached canonical identities after a mutation.
+func (c *Config) invalidate() {
+	c.key.Store(nil)
+	c.hash.Store(0)
 }
 
 // Set assigns a label to a site.
 func (c *Config) Set(site int, inline bool) *Config {
+	if site < 0 {
+		panic("callgraph: negative site ID")
+	}
+	w, b := site/64, uint(site%64)
 	if inline {
-		c.inline[site] = true
-	} else {
-		delete(c.inline, site)
+		if w >= len(c.words) {
+			grown := make([]uint64, w+1)
+			copy(grown, c.words)
+			c.words = grown
+		}
+		if c.words[w]&(1<<b) == 0 {
+			c.words[w] |= 1 << b
+			c.count++
+			c.invalidate()
+		}
+		return c
+	}
+	if w < len(c.words) && c.words[w]&(1<<b) != 0 {
+		c.words[w] &^= 1 << b
+		c.count--
+		for len(c.words) > 0 && c.words[len(c.words)-1] == 0 {
+			c.words = c.words[:len(c.words)-1]
+		}
+		c.invalidate()
 	}
 	return c
 }
 
 // Inline reports whether the site is labeled inline.
-func (c *Config) Inline(site int) bool { return c.inline[site] }
+func (c *Config) Inline(site int) bool {
+	w := site / 64
+	return site >= 0 && w < len(c.words) && c.words[w]&(1<<uint(site%64)) != 0
+}
 
 // InlineSites returns the inline-labeled sites in ascending order.
 func (c *Config) InlineSites() []int {
-	out := make([]int, 0, len(c.inline))
-	for s := range c.inline {
-		out = append(out, s)
+	out := make([]int, 0, c.count)
+	for w, word := range c.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, w*64+b)
+			word &= word - 1
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
 // InlineCount returns the number of inline-labeled sites.
-func (c *Config) InlineCount() int { return len(c.inline) }
+func (c *Config) InlineCount() int { return c.count }
 
 // Merge copies all inline labels of other into c (used to combine the
 // independent-component partial configurations of Algorithm 1).
 func (c *Config) Merge(other *Config) *Config {
-	for s := range other.inline {
-		c.inline[s] = true
+	if len(other.words) == 0 {
+		return c
+	}
+	if len(other.words) > len(c.words) {
+		grown := make([]uint64, len(other.words))
+		copy(grown, c.words)
+		c.words = grown
+	}
+	changed := false
+	for i, w := range other.words {
+		if merged := c.words[i] | w; merged != c.words[i] {
+			c.words[i] = merged
+			changed = true
+		}
+	}
+	if changed {
+		n := 0
+		for _, w := range c.words {
+			n += bits.OnesCount64(w)
+		}
+		c.count = n
+		c.invalidate()
 	}
 	return c
 }
 
-// Key returns a canonical string identity: two configurations with the same
-// inline-labeled site set evaluate identically, so the compile cache is
-// keyed on this.
-func (c *Config) Key() string {
-	sites := c.InlineSites()
-	var sb strings.Builder
-	for i, s := range sites {
-		if i > 0 {
-			sb.WriteByte(',')
+// DiffSites returns the sites labeled differently by c and other, in
+// ascending order — the toggle set that turns one configuration into the
+// other (compile.SizeDelta's currency).
+func (c *Config) DiffSites(other *Config) []int {
+	n := len(c.words)
+	if len(other.words) > n {
+		n = len(other.words)
+	}
+	var out []int
+	for w := 0; w < n; w++ {
+		var a, b uint64
+		if w < len(c.words) {
+			a = c.words[w]
 		}
-		fmt.Fprintf(&sb, "%d", s)
+		if w < len(other.words) {
+			b = other.words[w]
+		}
+		for x := a ^ b; x != 0; x &= x - 1 {
+			out = append(out, w*64+bits.TrailingZeros64(x))
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string identity: two configurations with the same
+// inline-labeled site set share it. It is computed once per distinct label
+// set and cached (mutators invalidate), so hot paths that key maps by
+// string — the whole-config compile cache's spill path, the objective
+// tuner's memo — stop re-sorting per call.
+func (c *Config) Key() string {
+	if k := c.key.Load(); k != nil {
+		return *k
+	}
+	var sb strings.Builder
+	first := true
+	for w, word := range c.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			sb.WriteString(strconv.Itoa(w*64 + b))
+		}
+	}
+	k := sb.String()
+	c.key.Store(&k)
+	return k
+}
+
+// CacheKey returns a compact binary identity: the bitset words in fixed
+// little-endian order. Distinct label sets map to distinct strings (the
+// no-trailing-zero-words invariant makes the encoding canonical), and at 8
+// bytes per 64 sites it is both cheaper to build and much smaller to retain
+// than the decimal Key — the whole-configuration compile cache keys by it,
+// and those keys dominate that cache's live heap on big runs.
+func (c *Config) CacheKey() string {
+	if len(c.words) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(8 * len(c.words))
+	for _, w := range c.words {
+		for i := 0; i < 8; i++ {
+			sb.WriteByte(byte(w >> (8 * i)))
+		}
 	}
 	return sb.String()
 }
 
+// Hash returns a 64-bit identity hash of the label set (FNV-1a over the
+// bitset words). Equal configurations hash equally; the compile cache
+// buckets by it and confirms with Equal, avoiding Key's string entirely.
+// Cached like Key.
+func (c *Config) Hash() uint64 {
+	if h := c.hash.Load(); h != 0 {
+		return h - 1
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range c.words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	c.hash.Store(h + 1)
+	return h
+}
+
 // Equal reports whether two configurations label the same sites inline.
+// The no-trailing-zero-words invariant makes this a plain word compare.
 func (c *Config) Equal(other *Config) bool {
-	if len(c.inline) != len(other.inline) {
+	if c.count != other.count || len(c.words) != len(other.words) {
 		return false
 	}
-	for s := range c.inline {
-		if !other.inline[s] {
+	for i, w := range c.words {
+		if w != other.words[i] {
 			return false
 		}
 	}
@@ -92,7 +241,7 @@ func (c *Config) Equal(other *Config) bool {
 }
 
 func (c *Config) String() string {
-	if len(c.inline) == 0 {
+	if c.count == 0 {
 		return "{clean slate}"
 	}
 	return "{inline: " + c.Key() + "}"

@@ -55,11 +55,12 @@ type Compiler struct {
 	fingerprint uint64
 
 	mu    sync.Mutex
-	cache map[string]*sizeEntry
+	cache map[string]*sizeEntry // Config.CacheKey -> single-flight slot
 
 	memo    *memoState
 	memoize bool
 	check   bool
+	delta   bool
 
 	checkMu  sync.Mutex
 	checkErr error // first *CheckError observed by a cached Size path
@@ -69,6 +70,8 @@ type Compiler struct {
 	errors     atomic.Int64
 	funcHits   atomic.Int64
 	funcMisses atomic.Int64
+	deltaEvals atomic.Int64
+	deltaDirty atomic.Int64
 }
 
 // CheckError is a checked-mode invariant violation, attributed to the first
@@ -100,6 +103,26 @@ type sizeEntry struct {
 	size int
 }
 
+// lookup finds or creates the single-flight slot for cfg. isNew reports
+// whether the caller owns the computation (and must close e.done).
+//
+// The key is Config.CacheKey — the raw bitset words, O(words) to build and
+// far denser than the canonical decimal Key the old cache sorted out per
+// call. Retention matters as much as speed here: the cache holds hundreds
+// of thousands of entries on big runs, and a compact pointer-free key per
+// entry keeps the live heap (and so every GC scan) small.
+func (c *Compiler) lookup(cfg *callgraph.Config) (e *sizeEntry, isNew bool) {
+	key := cfg.CacheKey()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.cache[key]; ok {
+		return e, false
+	}
+	e = &sizeEntry{done: make(chan struct{})}
+	c.cache[key] = e
+	return e, true
+}
+
 // New prepares a compiler for the module. The module is cloned defensively;
 // callers may keep using the original. Site IDs are assigned if absent.
 func New(m *ir.Module, target codegen.Target) *Compiler {
@@ -119,6 +142,7 @@ func NewWithOptions(m *ir.Module, target codegen.Target, opts Options) *Compiler
 		cache:       make(map[string]*sizeEntry),
 		memo:        buildMemo(base, g),
 		memoize:     true,
+		delta:       true,
 		check:       opts.Check,
 	}
 }
@@ -149,6 +173,19 @@ func (c *Compiler) recordCheckFailure(err error) {
 // kept for benchmarking and for differential tests of the memo engine
 // itself. Not safe to call concurrently with Size.
 func (c *Compiler) SetMemoize(on bool) { c.memoize = on }
+
+// SetDelta switches the incremental delta-evaluation path on or off (on by
+// default). Off, Sized/SizeDelta/Rebase fall back to whole-configuration
+// Size calls — the differential oracle behind the CLIs' -no-delta flags.
+// Not safe to call concurrently with Size.
+func (c *Compiler) SetDelta(on bool) { c.delta = on }
+
+// DeltaEnabled reports whether SizeDelta prices toggles incrementally.
+// The delta path rides on the per-function memo, so it is off whenever the
+// memo is off — and checked mode forces the full pipeline for the same
+// reason the memo does: skipping whole-module compilations would skip
+// exactly the work being checked.
+func (c *Compiler) DeltaEnabled() bool { return c.delta && c.memoize && !c.check }
 
 // Fingerprint returns the base module's fingerprint; per-function cache
 // entries are keyed under it.
@@ -241,18 +278,12 @@ func (c *Compiler) Build(cfg *callgraph.Config) (*ir.Module, error) {
 // share one compilation (single-flight), so the evaluation counter counts
 // distinct configurations regardless of scheduling.
 func (c *Compiler) Size(cfg *callgraph.Config) int {
-	key := cfg.Key()
-	c.mu.Lock()
-	if e, ok := c.cache[key]; ok {
-		c.mu.Unlock()
+	e, isNew := c.lookup(cfg)
+	if !isNew {
 		<-e.done
 		c.hits.Add(1)
 		return e.size
 	}
-	e := &sizeEntry{done: make(chan struct{})}
-	c.cache[key] = e
-	c.mu.Unlock()
-
 	e.size = c.measure(cfg)
 	close(e.done)
 	return e.size
@@ -333,4 +364,11 @@ func (c *Compiler) ConfigCacheStats() stats.CacheStats {
 // already compiled it with the same inline-closure labels.
 func (c *Compiler) FuncCacheStats() stats.CacheStats {
 	return stats.CacheStats{Hits: c.funcHits.Load(), Misses: c.funcMisses.Load()}
+}
+
+// DeltaStats returns the delta engine's counters: how many configurations
+// were priced incrementally and how many dirty functions those prices
+// touched in total (everything else was reused from the base handle).
+func (c *Compiler) DeltaStats() stats.DeltaStats {
+	return stats.DeltaStats{Evals: c.deltaEvals.Load(), DirtyFuncs: c.deltaDirty.Load()}
 }

@@ -206,6 +206,112 @@ func TestCheckedModeFuzzGeneratedPrograms(t *testing.T) {
 	}
 }
 
+// TestDeltaFuzzMatchesFullAndChecked is the delta engine's differential
+// front: across the 30-seed generated-program corpus, every configuration is
+// priced three ways — incrementally (SizeDelta/Rebase against a handle),
+// through the whole-configuration memo path (-no-delta oracle), and in
+// checked compilation mode — and all three must agree byte-for-byte. The
+// toggle sets deliberately include ones that kill functions via label-based
+// DFE (inline every incoming edge of an internal callee) and ones that
+// resurrect them again from a rebased all-inline handle.
+func TestDeltaFuzzMatchesFullAndChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	compared := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		name := fmt.Sprintf("dlt%03d", seed)
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		mod, err := lang.Compile(name, src)
+		if err != nil {
+			t.Fatalf("seed %d: generated source does not lower: %v\n%s", seed, err, src)
+		}
+		delta := New(mod, codegen.TargetX86)
+		full := New(mod, codegen.TargetX86)
+		full.SetDelta(false)
+		chk := NewWithOptions(mod, codegen.TargetX86, Options{Check: true})
+		g := delta.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		sites := g.Sites()
+		base := delta.Sized(callgraph.NewConfig())
+
+		// Five toggle sets per seed: everything (maximum DFE kill pressure),
+		// one internal callee's complete incoming-edge set (a targeted kill),
+		// and three random samples.
+		sets := [][]int{sites}
+		victim := ""
+		for _, e := range g.Edges {
+			if callee := delta.Module().Func(e.Callee); callee != nil && !callee.Exported {
+				victim = e.Callee
+				break
+			}
+		}
+		if victim != "" {
+			var in []int
+			for _, e := range g.Edges {
+				if e.Callee == victim {
+					in = append(in, e.Site)
+				}
+			}
+			sets = append(sets, in)
+		}
+		for len(sets) < 5 {
+			var ts []int
+			for _, s := range sites {
+				if rng.Intn(2) == 0 {
+					ts = append(ts, s)
+				}
+			}
+			sets = append(sets, ts)
+		}
+		for _, ts := range sets {
+			cfg := callgraph.NewConfig()
+			for _, s := range ts {
+				cfg.Set(s, true)
+			}
+			got := delta.SizeDelta(base, ts)
+			want := full.Size(cfg)
+			chkGot := chk.Size(cfg)
+			if err := chk.CheckFailure(); err != nil {
+				t.Fatalf("seed %d cfg %v: checked mode: %v\n%s", seed, cfg, err, src)
+			}
+			if got != want || got != chkGot {
+				t.Fatalf("seed %d cfg %v: delta %d / full %d / checked %d disagree",
+					seed, cfg, got, want, chkGot)
+			}
+			compared++
+		}
+
+		// Rebase onto all-inline, then un-inline single sites: each probe can
+		// resurrect a DFE-killed callee, and must still match both oracles.
+		reb := delta.Rebase(base, sites)
+		allCfg := callgraph.NewConfig()
+		for _, s := range sites {
+			allCfg.Set(s, true)
+		}
+		if got, want := reb.Size(), full.Size(allCfg); got != want {
+			t.Fatalf("seed %d: rebased all-inline size %d != full %d", seed, got, want)
+		}
+		for _, s := range sites[:min(3, len(sites))] {
+			cfg := allCfg.Clone().Set(s, false)
+			got := delta.SizeDelta(reb, []int{s})
+			want := full.Size(cfg)
+			chkGot := chk.Size(cfg)
+			if err := chk.CheckFailure(); err != nil {
+				t.Fatalf("seed %d cfg %v: checked mode: %v\n%s", seed, cfg, err, src)
+			}
+			if got != want || got != chkGot {
+				t.Fatalf("seed %d resurrect %d: delta %d / full %d / checked %d disagree",
+					seed, s, got, want, chkGot)
+			}
+			compared++
+		}
+	}
+	if compared < 100 {
+		t.Fatalf("only %d configurations compared; corpus too trivial", compared)
+	}
+}
+
 // TestSizeMonotonicityUnderDFE: fully inlining every call edge of an
 // internal function can never be worse than inlining all of them except
 // leaving the function alive artificially — i.e., DFE only helps.

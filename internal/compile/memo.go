@@ -55,12 +55,31 @@ type funcInfo struct {
 	idx      int   // module order
 	exported bool
 	sites    []int // candidate sites owned (caller side), ascending
+
+	// Incoming-edge view, for deciding label-based DFE locally: the
+	// candidate sites targeting this function, and whether any of them is
+	// recursive (a recursive incoming edge pins the function alive).
+	inSites []int
+	recIn   bool
 }
 
-// memoState holds the per-function site ownership and the size cache.
+// memoState holds the per-function site ownership, the size cache, and the
+// inverse dependency index the delta engine prices toggles with.
 type memoState struct {
 	funcs      []*funcInfo // module order
 	siteCallee map[int]*funcInfo
+	siteCaller map[int]*funcInfo
+
+	// ancestors[i] lists (ascending, including i itself) the indices of
+	// functions that can reach function i through candidate call edges.
+	// A function f's inline closure can contain a site s only if f reaches
+	// s's owner, so ancestors[caller(s)] is exactly the set of functions
+	// whose memo key can change when s's label flips — the dirty set.
+	// Built lazily on the first delta evaluation: clients that never price
+	// incrementally (-no-delta, Build-only tools) pay nothing for it.
+	rev       [][]int32 // callee idx -> caller idxs
+	ancOnce   sync.Once
+	ancestors [][]int32
 
 	mu      sync.Mutex
 	entries map[string]*memoEntry
@@ -77,6 +96,7 @@ type memoEntry struct {
 func buildMemo(base *ir.Module, g *callgraph.Graph) *memoState {
 	ms := &memoState{
 		siteCallee: make(map[int]*funcInfo),
+		siteCaller: make(map[int]*funcInfo),
 		entries:    make(map[string]*memoEntry),
 	}
 	byName := make(map[string]*funcInfo, len(base.Funcs))
@@ -85,15 +105,101 @@ func buildMemo(base *ir.Module, g *callgraph.Graph) *memoState {
 		ms.funcs = append(ms.funcs, fi)
 		byName[f.Name] = fi
 	}
+	rev := make([][]int32, len(ms.funcs))
 	for _, e := range g.Edges {
-		caller := byName[e.Caller]
+		caller, callee := byName[e.Caller], byName[e.Callee]
 		caller.sites = append(caller.sites, e.Site)
-		ms.siteCallee[e.Site] = byName[e.Callee]
+		callee.inSites = append(callee.inSites, e.Site)
+		if e.Recursive {
+			callee.recIn = true
+		}
+		ms.siteCallee[e.Site] = callee
+		ms.siteCaller[e.Site] = caller
+		rev[callee.idx] = append(rev[callee.idx], int32(caller.idx))
 	}
 	for _, fi := range ms.funcs {
 		sort.Ints(fi.sites)
+		sort.Ints(fi.inSites)
 	}
+	ms.rev = rev
 	return ms
+}
+
+// ensureAncestors builds the inverse reachability index on first use.
+func (ms *memoState) ensureAncestors() {
+	ms.ancOnce.Do(func() { ms.ancestors = buildAncestors(ms.rev) })
+}
+
+// buildAncestors computes, per function, every function that can reach it
+// through candidate call edges (reflexive). One reverse BFS per function;
+// module call graphs are small, so the quadratic worst case is irrelevant.
+func buildAncestors(rev [][]int32) [][]int32 {
+	n := len(rev)
+	out := make([][]int32, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		anc := []int32{int32(v)}
+		mark[v] = v
+		for i := 0; i < len(anc); i++ {
+			for _, u := range rev[anc[i]] {
+				if mark[u] != v {
+					mark[u] = v
+					anc = append(anc, u)
+				}
+			}
+		}
+		sort.Slice(anc, func(i, j int) bool { return anc[i] < anc[j] })
+		out[v] = anc
+	}
+	return out
+}
+
+// dirty returns (ascending, deduplicated) the indices of every function
+// whose contribution to the total size can change when the given sites
+// flip: the toggled sites' owners' ancestors — whose closures may gain or
+// lose the site — plus the callees, whose DFE survival is decided by the
+// labels of exactly these incoming edges.
+func (ms *memoState) dirty(toggles []int) []int32 {
+	ms.ensureAncestors()
+	seen := make([]bool, len(ms.funcs))
+	var out []int32
+	add := func(i int32) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for _, s := range toggles {
+		caller, ok := ms.siteCaller[s]
+		if !ok {
+			continue // not a candidate site: flipping it is a no-op
+		}
+		for _, a := range ms.ancestors[caller.idx] {
+			add(a)
+		}
+		add(int32(ms.siteCallee[s].idx))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// alive is the label-based DFE predicate of one function, decided locally
+// from its incoming candidate edges: it matches callgraph.CalleesAllInline
+// combined with the exported check of measureMemo, without building the
+// whole-module maps.
+func (ms *memoState) alive(fi *funcInfo, cfg *callgraph.Config) bool {
+	if fi.exported || fi.recIn || len(fi.inSites) == 0 {
+		return true
+	}
+	for _, s := range fi.inSites {
+		if !cfg.Inline(s) {
+			return true
+		}
+	}
+	return false
 }
 
 // closure returns f's inline closure under cfg (module order) and the

@@ -36,6 +36,11 @@ type Config struct {
 	// the memo engine's speedup can be measured on one machine with one
 	// binary (inlinebench -no-memo).
 	DisableMemo bool
+	// DisableDelta turns off the incremental delta-evaluation path on
+	// every compiler in the corpus, keeping the memoized whole-config path
+	// as a differential oracle (inlinebench -no-delta). Output must be
+	// byte-identical either way.
+	DisableDelta bool
 	// Checked runs every compiler in checked compilation mode
 	// (compile.Options.Check): invariants verified after every inline step
 	// and opt pass. Much slower; regression tripwire for inlinebench -check.
@@ -169,6 +174,9 @@ func NewHarness(cfg Config) *Harness {
 		if cfg.DisableMemo {
 			comp.SetMemoize(false)
 		}
+		if cfg.DisableDelta {
+			comp.SetDelta(false)
+		}
 		g := comp.Graph()
 		if len(g.Edges) == 0 {
 			return // trivial w.r.t. inlining, as in the paper's 746 files
@@ -214,6 +222,16 @@ func (h *Harness) FuncCacheStats() stats.CacheStats {
 	var total stats.CacheStats
 	for _, fd := range h.files {
 		total = total.Add(fd.comp.FuncCacheStats())
+	}
+	return total
+}
+
+// DeltaStats aggregates the incremental-evaluation counters over every
+// compiler in the corpus.
+func (h *Harness) DeltaStats() stats.DeltaStats {
+	var total stats.DeltaStats
+	for _, fd := range h.files {
+		total = total.Add(fd.comp.DeltaStats())
 	}
 	return total
 }

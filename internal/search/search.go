@@ -242,7 +242,16 @@ func Optimal(c *compile.Compiler, opts Options) (Result, bool) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ev := &evaluator{c: c}
+	// Every leaf and combine evaluation is a perturbation of the clean
+	// slate confined to one component, so price them as deltas against a
+	// clean-slate handle: only the functions reachable into the labeled
+	// component recompile, never the whole module. DeltaBase is nil when
+	// the engine is off (-no-delta, checked mode); sizeOf then takes the
+	// classic whole-configuration path. Both paths are byte-identical,
+	// including evaluation counters — the handle itself is built outside
+	// the config cache, so the clean slate is still "evaluated" at the
+	// first leaf that requests it, exactly as before.
+	ev := &evaluator{c: c, base: c.DeltaBase(callgraph.NewConfig())}
 	if workers > 1 {
 		ev.tokens = make(chan struct{}, workers)
 	}
@@ -257,7 +266,18 @@ func Optimal(c *compile.Compiler, opts Options) (Result, bool) {
 
 type evaluator struct {
 	c      *compile.Compiler
-	tokens chan struct{} // nil means sequential
+	base   *compile.Sized // clean-slate handle; nil disables delta pricing
+	tokens chan struct{}  // nil means sequential
+}
+
+// sizeOf prices a fully-merged (partial) configuration: incrementally
+// against the clean-slate handle when the delta engine is on, otherwise
+// through the classic whole-configuration path.
+func (ev *evaluator) sizeOf(cfg *callgraph.Config) int {
+	if ev.base != nil {
+		return ev.c.SizeDelta(ev.base, cfg.InlineSites())
+	}
+	return ev.c.Size(cfg)
 }
 
 // eval is Algorithm 1 fused with Algorithm 2: it lazily builds and
@@ -268,7 +288,7 @@ func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config) (*cal
 		// InliningTreeLeaf: a fully labeled (partial w.r.t. siblings)
 		// configuration; evaluate it.
 		cfg := decided.Clone()
-		return cfg, ev.c.Size(cfg)
+		return cfg, ev.sizeOf(cfg)
 	}
 	if subs := edgeComponents(mg); len(subs) > 1 {
 		// InliningTreeComponentsNode: independent components explored
@@ -282,7 +302,7 @@ func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config) (*cal
 		for _, sub := range results {
 			combined.Merge(sub)
 		}
-		return combined, ev.c.Size(combined)
+		return combined, ev.sizeOf(combined)
 	}
 	// InliningTreeBinaryNode: label the partition edge both ways.
 	e := SelectPartitionEdge(mg)

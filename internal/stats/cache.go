@@ -30,3 +30,31 @@ func (s CacheStats) Add(o CacheStats) CacheStats {
 func (s CacheStats) String() string {
 	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate)", s.Hits, s.Misses, s.HitRate()*100)
 }
+
+// DeltaStats counts the incremental evaluation engine's work: Evals is the
+// number of configurations priced by delta (a subset of the compiler's
+// evaluation counter), DirtyFuncs the total functions those prices
+// recomputed — everything else was reused from the base handle.
+type DeltaStats struct {
+	Evals      int64
+	DirtyFuncs int64
+}
+
+// AvgDirty returns the mean number of functions recomputed per delta-priced
+// configuration.
+func (s DeltaStats) AvgDirty() float64 {
+	if s.Evals > 0 {
+		return float64(s.DirtyFuncs) / float64(s.Evals)
+	}
+	return 0
+}
+
+// Add returns the element-wise sum (for aggregating across compilers).
+func (s DeltaStats) Add(o DeltaStats) DeltaStats {
+	return DeltaStats{Evals: s.Evals + o.Evals, DirtyFuncs: s.DirtyFuncs + o.DirtyFuncs}
+}
+
+func (s DeltaStats) String() string {
+	return fmt.Sprintf("%d delta evals, %d dirty functions (%.1f avg/eval)",
+		s.Evals, s.DirtyFuncs, s.AvgDirty())
+}
