@@ -255,6 +255,77 @@ func BenchmarkSearchSequentialVsParallel(b *testing.B) {
 	}
 }
 
+// chainModule builds a call chain fn0 -> fn1 -> ... -> fn_n — the paper's
+// Figure 5 path shape, and the shape deep call stacks give real units. Its
+// recursive space grows fast with n while staying bridge-decomposable, so
+// the branch-and-bound layer has maximal structure to share: sub-paths
+// recur all over the tree, and contraction order collapses in the memo key.
+func chainModule(n int) *ir.Module {
+	m := ir.NewModule("chain")
+	m.AddGlobal("state")
+	for i := n; i >= 0; i-- {
+		b := ir.NewFunction(fmt.Sprintf("fn%d", i), 1, i == 0)
+		x := b.Param(0)
+		v := b.Bin(ir.Mul, x, x)
+		v = b.Bin(ir.Add, v, x)
+		if i < n {
+			r := b.Call(fmt.Sprintf("fn%d", i+1), v)
+			v = b.Bin(ir.Add, v, r)
+		}
+		if i%3 == 0 {
+			b.StoreG("state", v)
+		}
+		b.Ret(v)
+		m.AddFunc(b.Fn)
+	}
+	m.AssignSites()
+	return m
+}
+
+// BenchmarkOptimalPrunedVsExhaustive measures the branch-and-bound search
+// (component memo + admissible bounds, the default) against the exhaustive
+// recursion (-no-prune) on the same translation unit: a 16-call chain whose
+// recursive space holds 732 tree evaluations (>= 500). Both searches return
+// byte-identical optima; the reported evals metric counts real configuration
+// evaluations (lower is cheaper), memo-hit-pct is the component memo's hit
+// rate, and pruned-subtrees the admissible bound's cuts on the pruned run.
+// Recorded in BENCH_search.json.
+func BenchmarkOptimalPrunedVsExhaustive(b *testing.B) {
+	m := chainModule(16)
+	{
+		c := compile.New(m, codegen.TargetX86)
+		space, capped := search.RecursiveSpaceSize(c.Graph(), 1<<13)
+		if capped || space < 500 {
+			b.Fatalf("chain unit space = %d (capped=%v), need uncapped >= 500", space, capped)
+		}
+		b.Logf("unit: %d-evaluation recursive space", space)
+	}
+	for _, mode := range []struct {
+		name    string
+		noPrune bool
+	}{{"pruned", false}, {"exhaustive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var evals int64
+			var stats search.PruneStats
+			for i := 0; i < b.N; i++ {
+				comp := compile.New(m, codegen.TargetX86)
+				res, ok := search.Optimal(comp, search.Options{NoPrune: mode.noPrune, MaxSpace: 1 << 13})
+				if !ok {
+					b.Fatal("aborted")
+				}
+				evals = res.Evaluations
+				stats = res.Prune
+			}
+			b.ReportMetric(float64(evals), "evals")
+			if lookups := stats.MemoHits + stats.MemoMisses; lookups > 0 {
+				b.ReportMetric(100*float64(stats.MemoHits)/float64(lookups), "memo-hit-pct")
+				b.ReportMetric(float64(stats.Subtrees), "pruned-subtrees")
+			}
+		})
+	}
+}
+
 // BenchmarkSizeCachedVsUncached measures an autotuner-shaped workload — a
 // base configuration plus every single-site toggle — with the per-component
 // memo cache on and off. With the cache, toggling one site only recompiles

@@ -8,6 +8,19 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== builtin-shadowing guard =="
+# Shadowing a Go builtin (cap, len, new, ...) compiles fine but silently
+# disables the builtin for the rest of the scope; it has caused real
+# confusion here (countSpace's space cap). Ban declarations and parameters
+# named after the common offenders. min/max are excluded: they are
+# conventional local names throughout the repo and predate the builtins.
+shadow_pat='(cap|len|new|copy|make|append|delete)'
+if grep -rnE "(^|[^.[:alnum:]_])${shadow_pat}[[:space:]]*(:=|= [^=])" --include='*.go' . ||
+   grep -rnE "[(,][[:space:]]*${shadow_pat}[[:space:]]+[*[]?[A-Za-z]" --include='*.go' .; then
+  echo "identifier shadows a Go builtin (see above); rename it"
+  exit 1
+fi
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -23,8 +36,22 @@ fi
 
 echo "== delta-engine bench smoke =="
 # One iteration each: catches compile errors or assertion failures in the
-# delta-vs-full and config-identity benchmarks without paying bench time.
-go test -run '^$' -bench 'DeltaVsFull|ConfigKey' -benchtime=1x . >/dev/null
+# delta-vs-full, config-identity, and pruned-vs-exhaustive benchmarks
+# without paying bench time.
+go test -run '^$' -bench 'DeltaVsFull|ConfigKey|OptimalPrunedVsExhaustive' -benchtime=1x . >/dev/null
+
+echo "== pruned-search differential smoke =="
+# The branch-and-bound search and the -no-prune exhaustive recursion must
+# report identical optima (size and site set) on the example corpus.
+for f in examples/minc/*.minc; do
+  pruned="$(go run ./cmd/inlinesearch -max-space 65536 "$f" 2>/dev/null | grep -E '^(optimal:|optimal inline sites:)')" || continue
+  exhaustive="$(go run ./cmd/inlinesearch -max-space 65536 -no-prune "$f" 2>/dev/null | grep -E '^(optimal:|optimal inline sites:)')"
+  if [[ "${pruned}" != "${exhaustive}" ]]; then
+    echo "pruned / -no-prune disagree on ${f}:"
+    diff <(echo "${pruned}") <(echo "${exhaustive}") || true
+    exit 1
+  fi
+done
 
 echo "== checked-mode smoke =="
 # Per-step invariant verification across all three CLIs; each run fails

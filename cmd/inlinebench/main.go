@@ -18,6 +18,9 @@
 //	              inline step and opt pass of every evaluation (slow)
 //	-no-delta     disable the incremental delta-evaluation engine; every
 //	              probe prices a whole configuration (differential oracle)
+//	-no-prune     disable the branch-and-bound layer of the optimal search;
+//	              exhaustive experiments run the plain recursion instead
+//	              (differential oracle — stdout is byte-identical)
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f at exit
 //
@@ -47,18 +50,19 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		list    = flag.Bool("list", false, "list experiment IDs")
-		scale   = flag.Float64("scale", 1.0, "workload scale")
-		rounds  = flag.Int("rounds", 4, "autotuning rounds")
-		cap     = flag.Uint64("cap", 1<<14, "recursive-space cap for exhaustive experiments")
-		jobs    = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
-		workers = flag.Int("workers", 0, "deprecated alias for -jobs")
-		noMemo  = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
-		noDelta = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
-		check   = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		scale    = flag.Float64("scale", 1.0, "workload scale")
+		rounds   = flag.Int("rounds", 4, "autotuning rounds")
+		spaceCap = flag.Uint64("cap", 1<<14, "recursive-space cap for exhaustive experiments")
+		jobs     = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "deprecated alias for -jobs")
+		noMemo   = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
+		noDelta  = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		noPrune  = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
+		check    = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -100,11 +104,12 @@ func run() error {
 	h := experiments.NewHarness(experiments.Config{
 		Scale:         *scale,
 		Workers:       *jobs,
-		ExhaustiveCap: *cap,
+		ExhaustiveCap: *spaceCap,
 		Rounds:        *rounds,
 		DisableMemo:   *noMemo,
 		DisableDelta:  *noDelta,
 		Checked:       *check,
+		DisablePrune:  *noPrune,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -129,6 +134,7 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "config cache:    %v\n", h.ConfigCacheStats())
 	fmt.Fprintf(os.Stderr, "function cache:  %v\n", h.FuncCacheStats())
 	fmt.Fprintf(os.Stderr, "delta engine:    %v\n", h.DeltaStats())
+	fmt.Fprintf(os.Stderr, "search pruning:  %v\n", h.PruneStats())
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	if *check {
 		if fails := h.CheckFailures(); len(fails) > 0 {

@@ -17,6 +17,9 @@
 //	                    every inline step and opt pass of every evaluation
 //	-no-delta           disable the incremental delta-evaluation engine;
 //	                    leaf/combine evaluations price whole configurations
+//	-no-prune           disable the branch-and-bound layer (component memo +
+//	                    admissible bounds); run the exhaustive recursion
+//	                    instead (differential oracle — output is identical)
 //	-cpuprofile f       write a CPU profile to f
 //	-memprofile f       write a heap profile to f at exit
 package main
@@ -54,6 +57,7 @@ func run() error {
 		tree       = flag.Bool("tree", false, "print the materialized inlining tree (paper Figure 6)")
 		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
 		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		noPrune    = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -113,10 +117,11 @@ func run() error {
 	}
 	fmt.Printf("recursively partitioned space: %d evaluations (2^%.1f)\n", rec, math.Log2(float64(rec)))
 
-	res, ok := search.Optimal(comp, search.Options{Workers: *jobs, MaxSpace: *maxSpace})
+	res, ok := search.Optimal(comp, search.Options{Workers: *jobs, MaxSpace: *maxSpace, NoPrune: *noPrune})
 	if !ok {
 		return fmt.Errorf("search aborted")
 	}
+	fmt.Fprintf(os.Stderr, "search pruning: %v\n", res.Prune)
 	noInline := comp.Size(callgraph.NewConfig())
 	hc := heuristic.OsConfig(comp.Module(), g)
 	heurSize := comp.Size(hc)

@@ -12,6 +12,12 @@
 //	-dot                  print the tuned call graph as DOT
 //	-no-delta             disable the incremental delta-evaluation engine;
 //	                      every probe prices a whole configuration
+//	-exact-components N   after the rounds, re-solve exactly (branch-and-
+//	                      bound) every call-graph component whose recursive
+//	                      space fits N tree evaluations, under the tuned
+//	                      labels of the rest (0 disables; try 4096)
+//	-no-prune             make the exact-component polish use the exhaustive
+//	                      recursion instead of branch-and-bound (oracle)
 package main
 
 import (
@@ -45,6 +51,8 @@ func run() error {
 		groups     = flag.Bool("groups", false, "also test per-callee group inlining (paper 5.2.1 extension)")
 		incr       = flag.Bool("incremental", false, "incremental rounds: only re-tune changed regions (paper 6 extension)")
 		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		exactComps = flag.Uint64("exact-components", 0, "re-solve components whose recursive space fits N evaluations exactly after the rounds (0 = off)")
+		noPrune    = flag.Bool("no-prune", false, "exhaustive recursion instead of branch-and-bound in the exact-component polish (differential oracle)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -71,9 +79,10 @@ func run() error {
 
 	opts := autotune.Options{Rounds: *rounds, Workers: *workers}
 	tune := func(init *callgraph.Config) autotune.Result {
-		if *groups || *incr {
+		if *groups || *incr || *exactComps > 0 {
 			return autotune.TuneExtended(comp, init, autotune.ExtOptions{
 				Options: opts, GroupCallees: *groups, Incremental: *incr,
+				ExactComponents: *exactComps, NoPrune: *noPrune,
 			})
 		}
 		return autotune.Tune(comp, init, opts)

@@ -18,6 +18,8 @@
 //	                               after every inline step and opt pass
 //	-no-delta                      disable the incremental delta-evaluation
 //	                               engine for -inline tune|optimal
+//	-no-prune                      disable the branch-and-bound layer for
+//	                               -inline optimal (differential oracle)
 package main
 
 import (
@@ -67,6 +69,7 @@ func run() error {
 		doOutline  = flag.Bool("outline", false, "run the size outliner after inlining")
 		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
 		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		noPrune    = flag.Bool("no-prune", false, "disable the branch-and-bound search layer for -inline optimal (differential oracle)")
 		args       intList
 	)
 	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
@@ -104,7 +107,7 @@ func run() error {
 		best, _, _ := autotune.Combined(comp, init, autotune.Options{Rounds: *rounds})
 		cfg = best.Config
 	case "optimal":
-		res, ok := search.Optimal(comp, search.Options{MaxSpace: 1 << 22})
+		res, ok := search.Optimal(comp, search.Options{MaxSpace: 1 << 22, NoPrune: *noPrune})
 		if !ok {
 			return fmt.Errorf("search space too large for exhaustive search (%d+ evaluations); use -inline tune", res.SpaceSize)
 		}

@@ -3,6 +3,7 @@ package autotune
 import (
 	"optinline/internal/callgraph"
 	"optinline/internal/compile"
+	"optinline/internal/search"
 )
 
 // The paper points at two straightforward extensions of the local
@@ -28,6 +29,17 @@ type ExtOptions struct {
 	// Incremental restricts rounds after the first to edges in the
 	// neighbourhood of the previous round's kept toggles.
 	Incremental bool
+	// ExactComponents, when nonzero, polishes the tuned result after the
+	// rounds: every call-graph component whose recursive search space fits
+	// this many tree evaluations is re-solved exactly (branch-and-bound)
+	// under the tuned labels of the rest of the module. Component optima are
+	// independent of outside labels (the paper's independence theorem), so
+	// each polish yields the true component optimum given the rest and the
+	// result is monotonically no worse than the tuned one.
+	ExactComponents uint64
+	// NoPrune makes the ExactComponents polish use the exhaustive recursion
+	// instead of branch-and-bound (differential oracle; same result).
+	NoPrune bool
 }
 
 // TuneExtended runs the autotuner with the paper's suggested extensions.
@@ -78,8 +90,33 @@ func TuneExtended(c *compile.Compiler, init *callgraph.Config, opts ExtOptions) 
 	if res.Final == nil {
 		res.Final, res.FinalSize = res.Config, res.Size
 	}
+	if opts.ExactComponents > 0 {
+		polishComponents(c, &res, opts)
+	}
 	res.Evaluations = c.Evaluations()
 	return res
+}
+
+// polishComponents re-solves every small-enough call-graph component exactly
+// under the tuned labels of the rest of the module, adopting each component
+// optimum as it is found. Components are processed in canonical order and
+// each solve fixes the labels adopted so far, so the polish is deterministic
+// and its result monotonically improves on the tuned configuration.
+func polishComponents(c *compile.Compiler, res *Result, opts ExtOptions) {
+	sOpts := search.Options{Workers: opts.Workers, NoPrune: opts.NoPrune}
+	for _, comp := range search.ComponentSubgraphs(c.Graph()) {
+		if n, capped := search.SubspaceSize(comp, opts.ExactComponents); capped || n > opts.ExactComponents {
+			continue
+		}
+		decided := res.Config.Clone()
+		for _, s := range comp.EdgeIDs() {
+			decided.Set(s, false)
+		}
+		cfg, size := search.OptimalCompletion(c, comp, decided, sOpts)
+		if size < res.Size {
+			res.Config, res.Size = cfg, size
+		}
+	}
 }
 
 // extRound evaluates single-edge toggles over the active sites plus,

@@ -144,6 +144,76 @@ func TestGroupTogglesOnGeneratedHubs(t *testing.T) {
 	}
 }
 
+func TestExactComponentPolishReachesOptimum(t *testing.T) {
+	// On modules whose every component fits the polish cap, the polished
+	// tuner must land exactly on the certified optimum: the polish re-solves
+	// each component under the tuned rest, and component optima compose
+	// (the paper's independence theorem).
+	p := workload.Profile{
+		Name: "polish", Files: 4, TotalEdges: 40,
+		ConstArgProb: 0.35, HubProb: 0.3, BigBodyProb: 0.25, LoopProb: 0.3,
+		RecProb: 0.05, BranchProb: 0.45, MultiRootPct: 0.25,
+	}
+	checked := 0
+	for _, f := range workload.Generate(p).Files {
+		probe := compile.New(f.Module, codegen.TargetX86)
+		if len(probe.Graph().Edges) == 0 {
+			continue
+		}
+		if _, capped := search.RecursiveSpaceSize(probe.Graph(), 1<<12); capped {
+			continue
+		}
+		opt, ok := search.Optimal(compile.New(f.Module, codegen.TargetX86), search.Options{MaxSpace: 1 << 12})
+		if !ok {
+			continue
+		}
+		checked++
+		cp := compile.New(f.Module, codegen.TargetX86)
+		res := TuneExtended(cp, nil, ExtOptions{
+			Options: Options{Rounds: 2}, ExactComponents: 1 << 12,
+		})
+		if res.Size != opt.Size {
+			t.Fatalf("%s: polished tuner %d != optimum %d", f.Name, res.Size, opt.Size)
+		}
+		if got := cp.Size(res.Config); got != res.Size {
+			t.Fatalf("%s: polished config prices to %d, reported %d", f.Name, got, res.Size)
+		}
+		// The -no-prune oracle must agree bit for bit.
+		cn := compile.New(f.Module, codegen.TargetX86)
+		resN := TuneExtended(cn, nil, ExtOptions{
+			Options: Options{Rounds: 2}, ExactComponents: 1 << 12, NoPrune: true,
+		})
+		if resN.Size != res.Size || !resN.Config.Equal(res.Config) {
+			t.Fatalf("%s: polish with -no-prune diverged: %d vs %d", f.Name, resN.Size, res.Size)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no file in the polish corpus was fully searchable")
+	}
+}
+
+func TestExactComponentPolishMonotone(t *testing.T) {
+	// On a larger unit where only some components fit the cap, the polish
+	// must never regress the tuned result.
+	p := workload.Profile{
+		Name: "polish-mono", Files: 1, TotalEdges: 60,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.3,
+		RecProb: 0.05, BranchProb: 0.45, MultiRootPct: 0.15,
+	}
+	f := workload.Generate(p).Files[0]
+	plain := TuneExtended(compile.New(f.Module, codegen.TargetX86), nil,
+		ExtOptions{Options: Options{Rounds: 2}})
+	cp := compile.New(f.Module, codegen.TargetX86)
+	polished := TuneExtended(cp, nil,
+		ExtOptions{Options: Options{Rounds: 2}, ExactComponents: 1 << 10})
+	if polished.Size > plain.Size {
+		t.Fatalf("polish regressed: %d > %d", polished.Size, plain.Size)
+	}
+	if got := cp.Size(polished.Config); got != polished.Size {
+		t.Fatalf("polished config prices to %d, reported %d", got, polished.Size)
+	}
+}
+
 func TestExtendedWithInit(t *testing.T) {
 	c := newCompiler(t)
 	init := callgraph.NewConfig().Set(1, true)

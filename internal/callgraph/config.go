@@ -33,6 +33,18 @@ func NewConfig() *Config {
 	return &Config{}
 }
 
+// NewConfigOf returns a configuration labeling exactly the given sites
+// inline. Convenience for building canonical site-set identities (the
+// search's component-memo keys reuse Config's compact CacheKey encoding
+// rather than inventing another serialization).
+func NewConfigOf(sites []int) *Config {
+	c := &Config{}
+	for _, s := range sites {
+		c.Set(s, true)
+	}
+	return c
+}
+
 // Clone returns an independent copy, carrying over any cached Key/Hash.
 func (c *Config) Clone() *Config {
 	nc := &Config{count: c.count}

@@ -201,9 +201,16 @@ func (c *Compiler) measureDelta(base *Sized, cfg *callgraph.Config, toggles []in
 // compile). When contrib is non-nil (a copy of base's contributions) the
 // dirty entries are updated in place.
 func (c *Compiler) applyDelta(base *Sized, cfg *callgraph.Config, toggles []int, contrib []int) int {
-	ms := c.memo
-	dirty := ms.dirty(toggles)
+	dirty := c.memo.dirty(toggles)
 	c.deltaDirty.Add(int64(len(dirty)))
+	return c.applyDirty(base, cfg, dirty, contrib)
+}
+
+// applyDirty reprices the given dirty functions under cfg against base's
+// contributions. Shared by the counted delta path above and the uncounted
+// bound bookkeeping in prune.go.
+func (c *Compiler) applyDirty(base *Sized, cfg *callgraph.Config, dirty []int32, contrib []int) int {
+	ms := c.memo
 	total := base.total
 	for _, i := range dirty {
 		fi := ms.funcs[i]

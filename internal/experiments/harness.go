@@ -45,6 +45,11 @@ type Config struct {
 	// (compile.Options.Check): invariants verified after every inline step
 	// and opt pass. Much slower; regression tripwire for inlinebench -check.
 	Checked bool
+	// DisablePrune turns off the branch-and-bound layer of the optimal
+	// search (component memo + admissible bounds), running the plain
+	// exhaustive recursion instead (inlinebench -no-prune). Differential
+	// oracle: output must be byte-identical either way.
+	DisablePrune bool
 }
 
 func (c Config) normalized() Config {
@@ -107,6 +112,7 @@ func (fd *fileData) optimal(cfg Config) (search.Result, bool) {
 		fd.opt, fd.optOK = search.Optimal(fd.comp, search.Options{
 			Workers:  cfg.Workers,
 			MaxSpace: cfg.ExhaustiveCap,
+			NoPrune:  cfg.DisablePrune,
 		})
 	})
 	return fd.opt, fd.optOK
@@ -232,6 +238,19 @@ func (h *Harness) DeltaStats() stats.DeltaStats {
 	var total stats.DeltaStats
 	for _, fd := range h.files {
 		total = total.Add(fd.comp.DeltaStats())
+	}
+	return total
+}
+
+// PruneStats aggregates the search branch-and-bound counters over every
+// file whose optimal search has run. Files never searched (space over the
+// cap, or the experiment set did not touch them) contribute nothing.
+func (h *Harness) PruneStats() search.PruneStats {
+	var total search.PruneStats
+	for _, fd := range h.files {
+		if fd.optOK {
+			total = total.Add(fd.opt.Prune)
+		}
 	}
 	return total
 }

@@ -5,6 +5,8 @@
 // the search operates on the undirected view.
 package graph
 
+import "sort"
+
 // Edge is an undirected edge with a stable identity. Parallel edges and
 // self-loops are permitted; identity distinguishes parallel edges.
 type Edge struct {
@@ -226,4 +228,29 @@ func (g *Multigraph) Degrees() []int {
 		deg[e.V]++
 	}
 	return deg
+}
+
+// EdgeIDs returns the identities of every edge, ascending.
+func (g *Multigraph) EdgeIDs() []int {
+	ids := make([]int, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		ids = append(ids, e.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// EdgeNodes returns the nodes with at least one incident edge, ascending.
+func (g *Multigraph) EdgeNodes() []int {
+	seen := make(map[int]bool, 2*len(g.Edges))
+	for _, e := range g.Edges {
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	nodes := make([]int, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
 }

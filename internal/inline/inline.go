@@ -249,18 +249,18 @@ func (np *namePool) unique(name string) string {
 	return cand
 }
 
-func replaceUses(f *ir.Function, old, new *ir.Value) {
+func replaceUses(f *ir.Function, old, repl *ir.Value) {
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			for i, a := range in.Args {
 				if a == old {
-					in.Args[i] = new
+					in.Args[i] = repl
 				}
 			}
 			for si := range in.Succs {
 				for i, a := range in.Succs[si].Args {
 					if a == old {
-						in.Succs[si].Args[i] = new
+						in.Succs[si].Args[i] = repl
 					}
 				}
 			}

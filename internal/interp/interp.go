@@ -93,11 +93,11 @@ func Run(m *ir.Module, entry string, args []int64, opt Options) (Result, error) 
 		mc.fuel = DefaultFuel
 	}
 	if opt.SizeOf != nil {
-		cap := opt.CacheBytes
-		if cap == 0 {
-			cap = DefaultCacheBytes
+		limit := opt.CacheBytes
+		if limit == 0 {
+			limit = DefaultCacheBytes
 		}
-		mc.cache = newICache(cap)
+		mc.cache = newICache(limit)
 	}
 	ret, err := mc.call(f, args)
 	if err != nil {

@@ -160,19 +160,19 @@ func RemoveDeadFunctions(m *ir.Module, removable func(name string) bool) int {
 	return n
 }
 
-// replaceUses rewrites every use of old to new throughout the function.
-func replaceUses(f *ir.Function, old, new *ir.Value) {
+// replaceUses rewrites every use of old to repl throughout the function.
+func replaceUses(f *ir.Function, old, repl *ir.Value) {
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			for i, a := range in.Args {
 				if a == old {
-					in.Args[i] = new
+					in.Args[i] = repl
 				}
 			}
 			for si := range in.Succs {
 				for i, a := range in.Succs[si].Args {
 					if a == old {
-						in.Succs[si].Args[i] = new
+						in.Succs[si].Args[i] = repl
 					}
 				}
 			}

@@ -350,18 +350,18 @@ func replaceWindow(w window, callee string) {
 	replaceUses(w.fn, w.out, res)
 }
 
-func replaceUses(f *ir.Function, old, new *ir.Value) {
+func replaceUses(f *ir.Function, old, repl *ir.Value) {
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			for i, a := range in.Args {
-				if a == old && in.Result != new {
-					in.Args[i] = new
+				if a == old && in.Result != repl {
+					in.Args[i] = repl
 				}
 			}
 			for si := range in.Succs {
 				for i, a := range in.Succs[si].Args {
 					if a == old {
-						in.Succs[si].Args[i] = new
+						in.Succs[si].Args[i] = repl
 					}
 				}
 			}

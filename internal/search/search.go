@@ -66,23 +66,31 @@ func ComponentSpaceSize(g *callgraph.Graph) *big.Int {
 
 // RecursiveSpaceSize counts the recursively partitioned space: the number
 // of inlining-tree leaves plus components nodes. Counting stops early once
-// the count exceeds cap (0 means no cap); the second result reports whether
-// the cap was hit (the returned count is then a lower bound > cap).
-func RecursiveSpaceSize(g *callgraph.Graph, cap uint64) (uint64, bool) {
+// the count exceeds limit (0 means no limit); the second result reports
+// whether the limit was hit (the returned count is then a lower bound >
+// limit).
+func RecursiveSpaceSize(g *callgraph.Graph, limit uint64) (uint64, bool) {
 	mg := g.Undirected()
-	return countSpace(mg, cap)
+	return countSpace(mg, limit)
 }
 
 // RecursiveSpaceLog2 is a convenience: log2 of the (possibly capped) count.
-func RecursiveSpaceLog2(g *callgraph.Graph, cap uint64) (float64, bool) {
-	n, capped := RecursiveSpaceSize(g, cap)
+func RecursiveSpaceLog2(g *callgraph.Graph, limit uint64) (float64, bool) {
+	n, capped := RecursiveSpaceSize(g, limit)
 	if n == 0 {
 		return 0, capped
 	}
 	return math.Log2(float64(n)), capped
 }
 
-func countSpace(mg *graph.Multigraph, cap uint64) (uint64, bool) {
+// SubspaceSize is RecursiveSpaceSize for one subgraph (typically a
+// component from ComponentSubgraphs): the number of tree evaluations an
+// OptimalCompletion over it costs.
+func SubspaceSize(mg *graph.Multigraph, limit uint64) (uint64, bool) {
+	return countSpace(mg, limit)
+}
+
+func countSpace(mg *graph.Multigraph, limit uint64) (uint64, bool) {
 	if len(mg.Edges) == 0 {
 		return 1, false
 	}
@@ -90,22 +98,22 @@ func countSpace(mg *graph.Multigraph, cap uint64) (uint64, bool) {
 	if len(subs) > 1 {
 		total := uint64(1) // the combining evaluation of the components node
 		for _, sub := range subs {
-			n, capped := countSpace(sub, cap)
+			n, capped := countSpace(sub, limit)
 			total += n
-			if capped || (cap > 0 && total > cap) {
+			if capped || (limit > 0 && total > limit) {
 				return total, true
 			}
 		}
 		return total, false
 	}
 	e := SelectPartitionEdge(mg)
-	n1, c1 := countSpace(mg.RemoveEdge(e.ID), cap)
-	if c1 || (cap > 0 && n1 > cap) {
+	n1, c1 := countSpace(mg.RemoveEdge(e.ID), limit)
+	if c1 || (limit > 0 && n1 > limit) {
 		return n1, true
 	}
-	n2, c2 := countSpace(mg.ContractEdge(e.ID), cap)
+	n2, c2 := countSpace(mg.ContractEdge(e.ID), limit)
 	total := n1 + n2
-	return total, c2 || (cap > 0 && total > cap)
+	return total, c2 || (limit > 0 && total > limit)
 }
 
 // edgeComponents splits the multigraph into one subgraph per connected
@@ -192,9 +200,11 @@ func SelectPartitionEdge(mg *graph.Multigraph) graph.Edge {
 		}
 	}
 	if best == nil {
-		// The max-out-degree node can only lack outgoing edges if the graph
-		// has none at all, which is excluded above; but be defensive.
-		return mg.Edges[0]
+		// Unreachable: u maximizes out-degree and the graph has edges, so
+		// out[u] >= 1 and the loop above found at least one candidate. A
+		// silent fallback here (an arbitrary edge) would desynchronize the
+		// evaluated tree from countSpace's accounting, so fail loudly.
+		panic("search: SelectPartitionEdge: max-out-degree node has no outgoing edge")
 	}
 	return *best
 }
@@ -207,12 +217,13 @@ func minEcc(ecc []int, e graph.Edge) int {
 	return a
 }
 
-// Result is the outcome of an exhaustive search.
+// Result is the outcome of an optimal search.
 type Result struct {
 	Config      *callgraph.Config // an optimal configuration
 	Size        int               // its .text size
-	SpaceSize   uint64            // evaluations in the recursive space
+	SpaceSize   uint64            // evaluations in the full recursive space
 	Evaluations int64             // actual (uncached) compilations
+	Prune       PruneStats        // branch-and-bound layer counters
 }
 
 // Options configures Optimal.
@@ -220,24 +231,88 @@ type Options struct {
 	// Workers bounds the worker pool for concurrent subtree evaluations:
 	// 0 selects GOMAXPROCS, negative forces the sequential recursion, and
 	// any positive value is used as given. Results are bit-identical across
-	// worker counts: sibling subtrees are merged in deterministic order and
-	// the compile caches are single-flight, so even evaluation counters do
-	// not depend on scheduling.
+	// worker counts: sibling subtrees are merged in deterministic order,
+	// the compile caches and the component memo are single-flight, and
+	// pruning decisions are functions of the subproblem rather than of the
+	// schedule, so even evaluation counters do not depend on scheduling.
 	Workers int
 	// MaxSpace aborts the search (returns ok=false) if the recursive space
-	// exceeds this many evaluations. 0 means no bound.
+	// exceeds this many evaluations. 0 means no bound. The bound is on the
+	// full tree: pruning changes how much of it is visited, not its size.
 	MaxSpace uint64
+	// NoPrune disables the branch-and-bound layer (component memo +
+	// admissible bounds), forcing the exhaustive recursion — the
+	// differential oracle behind the CLIs' -no-prune flags. The layer is
+	// exact, so results are byte-identical either way; only the amount of
+	// work differs. Pruning is also off whenever the per-function memo is
+	// (SetMemoize(false), checked mode), which cannot price the bounds.
+	NoPrune bool
 }
 
-// Optimal exhaustively searches the recursively partitioned space and
-// returns an optimal configuration for the compiler's module and target.
-// ok is false when MaxSpace is exceeded.
+// Optimal searches the recursively partitioned space and returns an optimal
+// configuration for the compiler's module and target. ok is false when
+// MaxSpace is exceeded. The search is exact; by default a branch-and-bound
+// layer (see prune.go) skips subtrees that provably cannot improve on a
+// sibling and memoizes repeated component subproblems.
 func Optimal(c *compile.Compiler, opts Options) (Result, bool) {
 	g := c.Graph()
 	space, capped := RecursiveSpaceSize(g, opts.MaxSpace)
 	if opts.MaxSpace > 0 && (capped || space > opts.MaxSpace) {
 		return Result{SpaceSize: space}, false
 	}
+	ev := newEvaluator(c, opts)
+	cfg, size := ev.eval(g.Undirected(), callgraph.NewConfig(), ev.root)
+	return Result{
+		Config:      cfg,
+		Size:        size,
+		SpaceSize:   space,
+		Evaluations: c.Evaluations(),
+		Prune:       ev.pruneStats(),
+	}, true
+}
+
+// OptimalCompletion searches the recursive space of one subgraph (typically
+// a component from ComponentSubgraphs) with every label outside it fixed by
+// decided, and returns the best full configuration and its whole-module
+// size. The autotuner's exact-component polish is built on it: component
+// optima are independent of labels outside the component (the paper's
+// independence theorem), so re-solving one component under a tuned context
+// yields the true component optimum given the rest.
+func OptimalCompletion(c *compile.Compiler, mg *graph.Multigraph, decided *callgraph.Config, opts Options) (*callgraph.Config, int) {
+	ev := newEvaluator(c, opts)
+	root := ev.root
+	if root != nil {
+		// Rebase the pruning handle onto the caller's decided prefix; the
+		// clean-slate handle only anchors searches from the root.
+		root = c.RebaseContrib(root, decided.InlineSites())
+		if !root.HasContrib() {
+			root = nil
+		}
+	}
+	return ev.eval(mg, decided.Clone(), root)
+}
+
+// ComponentSubgraphs returns the edge-bearing connected components of the
+// candidate graph's undirected view, ready for OptimalCompletion.
+func ComponentSubgraphs(g *callgraph.Graph) []*graph.Multigraph {
+	mg := g.Undirected()
+	if len(mg.Edges) == 0 {
+		return nil
+	}
+	return edgeComponents(mg)
+}
+
+type evaluator struct {
+	c      *compile.Compiler
+	base   *compile.Sized // clean-slate handle; nil disables delta pricing
+	tokens chan struct{}  // nil means sequential
+	eng    *engine        // branch-and-bound state; nil disables pruning
+	root   *compile.Sized // clean-slate contribution handle for pruning
+}
+
+// newEvaluator wires the delta pricing base and, unless disabled, the
+// branch-and-bound engine.
+func newEvaluator(c *compile.Compiler, opts Options) *evaluator {
 	workers := opts.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -255,19 +330,27 @@ func Optimal(c *compile.Compiler, opts Options) (Result, bool) {
 	if workers > 1 {
 		ev.tokens = make(chan struct{}, workers)
 	}
-	cfg, size := ev.eval(g.Undirected(), callgraph.NewConfig())
-	return Result{
-		Config:      cfg,
-		Size:        size,
-		SpaceSize:   space,
-		Evaluations: c.Evaluations(),
-	}, true
+	if !opts.NoPrune {
+		// The pruning handle is deliberately independent of the delta flag:
+		// it only needs the per-function memo, so -no-delta runs prune (and
+		// count evaluations) exactly like delta runs.
+		root := ev.base
+		if root == nil {
+			root = c.ContribBase(callgraph.NewConfig())
+		}
+		if root.HasContrib() {
+			ev.eng = newEngine(c.Graph())
+			ev.root = root
+		}
+	}
+	return ev
 }
 
-type evaluator struct {
-	c      *compile.Compiler
-	base   *compile.Sized // clean-slate handle; nil disables delta pricing
-	tokens chan struct{}  // nil means sequential
+func (ev *evaluator) pruneStats() PruneStats {
+	if ev.eng == nil {
+		return PruneStats{}
+	}
+	return ev.eng.stats()
 }
 
 // sizeOf prices a fully-merged (partial) configuration: incrementally
@@ -282,8 +365,10 @@ func (ev *evaluator) sizeOf(cfg *callgraph.Config) int {
 
 // eval is Algorithm 1 fused with Algorithm 2: it lazily builds and
 // evaluates the inlining tree rooted at the given graph state.
-// decided holds the labels assigned on the path from the root.
-func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config) (*callgraph.Config, int) {
+// decided holds the labels assigned on the path from the root; h is the
+// contribution handle pricing decided (nil when pruning is off or the
+// prefix stopped compiling, in which case the subtree runs exhaustively).
+func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config, h *compile.Sized) (*callgraph.Config, int) {
 	if len(mg.Edges) == 0 {
 		// InliningTreeLeaf: a fully labeled (partial w.r.t. siblings)
 		// configuration; evaluate it.
@@ -292,11 +377,13 @@ func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config) (*cal
 	}
 	if subs := edgeComponents(mg); len(subs) > 1 {
 		// InliningTreeComponentsNode: independent components explored
-		// independently, then combined with one extra evaluation.
+		// independently, then combined with one extra evaluation. The
+		// decided prefix — and with it the handle — is the same in every
+		// child.
 		combined := decided.Clone()
 		results := make([]*callgraph.Config, len(subs))
 		ev.parallelEach(len(subs), func(i int) {
-			sub, _ := ev.eval(subs[i], decided)
+			sub, _ := ev.eval(subs[i], decided, h)
 			results[i] = sub
 		})
 		for _, sub := range results {
@@ -304,15 +391,19 @@ func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config) (*cal
 		}
 		return combined, ev.sizeOf(combined)
 	}
+	if ev.eng != nil && h.HasContrib() {
+		// Single component with a priced prefix: memoized branch-and-bound.
+		return ev.evalComponent(mg, decided, h)
+	}
 	// InliningTreeBinaryNode: label the partition edge both ways.
 	e := SelectPartitionEdge(mg)
 	var cfg1, cfg2 *callgraph.Config
 	var size1, size2 int
 	ev.parallelEach(2, func(i int) {
 		if i == 0 {
-			cfg1, size1 = ev.eval(mg.RemoveEdge(e.ID), decided)
+			cfg1, size1 = ev.eval(mg.RemoveEdge(e.ID), decided, nil)
 		} else {
-			cfg2, size2 = ev.eval(mg.ContractEdge(e.ID), decided.Clone().Set(e.ID, true))
+			cfg2, size2 = ev.eval(mg.ContractEdge(e.ID), decided.Clone().Set(e.ID, true), nil)
 		}
 	})
 	if size1 <= size2 {
@@ -323,6 +414,16 @@ func (ev *evaluator) eval(mg *graph.Multigraph, decided *callgraph.Config) (*cal
 
 // parallelEach runs n closures, possibly concurrently if worker tokens are
 // available; it always runs index 0 on the calling goroutine.
+//
+// The pool is fire-and-forget by design: a closure either grabs a token and
+// runs on a fresh goroutine or runs inline on the caller, so a parent
+// blocked on children always has at least one child running on its own
+// stack — including when every token holder is parked on a single-flight
+// memo or cache slot (the solver of that slot is itself running inline
+// somewhere). A FIFO work queue would deadlock exactly there, and pushing a
+// shared best-size through it (the classic branch-and-bound driver) would
+// trade the bit-exact counter guarantee for schedule-dependent pruning; the
+// handles and the component memo carry the incumbent instead (prune.go).
 func (ev *evaluator) parallelEach(n int, fn func(i int)) {
 	if ev.tokens == nil || n <= 1 {
 		for i := 0; i < n; i++ {

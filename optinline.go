@@ -128,10 +128,10 @@ type SearchSpace struct {
 }
 
 // Space computes the search-space accounting of Section 3, counting the
-// recursively partitioned space up to cap evaluations (0 = unbounded).
-func (p *Program) Space(cap uint64) SearchSpace {
+// recursively partitioned space up to limit evaluations (0 = unbounded).
+func (p *Program) Space(limit uint64) SearchSpace {
 	g := p.comp.Graph()
-	n, over := search.RecursiveSpaceSize(g, cap)
+	n, over := search.RecursiveSpaceSize(g, limit)
 	return SearchSpace{
 		CallSites:     len(g.Edges),
 		NaiveLog2:     search.NaiveSpaceLog2(g),
