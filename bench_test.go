@@ -389,6 +389,60 @@ func BenchmarkSizeCachedVsUncached(b *testing.B) {
 	b.Run("uncached", func(b *testing.B) { run(b, false) })
 }
 
+// BenchmarkFnCacheColdVsWarm measures the content-addressed per-function
+// cache's cross-run payoff on an autotuner-shaped probe set (a base
+// configuration plus every single-site toggle). cold: every iteration
+// starts from an empty content cache, the way a first `inlinebench` run
+// does. warm: iterations share one pre-populated cache, the way a
+// -cache-dir rerun (or the next file of a corpus with shared structure)
+// does — every closure compilation becomes a hash lookup. Sizes are
+// identical in both modes; recorded in BENCH_search.json.
+func BenchmarkFnCacheColdVsWarm(b *testing.B) {
+	p := workload.Profile{
+		Name: "bench-fncache", Files: 1, TotalEdges: 60,
+		ConstArgProb: 0.35, HubProb: 0.25, BigBodyProb: 0.25, LoopProb: 0.35,
+		RecProb: 0.08, BranchProb: 0.45, MultiRootPct: 0.2,
+	}
+	f := workload.Generate(p).Files[0]
+	probe := compile.New(f.Module, codegen.TargetX86)
+	base := heuristic.OsConfig(probe.Module(), probe.Graph())
+	configs := []*callgraph.Config{callgraph.NewConfig(), base}
+	for _, s := range probe.Graph().Sites() {
+		c := base.Clone()
+		c.Set(s, !base.Inline(s))
+		configs = append(configs, c)
+	}
+	b.Logf("unit: %d functions, %d probe configurations", len(probe.Module().Funcs), len(configs))
+	run := func(b *testing.B, shared *compile.FnCache) {
+		b.ReportAllocs()
+		var last *compile.Compiler
+		for i := 0; i < b.N; i++ {
+			cache := shared
+			if cache == nil {
+				cache = compile.NewFnCache()
+			}
+			comp := compile.NewWithOptions(f.Module, codegen.TargetX86, compile.Options{FnCache: cache})
+			for _, cfg := range configs {
+				if comp.Size(cfg) <= 0 {
+					b.Fatal("bad size")
+				}
+			}
+			last = comp
+		}
+		st := last.FnCache().Stats()
+		if total := st.Hits + st.Misses; total > 0 {
+			b.ReportMetric(100*float64(st.Hits)/float64(total), "hit-pct")
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, nil) })
+	warm := compile.NewFnCache()
+	seed := compile.NewWithOptions(f.Module, codegen.TargetX86, compile.Options{FnCache: warm})
+	for _, cfg := range configs {
+		seed.Size(cfg)
+	}
+	b.Run("warm", func(b *testing.B) { run(b, warm) })
+}
+
 // BenchmarkAutotuneRoundDeltaVsFull measures one single-edge-toggle
 // autotuner round (Algorithm 3, n+2 compilations) at the Table 2 workload's
 // scale — a translation unit carrying the SPEC-profile corpus' aggregate

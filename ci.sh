@@ -38,7 +38,30 @@ echo "== delta-engine bench smoke =="
 # One iteration each: catches compile errors or assertion failures in the
 # delta-vs-full, config-identity, and pruned-vs-exhaustive benchmarks
 # without paying bench time.
-go test -run '^$' -bench 'DeltaVsFull|ConfigKey|OptimalPrunedVsExhaustive' -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'DeltaVsFull|ConfigKey|OptimalPrunedVsExhaustive|FnCacheColdVsWarm' -benchtime=1x . >/dev/null
+
+echo "== fn content cache differential smoke =="
+# The content-addressed per-function cache and the -no-fncache legacy-key
+# oracle must report identical optima on the example corpus, and a warm
+# -cache-dir rerun must reproduce the cold run's stdout byte for byte.
+fncache_dir="$(mktemp -d)"
+trap 'rm -rf "${fncache_dir}"' EXIT
+for f in examples/minc/*.minc; do
+  cached="$(go run ./cmd/inlinesearch -max-space 65536 "$f" 2>/dev/null | grep -E '^(optimal:|optimal inline sites:)')" || continue
+  oracle="$(go run ./cmd/inlinesearch -max-space 65536 -no-fncache "$f" 2>/dev/null | grep -E '^(optimal:|optimal inline sites:)')"
+  if [[ "${cached}" != "${oracle}" ]]; then
+    echo "fncache / -no-fncache disagree on ${f}:"
+    diff <(echo "${cached}") <(echo "${oracle}") || true
+    exit 1
+  fi
+done
+cold_out="$(go run ./cmd/mincc -inline optimal -S -cache-dir "${fncache_dir}" testdata/matrixsum.minc 2>/dev/null)"
+warm_out="$(go run ./cmd/mincc -inline optimal -S -cache-dir "${fncache_dir}" testdata/matrixsum.minc 2>/dev/null)"
+if [[ "${cold_out}" != "${warm_out}" ]]; then
+  echo "warm -cache-dir rerun changed mincc stdout:"
+  diff <(echo "${cold_out}") <(echo "${warm_out}") || true
+  exit 1
+fi
 
 echo "== pruned-search differential smoke =="
 # The branch-and-bound search and the -no-prune exhaustive recursion must

@@ -4,6 +4,7 @@ package optinline
 // They are skipped in -short mode (each invocation compiles the tool).
 
 import (
+	"bytes"
 	"os/exec"
 	"strings"
 	"testing"
@@ -18,6 +19,20 @@ func runCLI(t *testing.T, args ...string) string {
 		t.Fatalf("go run %v: %v\n%s", args, err, out)
 	}
 	return string(out)
+}
+
+// runCLISplit keeps stdout and stderr apart, for byte-identity assertions
+// on stdout while stderr carries run-dependent cache statistics.
+func runCLISplit(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run %v: %v\n%s%s", args, err, outBuf.String(), errBuf.String())
+	}
+	return outBuf.String(), errBuf.String()
 }
 
 func TestMinccCLI(t *testing.T) {
@@ -78,6 +93,35 @@ func TestInlineTuneCLI(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("inlinetune output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestMinccFnCacheColdVsWarm: a warm -cache-dir rerun and the -no-fncache
+// oracle must produce byte-identical stdout; the warm run's -cache-stats
+// line must show that it reused the persisted entries.
+func TestMinccFnCacheColdVsWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test")
+	}
+	dir := t.TempDir()
+	argv := func(extra ...string) []string {
+		base := []string{"./cmd/mincc", "-inline", "optimal", "-S"}
+		return append(append(base, extra...), "testdata/matrixsum.minc")
+	}
+	oracle, _ := runCLISplit(t, argv("-no-fncache")...)
+	cold, coldErr := runCLISplit(t, argv("-cache-dir", dir, "-cache-stats")...)
+	warm, warmErr := runCLISplit(t, argv("-cache-dir", dir, "-cache-stats")...)
+	if cold != oracle {
+		t.Fatalf("cold fncache stdout differs from -no-fncache oracle:\n--- oracle\n%s--- cold\n%s", oracle, cold)
+	}
+	if warm != cold {
+		t.Fatalf("warm -cache-dir rerun stdout differs from cold run:\n--- cold\n%s--- warm\n%s", cold, warm)
+	}
+	if !strings.Contains(coldErr, "stored") {
+		t.Fatalf("cold run stats never reported a store:\n%s", coldErr)
+	}
+	if !strings.Contains(warmErr, "loaded") || !strings.Contains(warmErr, "0 misses") {
+		t.Fatalf("warm run did not reuse the persisted cache:\n%s", warmErr)
 	}
 }
 

@@ -21,12 +21,16 @@
 //	-no-prune     disable the branch-and-bound layer of the optimal search;
 //	              exhaustive experiments run the plain recursion instead
 //	              (differential oracle — stdout is byte-identical)
+//	-no-fncache   disable the content-addressed per-function compile cache,
+//	              falling back to per-module memo keys (differential oracle)
+//	-cache-dir d  persist the content cache in directory d: entries from a
+//	              previous run are reused, and this run's are saved back
 //	-cpuprofile f write a CPU profile to f
 //	-memprofile f write a heap profile to f at exit
 //
-// Results are bit-identical for every -jobs value and for -no-delta; the
-// run ends with compile-cache statistics and total wall-clock time on
-// stderr.
+// Results are bit-identical for every -jobs value, for -no-delta and
+// -no-fncache, and for warm -cache-dir reruns; the run ends with
+// compile-cache statistics and total wall-clock time on stderr.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"optinline/internal/compile"
 	"optinline/internal/experiments"
 )
 
@@ -50,19 +55,21 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment id or 'all'")
-		list     = flag.Bool("list", false, "list experiment IDs")
-		scale    = flag.Float64("scale", 1.0, "workload scale")
-		rounds   = flag.Int("rounds", 4, "autotuning rounds")
-		spaceCap = flag.Uint64("cap", 1<<14, "recursive-space cap for exhaustive experiments")
-		jobs     = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
-		workers  = flag.Int("workers", 0, "deprecated alias for -jobs")
-		noMemo   = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
-		noDelta  = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
-		noPrune  = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
-		check    = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		exp       = flag.String("exp", "all", "experiment id or 'all'")
+		list      = flag.Bool("list", false, "list experiment IDs")
+		scale     = flag.Float64("scale", 1.0, "workload scale")
+		rounds    = flag.Int("rounds", 4, "autotuning rounds")
+		spaceCap  = flag.Uint64("cap", 1<<14, "recursive-space cap for exhaustive experiments")
+		jobs      = flag.Int("jobs", 0, "parallel jobs (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "deprecated alias for -jobs")
+		noMemo    = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
+		noDelta   = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		noPrune   = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
+		noFnCache = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		cacheDir  = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
+		check     = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -101,15 +108,21 @@ func run() error {
 	}
 
 	start := time.Now()
+	fncache, err := compile.OpenFnCache(*cacheDir)
+	if err != nil {
+		return err
+	}
 	h := experiments.NewHarness(experiments.Config{
-		Scale:         *scale,
-		Workers:       *jobs,
-		ExhaustiveCap: *spaceCap,
-		Rounds:        *rounds,
-		DisableMemo:   *noMemo,
-		DisableDelta:  *noDelta,
-		Checked:       *check,
-		DisablePrune:  *noPrune,
+		Scale:          *scale,
+		Workers:        *jobs,
+		ExhaustiveCap:  *spaceCap,
+		Rounds:         *rounds,
+		DisableMemo:    *noMemo,
+		DisableDelta:   *noDelta,
+		Checked:        *check,
+		DisablePrune:   *noPrune,
+		DisableFnCache: *noFnCache,
+		FnCache:        fncache,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -131,8 +144,14 @@ func run() error {
 		fmt.Printf("================================================================\n\n")
 		fmt.Println(r.Text)
 	}
+	if *cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "inlinebench:", err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "config cache:    %v\n", h.ConfigCacheStats())
 	fmt.Fprintf(os.Stderr, "function cache:  %v\n", h.FuncCacheStats())
+	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", h.FnCacheStats())
 	fmt.Fprintf(os.Stderr, "delta engine:    %v\n", h.DeltaStats())
 	fmt.Fprintf(os.Stderr, "search pruning:  %v\n", h.PruneStats())
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))

@@ -20,6 +20,9 @@
 //	-no-prune           disable the branch-and-bound layer (component memo +
 //	                    admissible bounds); run the exhaustive recursion
 //	                    instead (differential oracle — output is identical)
+//	-no-fncache         disable the content-addressed per-function compile
+//	                    cache (differential oracle — sizes are identical)
+//	-cache-dir d        persist the per-function content cache in directory d
 //	-cpuprofile f       write a CPU profile to f
 //	-memprofile f       write a heap profile to f at exit
 package main
@@ -58,6 +61,8 @@ func run() error {
 		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
 		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 		noPrune    = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
+		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -104,9 +109,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check})
+	fncache, err := compile.OpenFnCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check, FnCache: fncache})
 	if *noDelta {
 		comp.SetDelta(false)
+	}
+	if *noFnCache {
+		comp.SetFnCache(false)
 	}
 	g := comp.Graph()
 	fmt.Printf("%s: %d functions, %d inlinable call sites\n", flag.Arg(0), len(g.Nodes), len(g.Edges))
@@ -122,6 +134,12 @@ func run() error {
 		return fmt.Errorf("search aborted")
 	}
 	fmt.Fprintf(os.Stderr, "search pruning: %v\n", res.Prune)
+	if *cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "inlinesearch:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", fncache.Stats())
 	noInline := comp.Size(callgraph.NewConfig())
 	hc := heuristic.OsConfig(comp.Module(), g)
 	heurSize := comp.Size(hc)

@@ -18,6 +18,9 @@
 //	                      labels of the rest (0 disables; try 4096)
 //	-no-prune             make the exact-component polish use the exhaustive
 //	                      recursion instead of branch-and-bound (oracle)
+//	-no-fncache           disable the content-addressed per-function compile
+//	                      cache (differential oracle)
+//	-cache-dir d          persist the per-function content cache in directory d
 package main
 
 import (
@@ -53,6 +56,8 @@ func run() error {
 		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 		exactComps = flag.Uint64("exact-components", 0, "re-solve components whose recursive space fits N evaluations exactly after the rounds (0 = off)")
 		noPrune    = flag.Bool("no-prune", false, "exhaustive recursion instead of branch-and-bound in the exact-component polish (differential oracle)")
+		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -66,9 +71,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	comp := compile.New(mod, target)
+	fncache, err := compile.OpenFnCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	comp := compile.NewWithOptions(mod, target, compile.Options{FnCache: fncache})
 	if *noDelta {
 		comp.SetDelta(false)
+	}
+	if *noFnCache {
+		comp.SetFnCache(false)
 	}
 	g := comp.Graph()
 	osCfg := heuristic.OsConfig(comp.Module(), g)
@@ -120,6 +132,12 @@ func run() error {
 
 	fmt.Printf("\nfinal: %d bytes = %.1f%% of -Os (%.1f%% of no-inline), %d compilations\n",
 		best.Size, pct(best.Size, osSize), pct(best.Size, noInline), comp.Evaluations())
+	if *cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "inlinetune:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", fncache.Stats())
 	if *dot {
 		fmt.Println()
 		fmt.Println(g.DOT(flag.Arg(0), best.Config))

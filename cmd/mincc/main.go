@@ -20,6 +20,11 @@
 //	                               engine for -inline tune|optimal
 //	-no-prune                      disable the branch-and-bound layer for
 //	                               -inline optimal (differential oracle)
+//	-no-fncache                    disable the content-addressed per-function
+//	                               compile cache (differential oracle)
+//	-cache-dir d                   persist the per-function content cache in
+//	                               directory d across runs
+//	-cache-stats                   print content-cache counters to stderr
 package main
 
 import (
@@ -70,6 +75,9 @@ func run() error {
 		check      = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass")
 		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 		noPrune    = flag.Bool("no-prune", false, "disable the branch-and-bound search layer for -inline optimal (differential oracle)")
+		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
+		cacheStats = flag.Bool("cache-stats", false, "print content-cache counters to stderr")
 		args       intList
 	)
 	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
@@ -90,9 +98,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check})
+	fncache, err := compile.OpenFnCache(*cacheDir)
+	if err != nil {
+		return err
+	}
+	comp := compile.NewWithOptions(mod, target, compile.Options{Check: *check, FnCache: fncache})
 	if *noDelta {
 		comp.SetDelta(false)
+	}
+	if *noFnCache {
+		comp.SetFnCache(false)
 	}
 	g := comp.Graph()
 
@@ -135,6 +150,14 @@ func run() error {
 	size := codegen.ModuleSize(built, target)
 	fmt.Printf("%s: %d inlinable calls, %d inlined, .text %d bytes (%s, -inline %s)\n",
 		flag.Arg(0), len(g.Edges), cfg.InlineCount(), size, target, *inlineMode)
+	if *cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "mincc:", err)
+		}
+	}
+	if *cacheStats {
+		fmt.Fprintf(os.Stderr, "fn content cache: %v\n", fncache.Stats())
+	}
 
 	if *emitIR {
 		fmt.Println(built.String())

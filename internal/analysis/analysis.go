@@ -311,7 +311,7 @@ func usedValues(f *ir.Function) map[*ir.Value]bool {
 // callSCCs returns the strongly connected components of the defined-callee
 // call graph in deterministic (module, discovery) order.
 func callSCCs(m *ir.Module) [][]string {
-	index := make(map[string]int)   // Tarjan discovery index
+	index := make(map[string]int) // Tarjan discovery index
 	lowlink := make(map[string]int)
 	onStack := make(map[string]bool)
 	var stack []string

@@ -39,12 +39,21 @@ type Options struct {
 	// post-pipeline invariants escalated to errors. The first violation
 	// aborts the build with a *CheckError naming the exact stage and pass.
 	//
-	// Checked mode bypasses the per-function memo fast path — that path
-	// skips whole-module pipelines, which is precisely the work being
-	// checked — so it is substantially slower; it exists as a regression
-	// tripwire for tests, fuzzing, and the CLIs' -check flags, not for
-	// production search runs.
+	// Checked mode bypasses the per-function memo fast path (and with it
+	// the content-addressed function cache) — those paths skip whole-module
+	// pipelines, which is precisely the work being checked — so it is
+	// substantially slower; it exists as a regression tripwire for tests,
+	// fuzzing, and the CLIs' -check flags, not for production search runs.
 	Check bool
+
+	// FnCache, when non-nil, is the content-addressed per-function cache
+	// (fncache.go) this compiler shares with others. Content keys are
+	// module-independent, so one cache may — and for corpus runs should —
+	// be shared across every file's compiler, letting structurally
+	// identical helpers compile once for the whole corpus. Nil gives the
+	// compiler a private in-memory cache, which still shares sizes across
+	// configurations of its own module.
+	FnCache *FnCache
 }
 
 // Compiler evaluates inlining configurations against a fixed base module.
@@ -57,10 +66,12 @@ type Compiler struct {
 	mu    sync.Mutex
 	cache map[string]*sizeEntry // Config.CacheKey -> single-flight slot
 
-	memo    *memoState
-	memoize bool
-	check   bool
-	delta   bool
+	memo      *memoState
+	memoize   bool
+	check     bool
+	delta     bool
+	fncache   *FnCache
+	fncacheOn bool
 
 	checkMu  sync.Mutex
 	checkErr error // first *CheckError observed by a cached Size path
@@ -134,6 +145,10 @@ func NewWithOptions(m *ir.Module, target codegen.Target, opts Options) *Compiler
 	base := m.Clone()
 	base.AssignSites()
 	g := callgraph.Build(base)
+	fc := opts.FnCache
+	if fc == nil {
+		fc = NewFnCache()
+	}
 	return &Compiler{
 		base:        base,
 		graph:       g,
@@ -143,6 +158,8 @@ func NewWithOptions(m *ir.Module, target codegen.Target, opts Options) *Compiler
 		memo:        buildMemo(base, g),
 		memoize:     true,
 		delta:       true,
+		fncache:     fc,
+		fncacheOn:   true,
 		check:       opts.Check,
 	}
 }
@@ -179,6 +196,25 @@ func (c *Compiler) SetMemoize(on bool) { c.memoize = on }
 // Size calls — the differential oracle behind the CLIs' -no-delta flags.
 // Not safe to call concurrently with Size.
 func (c *Compiler) SetDelta(on bool) { c.delta = on }
+
+// SetFnCache switches the content-addressed per-function cache on or off
+// (on by default). Off, per-function sizes are keyed by the legacy
+// (module fingerprint, function name, closure site list) string — an
+// identity with no cross-module or cross-run sharing — which is the
+// differential oracle behind the CLIs' -no-fncache flags. Not safe to call
+// concurrently with Size.
+func (c *Compiler) SetFnCache(on bool) { c.fncacheOn = on }
+
+// FnCacheEnabled reports whether per-function sizes go through the content
+// cache. Like the delta path, it rides on the per-function memo layer, so
+// it is off whenever memoization is off, and checked mode forces the
+// uncached whole-module path.
+func (c *Compiler) FnCacheEnabled() bool { return c.fncacheOn && c.memoize && !c.check }
+
+// FnCache returns the content-addressed cache this compiler resolves
+// per-function sizes in (its own private one unless Options.FnCache
+// injected a shared instance).
+func (c *Compiler) FnCache() *FnCache { return c.fncache }
 
 // DeltaEnabled reports whether SizeDelta prices toggles incrementally.
 // The delta path rides on the per-function memo, so it is off whenever the

@@ -1,0 +1,350 @@
+package compile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"optinline/internal/ir"
+)
+
+// This file implements the content-addressed per-function compile cache:
+// the layer below the string-keyed per-module memo (memo.go). Where the
+// memo keys an entry by (module fingerprint, function name, inline-closure
+// site list) — an identity valid only within one Compiler — the FnCache
+// keys it by the *content* of the compilation: the structural fingerprints
+// of the closure's members, the canonicalized site labels inside it, and
+// the pipeline version. Two closures with equal content keys produce
+// byte-identical post-inline functions and therefore equal sizes, no matter
+// which module, corpus file, configuration, or process run they came from.
+// That is what makes one cache shareable across configurations (free),
+// across corpus files in one inlinebench run (Options.FnCache), and across
+// runs (OpenFnCache + Save).
+//
+// Why equal keys imply equal sizes — the full argument lives with the key
+// derivation in memo.go (closureKey); the short form:
+//
+//   - ir.Function.Fingerprint covers everything inline.Apply and the opt
+//     pipeline can observe of a function except site IDs and print names;
+//   - codegen sizes are name-independent (a call costs callBase +
+//     callArg·args regardless of the callee's name; global ops cost a flat
+//     globalOp), so member and global *names* need not match across files —
+//     callee-name linkage inside the closure is already captured because
+//     each caller's fingerprint hashes its callees' name strings;
+//   - site IDs only matter through equality (recursion trails, label
+//     lookup), so the key maps them to canonical first-occurrence indices,
+//     preserving exactly the equivalence classes;
+//   - the pipeline version pins the clone→inline→opt→codegen semantics, and
+//     the target byte pins the size model.
+//
+// The in-memory cache is single-flight, like both memo levels: concurrent
+// compilers sharing one FnCache that race on a new key perform one
+// compilation. The optional on-disk store is deliberately dumb — fixed-size
+// checksummed records, whole-file rewrite on Save — because entries are
+// just (128-bit key, size) pairs; corruption of any form degrades to a
+// miss, never a wrong size.
+
+// PipelineVersion identifies the semantics of the clone → inline → opt →
+// codegen pipeline whose results the per-function cache stores. It is
+// hashed into every cache key (and written into the persistence header), so
+// bumping it invalidates all previously cached sizes at once. Bump it
+// whenever a pass, the inliner, or a codegen cost model changes measured
+// sizes.
+const PipelineVersion = 1
+
+// fnCacheSchema is the string form of the key schema hashed into every
+// content key: it covers both the key derivation itself (closureKey) and,
+// via PipelineVersion, the pipeline whose output is cached.
+var fnCacheSchema = fmt.Sprintf("optinline/fncache/pipeline=%d", PipelineVersion)
+
+// fnCacheMagic is the on-disk header: format name plus format version.
+// Distinct from PipelineVersion, which versions the *keys*: a format bump
+// changes how records are laid out, a pipeline bump changes what they mean.
+const fnCacheMagic = "OPTFNC1\n"
+
+// fnCacheFile is the store's file name inside the cache directory.
+const fnCacheFile = "fncache-v1.bin"
+
+// fnRecordSize is the fixed on-disk record: keyHi, keyLo, size, checksum —
+// four little-endian 64-bit words.
+const fnRecordSize = 32
+
+// FnKey is a 128-bit content key of one function compilation (see
+// closureKey in memo.go for the derivation). 64 bits would make accidental
+// birthday collisions — which silently return a wrong size — plausible at
+// the multi-million-entry scale big corpus runs reach; 128 bits makes them
+// ignorable.
+type FnKey struct{ Hi, Lo uint64 }
+
+// fnEntry is a single-flight slot. Entries loaded from disk are born ready
+// (done == nil); computed entries are ready once done is closed.
+type fnEntry struct {
+	done     chan struct{}
+	size     int
+	fromDisk bool
+}
+
+func (e *fnEntry) ready() bool {
+	if e.done == nil {
+		return true
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// FnCacheStats reports the content cache's counters.
+type FnCacheStats struct {
+	Hits     int64 // lookups served by an already-present entry
+	Misses   int64 // lookups that had to compile
+	DiskHits int64 // subset of Hits served by entries loaded from the cache dir
+	Loaded   int64 // persisted entries accepted at open
+	Corrupt  int64 // persisted entries (or the header) rejected at open
+	Stored   int64 // entries newly computed this run and written by Save
+}
+
+func (s FnCacheStats) String() string {
+	total := s.Hits + s.Misses
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(s.Hits) / float64(total)
+	}
+	out := fmt.Sprintf("%d hits / %d misses (%.1f%% hit rate)", s.Hits, s.Misses, pct)
+	if s.Loaded > 0 || s.DiskHits > 0 || s.Corrupt > 0 || s.Stored > 0 {
+		out += fmt.Sprintf(", disk: %d loaded, %d hits, %d corrupt, %d stored",
+			s.Loaded, s.DiskHits, s.Corrupt, s.Stored)
+	}
+	return out
+}
+
+// Add accumulates counters across compilers or harness files.
+func (s *FnCacheStats) Add(o FnCacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.DiskHits += o.DiskHits
+	s.Loaded += o.Loaded
+	s.Corrupt += o.Corrupt
+	s.Stored += o.Stored
+}
+
+// FnCache is a content-addressed, single-flight map from FnKey to encoded
+// function size, safe for concurrent use by any number of Compilers. The
+// zero value is not usable; construct with NewFnCache or OpenFnCache.
+type FnCache struct {
+	mu      sync.Mutex
+	entries map[FnKey]*fnEntry
+
+	dir string // persistence directory; "" = in-memory only
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	diskHits atomic.Int64
+	loaded   int64 // written at open, read-only afterwards
+	corrupt  int64
+	stored   atomic.Int64
+}
+
+// NewFnCache returns an empty in-memory cache.
+func NewFnCache() *FnCache {
+	return &FnCache{entries: make(map[FnKey]*fnEntry)}
+}
+
+// OpenFnCache returns a cache backed by dir: previously Saved entries are
+// loaded immediately and Save will persist the cache back into dir. A
+// missing directory or store file starts empty; the directory is created on
+// demand by Save. Corrupt or truncated content degrades entry-by-entry to
+// misses — one stderr line summarizes anything rejected — and is never
+// returned as a size. An empty dir is equivalent to NewFnCache.
+func OpenFnCache(dir string) (*FnCache, error) {
+	fc := NewFnCache()
+	if dir == "" {
+		return fc, nil
+	}
+	fc.dir = dir
+	path := filepath.Join(dir, fnCacheFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fc, nil
+		}
+		return nil, fmt.Errorf("fncache: open %s: %w", path, err)
+	}
+	fc.load(data, path)
+	return fc, nil
+}
+
+// load decodes a store file's bytes, accepting every intact record and
+// counting (then reporting once) everything else.
+func (fc *FnCache) load(data []byte, path string) {
+	if len(data) < len(fnCacheMagic) || string(data[:len(fnCacheMagic)]) != fnCacheMagic {
+		fc.corrupt = 1
+		fmt.Fprintf(os.Stderr, "fncache: %s: unrecognized header; ignoring store\n", path)
+		return
+	}
+	body := data[len(fnCacheMagic):]
+	for len(body) > 0 {
+		if len(body) < fnRecordSize {
+			fc.corrupt++ // truncated tail record
+			break
+		}
+		rec := body[:fnRecordSize]
+		body = body[fnRecordSize:]
+		hi := binary.LittleEndian.Uint64(rec[0:8])
+		lo := binary.LittleEndian.Uint64(rec[8:16])
+		size := int64(binary.LittleEndian.Uint64(rec[16:24]))
+		sum := binary.LittleEndian.Uint64(rec[24:32])
+		if sum != fnRecordSum(hi, lo, size) || size < 0 || size > InfSize {
+			fc.corrupt++
+			continue
+		}
+		key := FnKey{Hi: hi, Lo: lo}
+		if _, ok := fc.entries[key]; !ok {
+			fc.entries[key] = &fnEntry{size: int(size), fromDisk: true}
+			fc.loaded++
+		}
+	}
+	if fc.corrupt > 0 {
+		fmt.Fprintf(os.Stderr, "fncache: %s: ignored %d corrupt or truncated entr%s (treated as misses)\n",
+			path, fc.corrupt, plural(fc.corrupt, "y", "ies"))
+	}
+}
+
+func plural(n int64, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// fnRecordSum checksums one record's payload words; it guards against
+// bit rot and torn writes, not adversaries.
+func fnRecordSum(hi, lo uint64, size int64) uint64 {
+	h := ir.NewHasher()
+	h.Str(fnCacheMagic)
+	h.Uint64(hi)
+	h.Uint64(lo)
+	h.Uint64(uint64(size))
+	return h.Sum64()
+}
+
+// sizeOf returns the cached size for key, computing it with compute on the
+// first request (single-flight: concurrent first requests share one
+// compute). hits/misses are the requesting Compiler's counters, so each
+// compiler sharing the cache reports its own view.
+func (fc *FnCache) sizeOf(key FnKey, hits, misses *atomic.Int64, compute func() int) int {
+	fc.mu.Lock()
+	if e, ok := fc.entries[key]; ok {
+		fc.mu.Unlock()
+		if e.done != nil {
+			<-e.done
+		}
+		hits.Add(1)
+		fc.hits.Add(1)
+		if e.fromDisk {
+			fc.diskHits.Add(1)
+		}
+		return e.size
+	}
+	e := &fnEntry{done: make(chan struct{})}
+	fc.entries[key] = e
+	fc.mu.Unlock()
+
+	misses.Add(1)
+	fc.misses.Add(1)
+	e.size = compute()
+	close(e.done)
+	return e.size
+}
+
+// Len returns the number of entries (ready or in flight).
+func (fc *FnCache) Len() int {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return len(fc.entries)
+}
+
+// Stats returns the cache's own aggregate counters (across every compiler
+// sharing it). Stored reflects the most recent Save.
+func (fc *FnCache) Stats() FnCacheStats {
+	return FnCacheStats{
+		Hits:     fc.hits.Load(),
+		Misses:   fc.misses.Load(),
+		DiskHits: fc.diskHits.Load(),
+		Loaded:   fc.loaded,
+		Corrupt:  fc.corrupt,
+		Stored:   fc.stored.Load(),
+	}
+}
+
+// Save persists every ready entry to the cache directory; a cache opened
+// without one is untouched. The store is rewritten whole — temp file then
+// rename — so a crash mid-save leaves the previous store intact, and a
+// corrupt-tailed previous store never gets appended to at a misaligned
+// offset. Records are sorted by key, making the file's bytes a pure
+// function of its contents (cold and warm runs over the same corpus write
+// identical stores).
+func (fc *FnCache) Save() error {
+	if fc.dir == "" {
+		return nil
+	}
+	fc.mu.Lock()
+	keys := make([]FnKey, 0, len(fc.entries))
+	for k, e := range fc.entries {
+		if e.ready() {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Hi != keys[j].Hi {
+			return keys[i].Hi < keys[j].Hi
+		}
+		return keys[i].Lo < keys[j].Lo
+	})
+	buf := make([]byte, 0, len(fnCacheMagic)+len(keys)*fnRecordSize)
+	buf = append(buf, fnCacheMagic...)
+	var fresh int64
+	for _, k := range keys {
+		e := fc.entries[k]
+		if !e.fromDisk {
+			fresh++
+		}
+		var record [fnRecordSize]byte
+		binary.LittleEndian.PutUint64(record[0:8], k.Hi)
+		binary.LittleEndian.PutUint64(record[8:16], k.Lo)
+		binary.LittleEndian.PutUint64(record[16:24], uint64(int64(e.size)))
+		binary.LittleEndian.PutUint64(record[24:32], fnRecordSum(k.Hi, k.Lo, int64(e.size)))
+		buf = append(buf, record[:]...)
+	}
+	fc.mu.Unlock()
+
+	if err := os.MkdirAll(fc.dir, 0o755); err != nil {
+		return fmt.Errorf("fncache: %w", err)
+	}
+	path := filepath.Join(fc.dir, fnCacheFile)
+	tmp, err := os.CreateTemp(fc.dir, fnCacheFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fncache: %w", err)
+	}
+	_, werr := tmp.Write(buf)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fncache: write %s: %w", path, werr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fncache: %w", err)
+	}
+	fc.stored.Store(fresh)
+	return nil
+}

@@ -1,0 +1,352 @@
+package compile
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/codegen"
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+)
+
+// fuzzConfigs samples the configuration space of g the way the other
+// differential fronts do: empty, all-inline (maximum DFE pressure), one
+// targeted internal-callee kill set, and random samples.
+func fuzzConfigs(c *Compiler, rng *rand.Rand, trials int) []*callgraph.Config {
+	g := c.Graph()
+	cfgs := []*callgraph.Config{callgraph.NewConfig()}
+	all := callgraph.NewConfig()
+	for _, e := range g.Edges {
+		all.Set(e.Site, true)
+	}
+	cfgs = append(cfgs, all)
+	for _, e := range g.Edges {
+		if callee := c.Module().Func(e.Callee); callee != nil && !callee.Exported {
+			kill := callgraph.NewConfig()
+			for _, e2 := range g.Edges {
+				if e2.Callee == e.Callee {
+					kill.Set(e2.Site, true)
+				}
+			}
+			cfgs = append(cfgs, kill)
+			break
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		cfg := callgraph.NewConfig()
+		for _, e := range g.Edges {
+			if rng.Intn(2) == 0 {
+				cfg.Set(e.Site, true)
+			}
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// TestFnCacheDifferentialFuzz is the content cache's differential front:
+// across 30 generated MinC programs and sampled configurations, sizes from
+// the content-addressed path, the legacy-keyed -no-fncache path, and
+// checked compilation mode must agree exactly. All 30 programs share ONE
+// FnCache — the corpus-sharing mode inlinebench runs in — so cross-module
+// key collisions would surface here as wrong sizes.
+func TestFnCacheDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shared := NewFnCache()
+	compared := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		name := fmt.Sprintf("fnc%03d", seed)
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		mod, err := lang.Compile(name, src)
+		if err != nil {
+			t.Fatalf("seed %d: generated source does not lower: %v\n%s", seed, err, src)
+		}
+		cached := NewWithOptions(mod, codegen.TargetX86, Options{FnCache: shared})
+		legacy := New(mod, codegen.TargetX86)
+		legacy.SetFnCache(false)
+		chk := NewWithOptions(mod, codegen.TargetX86, Options{Check: true})
+		if legacy.FnCacheEnabled() {
+			t.Fatal("SetFnCache(false) did not disable the content path")
+		}
+		if chk.FnCacheEnabled() {
+			t.Fatal("checked mode must force the uncached path")
+		}
+		g := cached.Graph()
+		if len(g.Edges) == 0 {
+			continue
+		}
+		for _, cfg := range fuzzConfigs(cached, rng, 5) {
+			got := cached.Size(cfg)
+			want := legacy.Size(cfg)
+			chkGot := chk.Size(cfg)
+			if err := chk.CheckFailure(); err != nil {
+				t.Fatalf("seed %d cfg %v: checked mode: %v\n%s", seed, cfg, err, src)
+			}
+			if got != want || got != chkGot {
+				t.Fatalf("seed %d cfg %v: fncache %d / -no-fncache %d / checked %d disagree\n%s",
+					seed, cfg, got, want, chkGot, src)
+			}
+			compared++
+		}
+	}
+	if compared < 100 {
+		t.Fatalf("only %d configurations compared; corpus too trivial", compared)
+	}
+	if st := shared.Stats(); st.Hits == 0 {
+		t.Fatalf("shared corpus cache never hit: %v", st)
+	}
+}
+
+const twinSrc = `
+func @h1(%x) {
+entry:
+  %one = const 1
+  %r = add %x, %one
+  ret %r
+}
+
+func @h2(%x) {
+entry:
+  %one = const 1
+  %r = add %x, %one
+  ret %r
+}
+
+export func @main(%n) {
+entry:
+  %a = call @h1(%n) !site 1
+  %b = call @h2(%n) !site 2
+  %s = add %a, %b
+  ret %s
+}
+`
+
+// TestFnCacheSharesStructuralTwins: two structurally identical helpers
+// (different names) must share one content entry — the cross-file sharing
+// property, demonstrated within one module where it is easiest to observe.
+func TestFnCacheSharesStructuralTwins(t *testing.T) {
+	mod, err := ir.Parse("twin", twinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(mod, codegen.TargetX86)
+	c.Size(callgraph.NewConfig())
+	// Three alive functions, but h1 and h2 compile to the same content key:
+	// two misses (main, one twin), one hit (the other twin).
+	if got := c.funcMisses.Load(); got != 2 {
+		t.Fatalf("funcMisses = %d, want 2 (structural twins must share)", got)
+	}
+	if got := c.funcHits.Load(); got != 1 {
+		t.Fatalf("funcHits = %d, want 1", got)
+	}
+
+	// The same module behind a second compiler sharing the cache: every
+	// closure is already cached, so the second compiler never compiles.
+	c2 := NewWithOptions(mod, codegen.TargetX86, Options{FnCache: c.FnCache()})
+	c2.Size(callgraph.NewConfig())
+	if got := c2.funcMisses.Load(); got != 0 {
+		t.Fatalf("second compiler funcMisses = %d, want 0 (cross-compiler sharing)", got)
+	}
+	if c2.funcHits.Load() == 0 {
+		t.Fatal("second compiler saw no hits")
+	}
+}
+
+// evalAll sizes a spread of configurations and returns them keyed by the
+// canonical config string.
+func evalAll(c *Compiler) map[string]int {
+	g := c.Graph()
+	out := make(map[string]int)
+	cfgs := []*callgraph.Config{callgraph.NewConfig()}
+	all := callgraph.NewConfig()
+	for _, e := range g.Edges {
+		all.Set(e.Site, true)
+	}
+	cfgs = append(cfgs, all)
+	for _, e := range g.Edges {
+		cfgs = append(cfgs, callgraph.NewConfig().Set(e.Site, true))
+	}
+	for _, cfg := range cfgs {
+		out[cfg.Key()] = c.Size(cfg)
+	}
+	return out
+}
+
+func twinModule(t *testing.T) *ir.Module {
+	t.Helper()
+	mod, err := ir.Parse("twin", twinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// TestFnCachePersistence: a second run against the same cache directory
+// must reuse every entry of the first (zero compilations), with identical
+// sizes, and report the disk traffic in its stats.
+func TestFnCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	mod := twinModule(t)
+
+	cold, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewWithOptions(mod, codegen.TargetX86, Options{FnCache: cold})
+	want := evalAll(c1)
+	if err := cold.Save(); err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.Stored == 0 {
+		t.Fatalf("cold run stored nothing: %v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fnCacheFile)); err != nil {
+		t.Fatalf("store file missing: %v", err)
+	}
+
+	warm, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wst := warm.Stats()
+	if wst.Loaded != st.Stored || wst.Corrupt != 0 {
+		t.Fatalf("warm open loaded %d (want %d), corrupt %d", wst.Loaded, st.Stored, wst.Corrupt)
+	}
+	c2 := NewWithOptions(mod, codegen.TargetX86, Options{FnCache: warm})
+	got := evalAll(c2)
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("cfg %s: warm size %d != cold size %d", k, got[k], w)
+		}
+	}
+	if m := c2.funcMisses.Load(); m != 0 {
+		t.Fatalf("warm run compiled %d closures, want 0", m)
+	}
+	if wst = warm.Stats(); wst.DiskHits == 0 {
+		t.Fatalf("warm run reported no disk hits: %v", wst)
+	}
+
+	// Determinism of the store itself: re-saving the same contents writes
+	// byte-identical files (sorted records), so warm reruns are stable.
+	before, err := os.ReadFile(filepath.Join(dir, fnCacheFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Save(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, fnCacheFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("re-saving identical contents changed the store bytes")
+	}
+}
+
+// TestFnCacheCorruptionDegradesToMiss: any damage to the store — garbage
+// header, truncated tail, bit flips inside a record — must surface as
+// misses (recompute, correct sizes), never as a wrong size or a panic.
+func TestFnCacheCorruptionDegradesToMiss(t *testing.T) {
+	mod := twinModule(t)
+	pristine := evalAll(New(mod, codegen.TargetX86))
+
+	seedDir := t.TempDir()
+	seedCache, err := OpenFnCache(seedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalAll(NewWithOptions(mod, codegen.TargetX86, Options{FnCache: seedCache}))
+	if err := seedCache.Save(); err != nil {
+		t.Fatal(err)
+	}
+	intact, err := os.ReadFile(filepath.Join(seedDir, fnCacheFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrec := (len(intact) - len(fnCacheMagic)) / fnRecordSize
+	if nrec < 2 {
+		t.Fatalf("need at least 2 records to corrupt, have %d", nrec)
+	}
+
+	cases := []struct {
+		name        string
+		mutate      func([]byte) []byte
+		wantLoaded  int64
+		wantCorrupt int64
+	}{
+		{"garbage-header", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			copy(out, "NOTACACHEFILE")
+			return out
+		}, 0, 1},
+		{"truncated-mid-record", func(b []byte) []byte {
+			return b[:len(fnCacheMagic)+fnRecordSize+fnRecordSize/2]
+		}, 1, 1},
+		{"bitflip-size-field", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(fnCacheMagic)+18] ^= 0x40 // size word of record 0
+			return out
+		}, int64(nrec) - 1, 1},
+		{"bitflip-key-field", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(fnCacheMagic)+3] ^= 0x01 // key word of record 0
+			return out
+		}, int64(nrec) - 1, 1},
+		{"empty-file", func([]byte) []byte { return nil }, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, fnCacheFile), tc.mutate(intact), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fc, err := OpenFnCache(dir)
+			if err != nil {
+				t.Fatalf("corrupt store must open as misses, got error: %v", err)
+			}
+			st := fc.Stats()
+			if st.Loaded != tc.wantLoaded || st.Corrupt != tc.wantCorrupt {
+				t.Fatalf("loaded %d corrupt %d, want %d / %d", st.Loaded, st.Corrupt, tc.wantLoaded, tc.wantCorrupt)
+			}
+			got := evalAll(NewWithOptions(mod, codegen.TargetX86, Options{FnCache: fc}))
+			for k, want := range pristine {
+				if got[k] != want {
+					t.Fatalf("cfg %s: size %d != pristine %d after %s", k, got[k], want, tc.name)
+				}
+			}
+			// Re-saving heals the store: a subsequent open is clean.
+			if err := fc.Save(); err != nil {
+				t.Fatal(err)
+			}
+			healed, err := OpenFnCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hst := healed.Stats(); hst.Corrupt != 0 || hst.Loaded == 0 {
+				t.Fatalf("store not healed by Save: %v", hst)
+			}
+		})
+	}
+}
+
+// TestFnCacheKeyTargetSensitive: the same module measured for two targets
+// must not share entries — the target byte is part of the key.
+func TestFnCacheKeyTargetSensitive(t *testing.T) {
+	mod := twinModule(t)
+	shared := NewFnCache()
+	x86 := NewWithOptions(mod, codegen.TargetX86, Options{FnCache: shared})
+	wasm := NewWithOptions(mod, codegen.TargetWASM, Options{FnCache: shared})
+	x86.Size(callgraph.NewConfig())
+	if wasm.Size(callgraph.NewConfig()) == 0 {
+		t.Fatal("degenerate wasm size")
+	}
+	if got := wasm.funcMisses.Load(); got == 0 {
+		t.Fatal("wasm compiler reused x86 entries: target missing from the key")
+	}
+}

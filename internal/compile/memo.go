@@ -16,8 +16,12 @@ import (
 
 // This file implements the memoized evaluation engine: instead of running
 // the full pipeline over the whole module for every configuration, each
-// function's post-pipeline encoded size is cached keyed by
-// (module fingerprint, function, inlined sites in its inline closure).
+// function's post-pipeline encoded size is cached per inline closure. By
+// default the entry lives in the content-addressed FnCache (fncache.go)
+// under a module-independent structural key (closureKey below); with the
+// content cache disabled it falls back to the legacy per-module key
+// (module fingerprint, function, inlined sites in its inline closure),
+// which is the -no-fncache differential oracle.
 //
 // The inline closure of a function f under a configuration is the smallest
 // set of functions containing f that is closed under "callee of an
@@ -52,9 +56,18 @@ import (
 // funcInfo is the per-function slice of the candidate graph.
 type funcInfo struct {
 	name     string
-	idx      int   // module order
+	idx      int    // module order
+	fp       uint64 // ir.Function.Fingerprint of the base body
 	exported bool
 	sites    []int // candidate sites owned (caller side), ascending
+
+	// callSites lists the site ID of every call instruction in the base
+	// body, in block/instruction order — including non-candidate calls
+	// (recursive, unknown callee). The content-addressed cache key streams
+	// this sequence to capture site identity structure (which calls are
+	// coupled copies of one another) without depending on the module's
+	// absolute site numbering; see closureKey.
+	callSites []int
 
 	// Incoming-edge view, for deciding label-based DFE locally: the
 	// candidate sites targeting this function, and whether any of them is
@@ -101,7 +114,14 @@ func buildMemo(base *ir.Module, g *callgraph.Graph) *memoState {
 	}
 	byName := make(map[string]*funcInfo, len(base.Funcs))
 	for i, f := range base.Funcs {
-		fi := &funcInfo{name: f.Name, idx: i, exported: f.Exported}
+		fi := &funcInfo{name: f.Name, idx: i, fp: f.Fingerprint(), exported: f.Exported}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					fi.callSites = append(fi.callSites, in.Site)
+				}
+			}
+		}
 		ms.funcs = append(ms.funcs, fi)
 		byName[f.Name] = fi
 	}
@@ -253,8 +273,21 @@ func (c *Compiler) measureMemo(cfg *callgraph.Config) int {
 // funcSize returns fi's post-pipeline encoded size under cfg, computing it
 // at most once per closure configuration (single-flight, so concurrent
 // search workers requesting the same closure share one compilation).
+//
+// With the content cache on (the default), the entry lives in the shared
+// FnCache under a content-derived key, so it is found by any compiler whose
+// closure has the same structure — other configurations, other corpus
+// files, other runs. The legacy per-module string key below is the
+// -no-fncache differential oracle.
 func (c *Compiler) funcSize(fi *funcInfo, cfg *callgraph.Config) int {
 	members, inlined := c.memo.closure(fi, cfg)
+	if c.fncacheOn {
+		key := c.closureKey(fi, members, cfg)
+		return c.fncache.sizeOf(key, &c.funcHits, &c.funcMisses, func() int {
+			return c.compileClosure(fi, members, cfg)
+		})
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%016x/%s/", c.fingerprint, fi.name)
 	for i, s := range inlined {
@@ -281,6 +314,73 @@ func (c *Compiler) funcSize(fi *funcInfo, cfg *callgraph.Config) int {
 	e.size = c.compileClosure(fi, members, cfg)
 	close(e.done)
 	return e.size
+}
+
+// canonPool recycles the site-canonicalization map closureKey fills and
+// clears on every call; key derivation sits on the hit path of every memo
+// lookup, so it must not allocate.
+var canonPool = sync.Pool{
+	New: func() any { return make(map[int]int, 32) },
+}
+
+// closureKey derives the content-addressed cache key of fi's compilation
+// under cfg. It must have the property that equal keys imply equal
+// compileClosure results, with no reference to this module's identity. The
+// key streams:
+//
+//   - a schema string (PipelineVersion) and the codegen target;
+//   - the index of fi among the closure's members, since compileClosure
+//     measures only fi after inlining the whole closure;
+//   - per member, in module order: its structural fingerprint, then per
+//     call instruction in body order the site's canonical index (first
+//     occurrence order across the whole stream) and its label bit.
+//
+// Why this is sound: compileClosure's result is a pure function of the
+// closure's member bodies (in module order), the site labels inside it, and
+// site *identity* — inline.Apply consults sites only through cfg.Inline and
+// through trail-equality when detecting recursive re-expansion, so any
+// site renumbering that preserves which call instructions share an ID
+// yields a bit-identical expansion. Mapping IDs to first-occurrence
+// canonical indices preserves exactly those equivalence classes. Function
+// and global names are absent from the fingerprints' own identity except
+// as *references* (callee/global name strings inside bodies), which is
+// precisely their codegen-relevant content: encoded sizes are
+// name-independent (codegen prices calls and global ops by shape, not
+// name), while callee names decide linkage during inlining and are hashed
+// inside every caller's fingerprint. The base module's unreferenced globals
+// don't affect function sizes, so they are not part of the key.
+func (c *Compiler) closureKey(fi *funcInfo, members []*funcInfo, cfg *callgraph.Config) FnKey {
+	h := ir.NewHasher()
+	h.Str(fnCacheSchema)
+	h.Byte(byte(c.target))
+	for i, m := range members {
+		if m == fi {
+			h.Int(i)
+			break
+		}
+	}
+	canon := canonPool.Get().(map[int]int)
+	for _, m := range members {
+		h.Uint64(m.fp)
+		h.Int(len(m.callSites))
+		for _, s := range m.callSites {
+			ci, ok := canon[s]
+			if !ok {
+				ci = len(canon)
+				canon[s] = ci
+			}
+			h.Int(ci)
+			if cfg.Inline(s) {
+				h.Byte(1)
+			} else {
+				h.Byte(0)
+			}
+		}
+	}
+	clear(canon)
+	canonPool.Put(canon)
+	hi, lo := h.Sum128()
+	return FnKey{Hi: hi, Lo: lo}
 }
 
 // compileClosure runs inlining over just the closure's functions and

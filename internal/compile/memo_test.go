@@ -137,8 +137,10 @@ func TestSizeSingleFlight(t *testing.T) {
 	}
 }
 
-// TestMemoFingerprintStable: identical modules share a fingerprint,
-// different modules (in site labels or bodies) do not.
+// TestMemoFingerprintStable: identical modules share a (structural)
+// fingerprint, different modules do not — with the printed-form hash as
+// the oracle: wherever PrintFingerprint separates two modules for a
+// non-cosmetic reason, the structural hash must separate them too.
 func TestMemoFingerprintStable(t *testing.T) {
 	files := memoCorpus(t)
 	a := New(files[0].Module, codegen.TargetX86)
@@ -149,5 +151,20 @@ func TestMemoFingerprintStable(t *testing.T) {
 	other := New(files[1].Module, codegen.TargetX86)
 	if a.Fingerprint() == other.Fingerprint() {
 		t.Fatal("distinct modules share a fingerprint")
+	}
+	// Oracle cross-check over the whole corpus: the compilers' site-assigned
+	// base modules are all structurally distinct, and both hashes must agree
+	// on that.
+	seen := make(map[uint64]string)
+	for _, f := range files {
+		c := New(f.Module, codegen.TargetX86)
+		m := c.Module()
+		if m.Fingerprint() == m.PrintFingerprint() {
+			t.Fatalf("%s: structural and print hashes coincide suspiciously", f.Name)
+		}
+		if prev, ok := seen[m.Fingerprint()]; ok {
+			t.Fatalf("structural fingerprint collision: %s vs %s", prev, f.Name)
+		}
+		seen[m.Fingerprint()] = f.Name
 	}
 }

@@ -50,6 +50,16 @@ type Config struct {
 	// exhaustive recursion instead (inlinebench -no-prune). Differential
 	// oracle: output must be byte-identical either way.
 	DisablePrune bool
+	// DisableFnCache turns off the content-addressed per-function compile
+	// cache on every compiler, falling back to the legacy per-module memo
+	// keys (inlinebench -no-fncache). Differential oracle: output must be
+	// byte-identical either way.
+	DisableFnCache bool
+	// FnCache, when non-nil, is the content-addressed cache shared by every
+	// compiler in the corpus — typically compile.OpenFnCache(dir) so sizes
+	// persist across runs. Nil creates a fresh in-memory cache, still
+	// shared corpus-wide so duplicated helpers compile once per run.
+	FnCache *compile.FnCache
 }
 
 func (c Config) normalized() Config {
@@ -143,18 +153,22 @@ func bestUpTo(res autotune.Result, r int) int {
 
 // Harness owns the generated corpus and its per-file caches.
 type Harness struct {
-	cfg    Config
-	suite  []workload.Benchmark
-	files  []*fileData            // non-trivial files only
-	byName map[string][]*fileData // benchmark -> files
-	order  []string               // benchmark order
+	cfg     Config
+	suite   []workload.Benchmark
+	files   []*fileData            // non-trivial files only
+	byName  map[string][]*fileData // benchmark -> files
+	order   []string               // benchmark order
+	fncache *compile.FnCache       // shared across every file's compiler
 }
 
 // NewHarness generates the corpus and precomputes the cheap per-file data
 // (call graph, no-inline size, heuristic configuration and size).
 func NewHarness(cfg Config) *Harness {
 	cfg = cfg.normalized()
-	h := &Harness{cfg: cfg, byName: make(map[string][]*fileData)}
+	h := &Harness{cfg: cfg, byName: make(map[string][]*fileData), fncache: cfg.FnCache}
+	if h.fncache == nil {
+		h.fncache = compile.NewFnCache()
+	}
 	profiles := workload.SPECProfiles()
 	for _, p := range profiles {
 		p.Files = scaleInt(p.Files, cfg.Scale)
@@ -176,12 +190,16 @@ func NewHarness(cfg Config) *Harness {
 	results := make([]*fileData, len(jobs))
 	parallelFor(len(jobs), cfg.Workers, func(i int) {
 		f := jobs[i].file
-		comp := compile.NewWithOptions(f.Module, codegen.TargetX86, compile.Options{Check: cfg.Checked})
+		comp := compile.NewWithOptions(f.Module, codegen.TargetX86,
+			compile.Options{Check: cfg.Checked, FnCache: h.fncache})
 		if cfg.DisableMemo {
 			comp.SetMemoize(false)
 		}
 		if cfg.DisableDelta {
 			comp.SetDelta(false)
+		}
+		if cfg.DisableFnCache {
+			comp.SetFnCache(false)
 		}
 		g := comp.Graph()
 		if len(g.Edges) == 0 {
@@ -231,6 +249,16 @@ func (h *Harness) FuncCacheStats() stats.CacheStats {
 	}
 	return total
 }
+
+// FnCache returns the content-addressed per-function cache shared by the
+// corpus compilers (for Save after a -cache-dir run).
+func (h *Harness) FnCache() *compile.FnCache { return h.fncache }
+
+// FnCacheStats returns the shared content cache's counters: hits here mean
+// a function compilation was skipped because some compiler — any file, any
+// configuration, or a previous persisted run — already compiled a closure
+// with identical content.
+func (h *Harness) FnCacheStats() compile.FnCacheStats { return h.fncache.Stats() }
 
 // DeltaStats aggregates the incremental-evaluation counters over every
 // compiler in the corpus.

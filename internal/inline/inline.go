@@ -15,6 +15,7 @@ package inline
 
 import (
 	"fmt"
+	"sync"
 
 	"optinline/internal/callgraph"
 	"optinline/internal/ir"
@@ -180,6 +181,14 @@ func Apply(m *ir.Module, cfg *callgraph.Config, opts Options) error {
 	}
 
 	total := m.NumInstrs()
+	// One reusable pre-expansion block set, cleared per expansion: Apply runs
+	// once per per-function cache miss, and allocating a fresh map per
+	// expansion was a measurable slice of the evaluation engine's garbage.
+	before := blockSetPool.Get().(map[*ir.Block]bool)
+	defer func() {
+		clear(before)
+		blockSetPool.Put(before)
+	}()
 	for len(queue) > 0 {
 		w := queue[0]
 		queue = queue[1:]
@@ -193,7 +202,10 @@ func Apply(m *ir.Module, cfg *callgraph.Config, opts Options) error {
 		// Locate and inline; the call may have moved blocks but its
 		// instruction identity is stable. Capture cloned calls by scanning
 		// the blocks added for this expansion.
-		before := blockSet(w.fn)
+		clear(before)
+		for _, b := range w.fn.Blocks {
+			before[b] = true
+		}
 		if err := Call(w.fn, w.call, callee); err != nil {
 			return err
 		}
@@ -218,12 +230,9 @@ func Apply(m *ir.Module, cfg *callgraph.Config, opts Options) error {
 	return nil
 }
 
-func blockSet(f *ir.Function) map[*ir.Block]bool {
-	s := make(map[*ir.Block]bool, len(f.Blocks))
-	for _, b := range f.Blocks {
-		s[b] = true
-	}
-	return s
+// blockSetPool recycles Apply's pre-expansion block set.
+var blockSetPool = sync.Pool{
+	New: func() any { return make(map[*ir.Block]bool, 16) },
 }
 
 // namePool hands out block names that are unique against both the

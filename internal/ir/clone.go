@@ -1,5 +1,25 @@
 package ir
 
+import "sync"
+
+// cloneScratch holds the remapping tables Clone fills and discards on every
+// call. Cloning dominates the per-function compile path (every cache miss
+// clones its whole inline closure), so the maps are pooled: clear-and-reuse
+// keeps their bucket arrays warm instead of re-growing them from scratch.
+type cloneScratch struct {
+	vmap map[*Value]*Value
+	bmap map[*Block]*Block
+}
+
+var clonePool = sync.Pool{
+	New: func() any {
+		return &cloneScratch{
+			vmap: make(map[*Value]*Value, 64),
+			bmap: make(map[*Block]*Block, 16),
+		}
+	},
+}
+
 // Clone returns a deep copy of the function. The copy shares nothing with
 // the original: all blocks, instructions, and values are fresh, with uses
 // remapped. Call-site IDs and inline trails are preserved (clones of a call
@@ -11,8 +31,13 @@ func (f *Function) Clone() *Function {
 		nextValue: f.nextValue,
 		nextBlock: f.nextBlock,
 	}
-	vmap := make(map[*Value]*Value)
-	bmap := make(map[*Block]*Block)
+	scratch := clonePool.Get().(*cloneScratch)
+	vmap, bmap := scratch.vmap, scratch.bmap
+	defer func() {
+		clear(vmap)
+		clear(bmap)
+		clonePool.Put(scratch)
+	}()
 
 	cloneValue := func(v *Value) *Value {
 		if v == nil {

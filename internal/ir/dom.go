@@ -1,5 +1,15 @@
 package ir
 
+import "sync"
+
+// blockStackPool recycles the DFS worklist of ReachableInto.
+var blockStackPool = sync.Pool{
+	New: func() any {
+		s := make([]*Block, 0, 16)
+		return &s
+	},
+}
+
 // Dominators computes the immediate-dominator relation of the function CFG
 // using the simple iterative algorithm (Cooper, Harvey, Kennedy). The result
 // maps every reachable block to its immediate dominator; the entry block maps
@@ -105,21 +115,31 @@ func (f *Function) Predecessors() map[*Block][]*Block {
 // Reachable returns the set of blocks reachable from the entry.
 func (f *Function) Reachable() map[*Block]bool {
 	seen := make(map[*Block]bool)
+	f.ReachableInto(seen)
+	return seen
+}
+
+// ReachableInto marks the blocks reachable from the entry in seen, which
+// must be empty. It exists so hot fixpoint callers (the opt pipeline) can
+// supply a pooled map instead of allocating one per invocation.
+func (f *Function) ReachableInto(seen map[*Block]bool) {
 	entry := f.Entry()
 	if entry == nil {
-		return seen
+		return
 	}
-	stack := []*Block{entry}
+	stack := blockStackPool.Get().(*[]*Block)
+	*stack = append((*stack)[:0], entry)
 	seen[entry] = true
-	for len(stack) > 0 {
-		b := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for len(*stack) > 0 {
+		b := (*stack)[len(*stack)-1]
+		*stack = (*stack)[:len(*stack)-1]
 		for _, s := range b.Succs() {
 			if !seen[s.Dest] {
 				seen[s.Dest] = true
-				stack = append(stack, s.Dest)
+				*stack = append(*stack, s.Dest)
 			}
 		}
 	}
-	return seen
+	*stack = (*stack)[:0]
+	blockStackPool.Put(stack)
 }

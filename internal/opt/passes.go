@@ -1,6 +1,45 @@
 package opt
 
-import "optinline/internal/ir"
+import (
+	"sync"
+
+	"optinline/internal/ir"
+)
+
+// The fixpoint passes below rebuild small per-function maps on every
+// invocation, and the memoized compile path invokes the pipeline once per
+// per-function cache miss — enough that these maps showed up as a large
+// slice of the evaluation engine's allocations. They are pooled and cleared
+// instead: clear keeps the bucket arrays, so steady-state pass runs stop
+// allocating map headers and rehash growth entirely.
+
+// inEdge is one incoming CFG edge: the branching instruction and which of
+// its successors points at the block. Two edges from one branch count
+// separately because they may pass different arguments.
+type inEdge struct {
+	instr *ir.Instr
+	succ  int
+}
+
+var inEdgesPool = sync.Pool{
+	New: func() any { return make(map[*ir.Block][]inEdge, 16) },
+}
+
+var predCountPool = sync.Pool{
+	New: func() any { return make(map[*ir.Block]int, 16) },
+}
+
+var predOfPool = sync.Pool{
+	New: func() any { return make(map[*ir.Block]*ir.Block, 16) },
+}
+
+var usedPool = sync.Pool{
+	New: func() any { return make(map[*ir.Value]bool, 64) },
+}
+
+var reachPool = sync.Pool{
+	New: func() any { return make(map[*ir.Block]bool, 16) },
+}
 
 // propagateParams substitutes block parameters of single-predecessor blocks
 // with the argument passed on the unique incoming edge. Combined with block
@@ -8,13 +47,11 @@ import "optinline/internal/ir"
 // enables: the inlined callee entry has one predecessor (the call site), so
 // constant call arguments flow straight into the callee body.
 func propagateParams(f *ir.Function, st *Stats) bool {
-	// Count incoming edges (not predecessor blocks: two edges from one
-	// branch count separately because they may pass different arguments).
-	type inEdge struct {
-		instr *ir.Instr
-		succ  int
-	}
-	edges := make(map[*ir.Block][]inEdge)
+	edges := inEdgesPool.Get().(map[*ir.Block][]inEdge)
+	defer func() {
+		clear(edges)
+		inEdgesPool.Put(edges)
+	}()
 	for _, b := range f.Blocks {
 		t := b.Term()
 		if t == nil {
@@ -230,7 +267,12 @@ func sameSucc(a, b ir.Succ) bool {
 
 // removeUnreachable deletes blocks not reachable from the entry.
 func removeUnreachable(f *ir.Function, st *Stats) bool {
-	reach := f.Reachable()
+	reach := reachPool.Get().(map[*ir.Block]bool)
+	defer func() {
+		clear(reach)
+		reachPool.Put(reach)
+	}()
+	f.ReachableInto(reach)
 	if len(reach) == len(f.Blocks) {
 		return false
 	}
@@ -250,10 +292,18 @@ func removeUnreachable(f *ir.Function, st *Stats) bool {
 // predecessor ends in an unconditional branch to it.
 func mergeBlocks(f *ir.Function, st *Stats) bool {
 	changed := false
+	predEdges := predCountPool.Get().(map[*ir.Block]int)
+	predOf := predOfPool.Get().(map[*ir.Block]*ir.Block)
+	defer func() {
+		clear(predEdges)
+		clear(predOf)
+		predCountPool.Put(predEdges)
+		predOfPool.Put(predOf)
+	}()
 	for {
 		merged := false
-		predEdges := make(map[*ir.Block]int)
-		predOf := make(map[*ir.Block]*ir.Block)
+		clear(predEdges)
+		clear(predOf)
 		for _, b := range f.Blocks {
 			t := b.Term()
 			if t == nil {
@@ -303,8 +353,13 @@ func mergeBlocks(f *ir.Function, st *Stats) bool {
 // Calls, stores, outputs, and terminators are never deleted here.
 func removeDeadInstrs(f *ir.Function, st *Stats) bool {
 	changed := false
+	used := usedPool.Get().(map[*ir.Value]bool)
+	defer func() {
+		clear(used)
+		usedPool.Put(used)
+	}()
 	for {
-		used := make(map[*ir.Value]bool)
+		clear(used)
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
 				for _, a := range in.Args {

@@ -1,0 +1,54 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+)
+
+// TestOptimalFnCacheMatchesNoFnCache: the exhaustive search over the
+// content-addressed function cache must match the -no-fncache oracle and
+// checked compilation mode bit for bit — optimal size, configuration key,
+// space size, and the evaluation counter inlinesearch prints on stdout.
+func TestOptimalFnCacheMatchesNoFnCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	trials, hits := 0, int64(0)
+	for trials < 12 {
+		m := randomModule(rng)
+		cached := compile.New(m, codegen.TargetX86)
+		if len(cached.Graph().Edges) == 0 {
+			continue
+		}
+		trials++
+		legacy := compile.New(m, codegen.TargetX86)
+		legacy.SetFnCache(false)
+		chk := compile.NewWithOptions(m, codegen.TargetX86, compile.Options{Check: true})
+		rc, ok1 := Optimal(cached, Options{})
+		rl, ok2 := Optimal(legacy, Options{})
+		rk, ok3 := Optimal(chk, Options{})
+		if err := chk.CheckFailure(); err != nil {
+			t.Fatalf("trial %d: checked search: %v\nmodule:\n%s", trials, err, m.String())
+		}
+		if ok1 != ok2 || ok1 != ok3 {
+			t.Fatalf("trial %d: ok diverges: %v / %v / %v", trials, ok1, ok2, ok3)
+		}
+		if rc.Size != rl.Size || rc.Size != rk.Size || rc.SpaceSize != rl.SpaceSize {
+			t.Fatalf("trial %d: fncache %d / -no-fncache %d / checked %d (spaces %d vs %d)\nmodule:\n%s",
+				trials, rc.Size, rl.Size, rk.Size, rc.SpaceSize, rl.SpaceSize, m.String())
+		}
+		if rc.Config.Key() != rl.Config.Key() || rc.Config.Key() != rk.Config.Key() {
+			t.Fatalf("trial %d: optimal config keys diverge: %q / %q / %q",
+				trials, rc.Config.Key(), rl.Config.Key(), rk.Config.Key())
+		}
+		if rc.Evaluations != rl.Evaluations {
+			t.Fatalf("trial %d: evaluation counters diverge: fncache %d vs oracle %d",
+				trials, rc.Evaluations, rl.Evaluations)
+		}
+		hits += cached.FnCache().Stats().Hits
+	}
+	if hits == 0 {
+		t.Fatal("content cache never hit across the search corpus")
+	}
+}
