@@ -33,13 +33,16 @@ import (
 //   - codegen sizes are name-independent (a call costs callBase +
 //     callArg·args regardless of the callee's name; global ops cost a flat
 //     globalOp), so member and global *names* need not match across files —
-//     callee-name linkage inside the closure is already captured because
-//     each caller's fingerprint hashes its callees' name strings;
+//     but the *binding* of member names to member bodies does decide what
+//     inlines where, and a member's own name is absent from its
+//     fingerprint, so the key streams canonical name indices binding each
+//     member to the callee references that resolve to it;
 //   - site IDs only matter through equality (recursion trails, label
 //     lookup), so the key maps them to canonical first-occurrence indices,
 //     preserving exactly the equivalence classes;
-//   - the pipeline version pins the clone→inline→opt→codegen semantics, and
-//     the target byte pins the size model.
+//   - the key-schema and pipeline versions pin the key derivation and the
+//     clone→inline→opt→codegen semantics, and the target byte pins the
+//     size model.
 //
 // The in-memory cache is single-flight, like both memo levels: concurrent
 // compilers sharing one FnCache that race on a new key perform one
@@ -49,22 +52,35 @@ import (
 // miss, never a wrong size.
 
 // PipelineVersion identifies the semantics of the clone → inline → opt →
-// codegen pipeline whose results the per-function cache stores. It is
-// hashed into every cache key (and written into the persistence header), so
-// bumping it invalidates all previously cached sizes at once. Bump it
+// codegen pipeline whose results the per-function cache stores. Bump it
 // whenever a pass, the inliner, or a codegen cost model changes measured
 // sizes.
 const PipelineVersion = 1
 
-// fnCacheSchema is the string form of the key schema hashed into every
-// content key: it covers both the key derivation itself (closureKey) and,
-// via PipelineVersion, the pipeline whose output is cached.
-var fnCacheSchema = fmt.Sprintf("optinline/fncache/pipeline=%d", PipelineVersion)
+// fnKeyVersion identifies the key derivation itself (closureKey in
+// memo.go). Bump it whenever the key's input stream changes shape — v2
+// added the member-name binding indices — so keys from an older derivation
+// can never alias a new one.
+const fnKeyVersion = 2
 
-// fnCacheMagic is the on-disk header: format name plus format version.
-// Distinct from PipelineVersion, which versions the *keys*: a format bump
-// changes how records are laid out, a pipeline bump changes what they mean.
+// fnCacheSchema is the string form of the key schema. It is hashed into
+// every content key AND written into the persistence header (fnCacheHeader
+// below), so bumping either version both invalidates previously cached
+// sizes and drops stale on-disk stores wholesale at open — old records
+// could never match a new key anyway, and dropping them keeps the store
+// from accumulating unreachable entries across version bumps.
+var fnCacheSchema = fmt.Sprintf("optinline/fncache/key=%d/pipeline=%d", fnKeyVersion, PipelineVersion)
+
+// fnCacheMagic is the on-disk format name plus format version. Distinct
+// from the schema versions above: a format bump changes how records are
+// laid out, a schema bump changes what they mean.
 const fnCacheMagic = "OPTFNC1\n"
+
+// fnCacheHeader is the full store header: the format magic followed by the
+// key schema line. A store whose header does not match byte-for-byte is
+// ignored at open (degrading to misses), which is how pipeline and
+// key-schema bumps garbage-collect stale stores.
+var fnCacheHeader = fnCacheMagic + fnCacheSchema + "\n"
 
 // fnCacheFile is the store's file name inside the cache directory.
 const fnCacheFile = "fncache-v1.bin"
@@ -81,11 +97,14 @@ const fnRecordSize = 32
 type FnKey struct{ Hi, Lo uint64 }
 
 // fnEntry is a single-flight slot. Entries loaded from disk are born ready
-// (done == nil); computed entries are ready once done is closed.
+// (done == nil); computed entries are ready once done is closed. failed
+// marks an entry whose compute panicked and was withdrawn from the map;
+// waiters seeing it retry instead of reading a bogus size.
 type fnEntry struct {
 	done     chan struct{}
 	size     int
 	fromDisk bool
+	failed   bool
 }
 
 func (e *fnEntry) ready() bool {
@@ -183,12 +202,16 @@ func OpenFnCache(dir string) (*FnCache, error) {
 // load decodes a store file's bytes, accepting every intact record and
 // counting (then reporting once) everything else.
 func (fc *FnCache) load(data []byte, path string) {
-	if len(data) < len(fnCacheMagic) || string(data[:len(fnCacheMagic)]) != fnCacheMagic {
+	if len(data) < len(fnCacheHeader) || string(data[:len(fnCacheHeader)]) != fnCacheHeader {
 		fc.corrupt = 1
-		fmt.Fprintf(os.Stderr, "fncache: %s: unrecognized header; ignoring store\n", path)
+		if len(data) >= len(fnCacheMagic) && string(data[:len(fnCacheMagic)]) == fnCacheMagic {
+			fmt.Fprintf(os.Stderr, "fncache: %s: stale key schema or pipeline version; ignoring store\n", path)
+		} else {
+			fmt.Fprintf(os.Stderr, "fncache: %s: unrecognized header; ignoring store\n", path)
+		}
 		return
 	}
-	body := data[len(fnCacheMagic):]
+	body := data[len(fnCacheHeader):]
 	for len(body) > 0 {
 		if len(body) < fnRecordSize {
 			fc.corrupt++ // truncated tail record
@@ -239,28 +262,49 @@ func fnRecordSum(hi, lo uint64, size int64) uint64 {
 // compute). hits/misses are the requesting Compiler's counters, so each
 // compiler sharing the cache reports its own view.
 func (fc *FnCache) sizeOf(key FnKey, hits, misses *atomic.Int64, compute func() int) int {
-	fc.mu.Lock()
-	if e, ok := fc.entries[key]; ok {
+	for {
+		fc.mu.Lock()
+		if e, ok := fc.entries[key]; ok {
+			fc.mu.Unlock()
+			if e.done != nil {
+				<-e.done
+			}
+			if e.failed {
+				continue // compute panicked and was withdrawn; retry
+			}
+			hits.Add(1)
+			fc.hits.Add(1)
+			if e.fromDisk {
+				fc.diskHits.Add(1)
+			}
+			return e.size
+		}
+		e := &fnEntry{done: make(chan struct{})}
+		fc.entries[key] = e
 		fc.mu.Unlock()
-		if e.done != nil {
-			<-e.done
-		}
-		hits.Add(1)
-		fc.hits.Add(1)
-		if e.fromDisk {
-			fc.diskHits.Add(1)
-		}
+
+		misses.Add(1)
+		fc.misses.Add(1)
+		// If compute panics, withdraw the poisoned entry and release waiters
+		// before the panic unwinds, so other search workers sharing the cache
+		// neither block forever on done nor read a bogus size.
+		panicked := true
+		func() {
+			defer func() {
+				if panicked {
+					fc.mu.Lock()
+					delete(fc.entries, key)
+					fc.mu.Unlock()
+					e.failed = true
+					close(e.done)
+				}
+			}()
+			e.size = compute()
+			panicked = false
+		}()
+		close(e.done)
 		return e.size
 	}
-	e := &fnEntry{done: make(chan struct{})}
-	fc.entries[key] = e
-	fc.mu.Unlock()
-
-	misses.Add(1)
-	fc.misses.Add(1)
-	e.size = compute()
-	close(e.done)
-	return e.size
 }
 
 // Len returns the number of entries (ready or in flight).
@@ -307,8 +351,8 @@ func (fc *FnCache) Save() error {
 		}
 		return keys[i].Lo < keys[j].Lo
 	})
-	buf := make([]byte, 0, len(fnCacheMagic)+len(keys)*fnRecordSize)
-	buf = append(buf, fnCacheMagic...)
+	buf := make([]byte, 0, len(fnCacheHeader)+len(keys)*fnRecordSize)
+	buf = append(buf, fnCacheHeader...)
 	var fresh int64
 	for _, k := range keys {
 		e := fc.entries[k]

@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
@@ -269,7 +271,7 @@ func TestFnCacheCorruptionDegradesToMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nrec := (len(intact) - len(fnCacheMagic)) / fnRecordSize
+	nrec := (len(intact) - len(fnCacheHeader)) / fnRecordSize
 	if nrec < 2 {
 		t.Fatalf("need at least 2 records to corrupt, have %d", nrec)
 	}
@@ -285,17 +287,22 @@ func TestFnCacheCorruptionDegradesToMiss(t *testing.T) {
 			copy(out, "NOTACACHEFILE")
 			return out
 		}, 0, 1},
+		{"stale-schema", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(fnCacheMagic)] ^= 0x01 // first byte of the schema line
+			return out
+		}, 0, 1},
 		{"truncated-mid-record", func(b []byte) []byte {
-			return b[:len(fnCacheMagic)+fnRecordSize+fnRecordSize/2]
+			return b[:len(fnCacheHeader)+fnRecordSize+fnRecordSize/2]
 		}, 1, 1},
 		{"bitflip-size-field", func(b []byte) []byte {
 			out := append([]byte(nil), b...)
-			out[len(fnCacheMagic)+18] ^= 0x40 // size word of record 0
+			out[len(fnCacheHeader)+18] ^= 0x40 // size word of record 0
 			return out
 		}, int64(nrec) - 1, 1},
 		{"bitflip-key-field", func(b []byte) []byte {
 			out := append([]byte(nil), b...)
-			out[len(fnCacheMagic)+3] ^= 0x01 // key word of record 0
+			out[len(fnCacheHeader)+3] ^= 0x01 // key word of record 0
 			return out
 		}, int64(nrec) - 1, 1},
 		{"empty-file", func([]byte) []byte { return nil }, 0, 1},
@@ -332,6 +339,159 @@ func TestFnCacheCorruptionDegradesToMiss(t *testing.T) {
 				t.Fatalf("store not healed by Save: %v", hst)
 			}
 		})
+	}
+}
+
+// swappedASrc and swappedBSrc contain the same three function bodies and a
+// textually identical caller, but swap which name (@g or @h) binds to
+// which helper body, with module order permuted to compensate: the inline
+// closure of @f streams the same member-fingerprint sequence, the same
+// canonical site indices, and the same labels in both modules. Only the
+// name→body binding — which the cache key must therefore capture itself,
+// since a function's own name is excluded from its fingerprint —
+// distinguishes them, and @f's size differs because the constant argument
+// at site 1 folds a different body away in each.
+const swappedASrc = `
+func @g(%x) {
+entry:
+  %r = add %x, %x
+  ret %r
+}
+
+func @h(%x) {
+entry:
+  %t1 = add %x, %x
+  %t2 = mul %t1, %x
+  %t3 = add %t2, %t1
+  ret %t3
+}
+
+export func @f(%n) {
+entry:
+  %z = const 2
+  %a = call @g(%z) !site 1
+  %b = call @h(%n) !site 2
+  %s = add %a, %b
+  ret %s
+}
+`
+
+const swappedBSrc = `
+func @h(%x) {
+entry:
+  %r = add %x, %x
+  ret %r
+}
+
+func @g(%x) {
+entry:
+  %t1 = add %x, %x
+  %t2 = mul %t1, %x
+  %t3 = add %t2, %t1
+  ret %t3
+}
+
+export func @f(%n) {
+entry:
+  %z = const 2
+  %a = call @g(%z) !site 1
+  %b = call @h(%n) !site 2
+  %s = add %a, %b
+  ret %s
+}
+`
+
+// TestFnCacheKeyBindsNamesToBodies: two modules whose members swap names
+// over the same multiset of bodies must not collide in a shared cache —
+// the regression that motivated streaming canonical name indices into
+// closureKey. Before that, module B silently reused module A's sizes.
+func TestFnCacheKeyBindsNamesToBodies(t *testing.T) {
+	parse := func(src string) *ir.Module {
+		mod, err := ir.Parse("swapped", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mod
+	}
+	allInline := func(c *Compiler) *callgraph.Config {
+		cfg := callgraph.NewConfig()
+		for _, e := range c.Graph().Edges {
+			cfg.Set(e.Site, true)
+		}
+		return cfg
+	}
+	// Ground truth from the legacy per-module path, no content sharing.
+	pa := New(parse(swappedASrc), codegen.TargetX86)
+	pa.SetFnCache(false)
+	pb := New(parse(swappedBSrc), codegen.TargetX86)
+	pb.SetFnCache(false)
+	wantA := pa.Size(allInline(pa))
+	wantB := pb.Size(allInline(pb))
+	if wantA == wantB {
+		t.Fatalf("counterexample degenerate: both modules size to %d", wantA)
+	}
+	// Shared content cache, A first: B must not reuse A's @f entry.
+	shared := NewFnCache()
+	ca := NewWithOptions(parse(swappedASrc), codegen.TargetX86, Options{FnCache: shared})
+	cb := NewWithOptions(parse(swappedBSrc), codegen.TargetX86, Options{FnCache: shared})
+	if got := ca.Size(allInline(ca)); got != wantA {
+		t.Fatalf("module A with shared cache: %d, want %d", got, wantA)
+	}
+	if got := cb.Size(allInline(cb)); got != wantB {
+		t.Fatalf("module B with shared cache: %d, want %d (key collision: name→body binding missing from the key)", got, wantB)
+	}
+}
+
+// TestFnCachePanicDoesNotWedge: a compute that panics must withdraw its
+// in-flight entry before the panic unwinds — later lookups of the same key
+// recompute rather than blocking forever on the poisoned slot or reading a
+// zero size, and a waiter blocked mid-flight is released to retry.
+func TestFnCachePanicDoesNotWedge(t *testing.T) {
+	fc := NewFnCache()
+	var hits, misses atomic.Int64
+
+	key := FnKey{Hi: 1, Lo: 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate out of sizeOf")
+			}
+		}()
+		fc.sizeOf(key, &hits, &misses, func() int { panic("boom") })
+	}()
+	relookup := make(chan int, 1)
+	go func() { relookup <- fc.sizeOf(key, &hits, &misses, func() int { return 7 }) }()
+	select {
+	case got := <-relookup:
+		if got != 7 {
+			t.Fatalf("recompute after panic = %d, want 7", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("lookup after panicked compute blocked (cache wedged)")
+	}
+
+	key2 := FnKey{Hi: 3, Lo: 4}
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		fc.sizeOf(key2, &hits, &misses, func() int {
+			close(inCompute)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-inCompute
+	waited := make(chan int, 1)
+	go func() { waited <- fc.sizeOf(key2, &hits, &misses, func() int { return 9 }) }()
+	close(release)
+	select {
+	case got := <-waited:
+		if got != 9 {
+			t.Fatalf("waiter after panicked compute = %d, want 9", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter never released after panicked compute")
 	}
 }
 

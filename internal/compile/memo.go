@@ -69,6 +69,13 @@ type funcInfo struct {
 	// absolute site numbering; see closureKey.
 	callSites []int
 
+	// calleeNames is parallel to callSites: the callee name referenced by
+	// each call instruction. closureKey canonicalizes these names (together
+	// with the members' own names) to bind each member's name to its body
+	// without making the key depend on the literal spelling of names that
+	// are never referenced.
+	calleeNames []string
+
 	// Incoming-edge view, for deciding label-based DFE locally: the
 	// candidate sites targeting this function, and whether any of them is
 	// recursive (a recursive incoming edge pins the function alive).
@@ -99,10 +106,13 @@ type memoState struct {
 }
 
 // memoEntry is a single-flight cache slot: the first requester computes,
-// concurrent requesters for the same key wait on done.
+// concurrent requesters for the same key wait on done. failed marks an
+// entry whose computation panicked and was withdrawn from the map; waiters
+// seeing it retry instead of reading a bogus size.
 type memoEntry struct {
-	done chan struct{}
-	size int
+	done   chan struct{}
+	size   int
+	failed bool
 }
 
 // buildMemo indexes site ownership per function.
@@ -119,6 +129,7 @@ func buildMemo(base *ir.Module, g *callgraph.Graph) *memoState {
 			for _, in := range b.Instrs {
 				if in.Op == ir.OpCall {
 					fi.callSites = append(fi.callSites, in.Site)
+					fi.calleeNames = append(fi.calleeNames, in.Callee)
 				}
 			}
 		}
@@ -299,21 +310,42 @@ func (c *Compiler) funcSize(fi *funcInfo, cfg *callgraph.Config) int {
 	key := sb.String()
 
 	ms := c.memo
-	ms.mu.Lock()
-	if e, ok := ms.entries[key]; ok {
+	for {
+		ms.mu.Lock()
+		if e, ok := ms.entries[key]; ok {
+			ms.mu.Unlock()
+			<-e.done
+			if e.failed {
+				continue // computation panicked and was withdrawn; retry
+			}
+			c.funcHits.Add(1)
+			return e.size
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		ms.entries[key] = e
 		ms.mu.Unlock()
-		<-e.done
-		c.funcHits.Add(1)
+
+		c.funcMisses.Add(1)
+		// If compileClosure panics, withdraw the poisoned entry and release
+		// waiters before the panic unwinds, so concurrent workers sharing the
+		// memo neither block forever nor read a bogus size.
+		panicked := true
+		func() {
+			defer func() {
+				if panicked {
+					ms.mu.Lock()
+					delete(ms.entries, key)
+					ms.mu.Unlock()
+					e.failed = true
+					close(e.done)
+				}
+			}()
+			e.size = c.compileClosure(fi, members, cfg)
+			panicked = false
+		}()
+		close(e.done)
 		return e.size
 	}
-	e := &memoEntry{done: make(chan struct{})}
-	ms.entries[key] = e
-	ms.mu.Unlock()
-
-	c.funcMisses.Add(1)
-	e.size = c.compileClosure(fi, members, cfg)
-	close(e.done)
-	return e.size
 }
 
 // canonPool recycles the site-canonicalization map closureKey fills and
@@ -323,32 +355,54 @@ var canonPool = sync.Pool{
 	New: func() any { return make(map[int]int, 32) },
 }
 
+// nameCanonPool recycles closureKey's name-canonicalization map, for the
+// same reason.
+var nameCanonPool = sync.Pool{
+	New: func() any { return make(map[string]int, 32) },
+}
+
 // closureKey derives the content-addressed cache key of fi's compilation
 // under cfg. It must have the property that equal keys imply equal
 // compileClosure results, with no reference to this module's identity. The
 // key streams:
 //
-//   - a schema string (PipelineVersion) and the codegen target;
+//   - a schema string (fnKeyVersion, PipelineVersion) and the codegen
+//     target;
 //   - the index of fi among the closure's members, since compileClosure
 //     measures only fi after inlining the whole closure;
-//   - per member, in module order: its structural fingerprint, then per
-//     call instruction in body order the site's canonical index (first
-//     occurrence order across the whole stream) and its label bit.
+//   - per member, in module order: the canonical index of its own name
+//     (first-occurrence order over every callee reference in the closure,
+//     then over the member names themselves), its structural fingerprint,
+//     then per call instruction in body order the site's canonical index
+//     (first occurrence order across the whole stream) and its label bit.
 //
 // Why this is sound: compileClosure's result is a pure function of the
-// closure's member bodies (in module order), the site labels inside it, and
-// site *identity* — inline.Apply consults sites only through cfg.Inline and
+// closure's member bodies (in module order), the name→body binding that
+// resolves calls to members, the site labels inside it, and site
+// *identity* — inline.Apply consults sites only through cfg.Inline and
 // through trail-equality when detecting recursive re-expansion, so any
 // site renumbering that preserves which call instructions share an ID
 // yields a bit-identical expansion. Mapping IDs to first-occurrence
-// canonical indices preserves exactly those equivalence classes. Function
-// and global names are absent from the fingerprints' own identity except
-// as *references* (callee/global name strings inside bodies), which is
-// precisely their codegen-relevant content: encoded sizes are
-// name-independent (codegen prices calls and global ops by shape, not
-// name), while callee names decide linkage during inlining and are hashed
-// inside every caller's fingerprint. The base module's unreferenced globals
-// don't affect function sizes, so they are not part of the key.
+// canonical indices preserves exactly those equivalence classes.
+//
+// Names need the same treatment. A member's own name is deliberately
+// absent from its fingerprint (ir/fingerprint.go), so the fingerprint
+// sequence alone cannot distinguish two closures that permute which name
+// binds to which body: with f calling g and h, {g→B1, h→B2} in one module
+// and {g→B2, h→B1} (module order permuted to compensate) in another
+// stream identical fingerprints yet inline different bodies at the same
+// sites. The canonical own-name indices restore the binding: equal member
+// fingerprints pin the bodies *including their literal callee-name
+// strings* (callee and global names ARE hashed inside bodies — they are
+// the linkage that decides what inlines), so the first-occurrence classes
+// of callee references coincide, and each member's index then says which
+// referenced name — if any — its body is bound to. A member whose name is
+// never referenced inside the closure gets a fresh index past the callee
+// classes; its literal spelling cannot affect inlining or codegen (encoded
+// sizes are name-independent: codegen prices calls and global ops by
+// shape, not name), so fresh indices deliberately avoid splitting
+// otherwise-identical leaf closures. The base module's unreferenced
+// globals don't affect function sizes, so they are not part of the key.
 func (c *Compiler) closureKey(fi *funcInfo, members []*funcInfo, cfg *callgraph.Config) FnKey {
 	h := ir.NewHasher()
 	h.Str(fnCacheSchema)
@@ -359,8 +413,22 @@ func (c *Compiler) closureKey(fi *funcInfo, members []*funcInfo, cfg *callgraph.
 			break
 		}
 	}
+	names := nameCanonPool.Get().(map[string]int)
+	for _, m := range members {
+		for _, cn := range m.calleeNames {
+			if _, ok := names[cn]; !ok {
+				names[cn] = len(names)
+			}
+		}
+	}
 	canon := canonPool.Get().(map[int]int)
 	for _, m := range members {
+		ni, ok := names[m.name]
+		if !ok {
+			ni = len(names)
+			names[m.name] = ni
+		}
+		h.Int(ni)
 		h.Uint64(m.fp)
 		h.Int(len(m.callSites))
 		for _, s := range m.callSites {
@@ -379,6 +447,8 @@ func (c *Compiler) closureKey(fi *funcInfo, members []*funcInfo, cfg *callgraph.
 	}
 	clear(canon)
 	canonPool.Put(canon)
+	clear(names)
+	nameCanonPool.Put(names)
 	hi, lo := h.Sum128()
 	return FnKey{Hi: hi, Lo: lo}
 }
