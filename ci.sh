@@ -76,6 +76,48 @@ for f in examples/minc/*.minc; do
   fi
 done
 
+echo "== inlined service smoke =="
+# Boot the daemon on an ephemeral port, replay a scaled corpus against it
+# with the load harness in verify mode (cross-client byte-identity plus a
+# local single-threaded recompute of every search), then SIGTERM and
+# require a clean drain. The race-mode service tier itself runs above as
+# part of `go test -race ./...` (internal/server + daemon_test.go).
+inlined_dir="$(mktemp -d)"
+trap 'rm -rf "${fncache_dir}" "${inlined_dir}"' EXIT
+go build -o "${inlined_dir}/inlined" ./cmd/inlined
+go build -o "${inlined_dir}/inlineload" ./cmd/inlineload
+"${inlined_dir}/inlined" -addr 127.0.0.1:0 -cache-dir "${inlined_dir}/store" \
+  2>"${inlined_dir}/inlined.log" &
+inlined_pid=$!
+inlined_addr=""
+for _ in $(seq 1 100); do
+  inlined_addr="$(sed -n 's#^inlined: listening on http://##p' "${inlined_dir}/inlined.log")"
+  [[ -n "${inlined_addr}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${inlined_addr}" ]]; then
+  echo "inlined did not report a listen address:"
+  cat "${inlined_dir}/inlined.log"
+  kill "${inlined_pid}" 2>/dev/null || true
+  exit 1
+fi
+if ! "${inlined_dir}/inlineload" -addr "${inlined_addr}" -smoke; then
+  echo "inlineload smoke replay failed against ${inlined_addr}"
+  kill "${inlined_pid}" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "${inlined_pid}"
+if ! wait "${inlined_pid}"; then
+  echo "inlined exited non-zero after SIGTERM:"
+  cat "${inlined_dir}/inlined.log"
+  exit 1
+fi
+if ! grep -q "drained" "${inlined_dir}/inlined.log"; then
+  echo "inlined log missing drain confirmation:"
+  cat "${inlined_dir}/inlined.log"
+  exit 1
+fi
+
 echo "== checked-mode smoke =="
 # Per-step invariant verification across all three CLIs; each run fails
 # loudly (with stage/pass attribution) if any pipeline step breaks the IR.

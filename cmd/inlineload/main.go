@@ -1,0 +1,432 @@
+// Command inlineload replays the experiment corpus against a running
+// inlined daemon at N-way client concurrency, measuring throughput and
+// latency percentiles and — with -verify — checking every response
+// byte-for-byte against its peers and size-for-size against a direct
+// in-process computation. It is the paper repo's service-mode counterpart
+// of the batch harness: same generated SPEC-shaped corpus, but pushed
+// through HTTP with many clients sharing one daemon-side content cache.
+//
+// Usage:
+//
+//	inlineload -addr host:port [flags]
+//
+//	-addr host:port   daemon address (required), e.g. 127.0.0.1:7433
+//	-clients N        concurrent client goroutines (default 8)
+//	-mode m           mixed|compile|search|tune (default mixed)
+//	-scale f          corpus scale; 1.0 = the full 20-benchmark corpus
+//	-repeat N         replay the request list N times per client (default 1)
+//	-max-space N      per-request search space cap (default 65536)
+//	-jobs N           per-request worker budget sent to the daemon (default 1)
+//	-verify           byte-compare responses across clients and check sizes
+//	                  against a local single-threaded computation
+//	-smoke            tiny fixed corpus and 2 clients; exit non-zero on any
+//	                  failure (the ci.sh gate)
+//	-json             emit the measurement as JSON (BENCH_search.json shape)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/heuristic"
+	"optinline/internal/search"
+	"optinline/internal/server"
+	"optinline/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inlineload:", err)
+		os.Exit(1)
+	}
+}
+
+// request is one prepared replay unit; the payload is marshaled once so
+// every client sends — and under -verify must receive — identical bytes.
+type request struct {
+	key     string
+	path    string
+	payload []byte
+}
+
+// expectation is the locally computed truth for one corpus file.
+type expectation struct {
+	osSize      int
+	optimalSize int // 0 when the space exceeds -max-space
+	searched    bool
+	spaceSize   uint64
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "", "inlined daemon address (host:port)")
+		clients  = flag.Int("clients", 8, "concurrent client goroutines")
+		mode     = flag.String("mode", "mixed", "request mix: mixed|compile|search|tune")
+		scale    = flag.Float64("scale", 1.0, "corpus scale (1.0 = full 20-benchmark corpus)")
+		repeat   = flag.Int("repeat", 1, "replays of the request list per client")
+		maxSpace = flag.Uint64("max-space", 1<<16, "per-request search space cap")
+		jobs     = flag.Int("jobs", 1, "per-request worker budget")
+		verify   = flag.Bool("verify", false, "verify responses across clients and against local computation")
+		smoke    = flag.Bool("smoke", false, "tiny corpus, 2 clients, strict exit status (CI gate)")
+		asJSON   = flag.Bool("json", false, "emit the measurement as JSON")
+	)
+	flag.Parse()
+	if *addr == "" {
+		return fmt.Errorf("-addr is required (start inlined and pass its address)")
+	}
+	if *smoke {
+		*clients = 2
+		*scale = 0.05
+		*repeat = 2
+		*verify = true
+	}
+	if *clients < 1 {
+		*clients = 1
+	}
+	base := "http://" + *addr
+
+	corpus := buildCorpus(*scale)
+	reqs, expected, err := buildRequests(corpus, *mode, *maxSpace, *jobs, *verify)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "inlineload: %d files, %d requests x %d clients x %d repeats (mode %s)\n",
+		len(corpus), len(reqs), *clients, *repeat, *mode)
+
+	if _, err := fetchStats(base); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", *addr, err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+		firstBody = make(map[string][]byte, len(reqs))
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < *repeat; rep++ {
+				for i := range reqs {
+					// Rotated walk: clients overlap on different requests.
+					r := reqs[(i+c*13)%len(reqs)]
+					t0 := time.Now()
+					status, body, err := doPost(httpClient, base+r.path, r.payload)
+					lat := time.Since(t0)
+					if err != nil {
+						fail("%s: %v", r.key, err)
+						continue
+					}
+					if status != http.StatusOK {
+						fail("%s: status %d: %s", r.key, status, truncate(body))
+						continue
+					}
+					mu.Lock()
+					latencies = append(latencies, lat)
+					prev, seen := firstBody[r.key]
+					if !seen {
+						firstBody[r.key] = body
+					}
+					mu.Unlock()
+					if *verify && seen && !bytes.Equal(prev, body) {
+						fail("%s: response diverged across clients:\n  %s\n  %s", r.key, truncate(prev), truncate(body))
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if *verify {
+		verifyAgainstLocal(firstBody, expected, fail)
+	}
+
+	st, statsErr := fetchStats(base)
+	if statsErr != nil {
+		fail("fetch /stats after run: %v", statsErr)
+	}
+
+	report(os.Stdout, *asJSON, summary{
+		Clients:    *clients,
+		Requests:   len(latencies),
+		Failures:   len(failures),
+		Elapsed:    elapsed,
+		Latencies:  latencies,
+		Mode:       *mode,
+		Scale:      *scale,
+		Verified:   *verify,
+		DaemonStat: st,
+	})
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "inlineload: FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d failures", len(failures))
+	}
+	if *verify {
+		fmt.Fprintln(os.Stderr, "inlineload: verify: all responses byte-identical across clients and size-identical to local runs")
+	}
+	return nil
+}
+
+// buildCorpus generates the SPEC-shaped corpus at the given scale, exactly
+// like the batch harness scales its profiles.
+func buildCorpus(scale float64) []workload.File {
+	var files []workload.File
+	for _, p := range workload.SPECProfiles() {
+		p.Files = scaleInt(p.Files, scale)
+		p.TotalEdges = scaleInt(p.TotalEdges, scale)
+		b := workload.Generate(p)
+		files = append(files, b.Files...)
+	}
+	return files
+}
+
+func scaleInt(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// buildRequests prepares the request list and (under verify) the local
+// single-threaded truth to compare against.
+func buildRequests(corpus []workload.File, mode string, maxSpace uint64, jobs int, verify bool) ([]request, map[string]expectation, error) {
+	var reqs []request
+	expected := make(map[string]expectation, len(corpus))
+	addJSON := func(key, path string, body any) error {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, request{key: key, path: path, payload: payload})
+		return nil
+	}
+	for _, f := range corpus {
+		name := f.Name + ".ir"
+		src := f.Module.String()
+		wantCompile := mode == "mixed" || mode == "compile"
+		wantSearch := mode == "mixed" || mode == "search"
+		wantTune := mode == "tune"
+		if wantCompile {
+			if err := addJSON(name+"/compile-os", "/compile", server.CompileRequest{
+				Name: name, Source: src, Inline: "os", Jobs: jobs,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if wantSearch {
+			if err := addJSON(name+"/search", "/search", server.SearchRequest{
+				Name: name, Source: src, MaxSpace: maxSpace, Jobs: jobs,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if wantTune {
+			if err := addJSON(name+"/tune", "/tune", server.TuneRequest{
+				Name: name, Source: src, Init: "os", Rounds: 2, Jobs: jobs,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if verify && (wantCompile || wantSearch) {
+			expected[name] = computeLocal(f, maxSpace)
+		}
+	}
+	switch mode {
+	case "mixed", "compile", "search", "tune":
+	default:
+		return nil, nil, fmt.Errorf("unknown -mode %q", mode)
+	}
+	return reqs, expected, nil
+}
+
+// computeLocal is the batch-CLI ground truth: a fresh compiler per file,
+// sequential search — what `mincc -inline os` and `inlinesearch` print.
+func computeLocal(f workload.File, maxSpace uint64) expectation {
+	comp := compile.NewWithOptions(f.Module, codegen.TargetX86, compile.Options{FnCache: compile.NewFnCache()})
+	e := expectation{osSize: comp.Size(heuristic.OsConfig(comp.Module(), comp.Graph()))}
+	res, ok := search.Optimal(comp, search.Options{Workers: 1, MaxSpace: maxSpace})
+	e.searched = ok
+	e.spaceSize = res.SpaceSize
+	if ok {
+		e.optimalSize = res.Size
+	}
+	return e
+}
+
+func verifyAgainstLocal(bodies map[string][]byte, expected map[string]expectation, fail func(string, ...any)) {
+	for key, body := range bodies {
+		switch {
+		case strings.HasSuffix(key, "/compile-os"):
+			var resp server.CompileResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				fail("%s: bad response JSON: %v", key, err)
+				continue
+			}
+			want, ok := expected[resp.Name]
+			if !ok {
+				continue
+			}
+			if resp.Size != want.osSize {
+				fail("%s: daemon size %d, batch CLI computes %d", key, resp.Size, want.osSize)
+			}
+		case strings.HasSuffix(key, "/search"):
+			var resp server.SearchResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				fail("%s: bad response JSON: %v", key, err)
+				continue
+			}
+			want, ok := expected[resp.Name]
+			if !ok {
+				continue
+			}
+			if resp.Searched != want.searched || resp.SpaceSize != want.spaceSize {
+				fail("%s: daemon searched=%v space=%d, batch CLI %v/%d",
+					key, resp.Searched, resp.SpaceSize, want.searched, want.spaceSize)
+			}
+			if want.searched && resp.OptimalSize != want.optimalSize {
+				fail("%s: daemon optimal %d, batch CLI computes %d", key, resp.OptimalSize, want.optimalSize)
+			}
+			if resp.HeuristicSize != want.osSize {
+				fail("%s: daemon heuristic %d, batch CLI computes %d", key, resp.HeuristicSize, want.osSize)
+			}
+		}
+	}
+}
+
+type summary struct {
+	Clients    int
+	Requests   int
+	Failures   int
+	Elapsed    time.Duration
+	Latencies  []time.Duration
+	Mode       string
+	Scale      float64
+	Verified   bool
+	DaemonStat *server.StatsResponse
+}
+
+// jsonSummary is the BENCH_search.json "load_replay" entry shape.
+type jsonSummary struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	Scale       float64 `json:"scale"`
+	Clients     int     `json:"clients"`
+	Requests    int     `json:"requests"`
+	Failures    int     `json:"failures"`
+	Verified    bool    `json:"verified"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"requestsPerSecond"`
+	P50Ms       float64 `json:"p50Ms"`
+	P90Ms       float64 `json:"p90Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	FnCacheHits int64   `json:"fnCacheHits"`
+	Evaluations int64   `json:"evaluations"`
+}
+
+func report(w io.Writer, asJSON bool, s summary) {
+	p50 := percentile(s.Latencies, 0.50)
+	p90 := percentile(s.Latencies, 0.90)
+	p99 := percentile(s.Latencies, 0.99)
+	throughput := float64(s.Requests) / s.Elapsed.Seconds()
+	if asJSON {
+		js := jsonSummary{
+			Name: "load_replay", Mode: s.Mode, Scale: s.Scale,
+			Clients: s.Clients, Requests: s.Requests, Failures: s.Failures,
+			Verified: s.Verified, Seconds: s.Elapsed.Seconds(), Throughput: throughput,
+			P50Ms: ms(p50), P90Ms: ms(p90), P99Ms: ms(p99),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		if s.DaemonStat != nil {
+			js.FnCacheHits = s.DaemonStat.FnCache.Hits
+			js.Evaluations = s.DaemonStat.Evaluations
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(js)
+		return
+	}
+	fmt.Fprintf(w, "requests:   %d ok, %d failed, %d clients\n", s.Requests, s.Failures, s.Clients)
+	fmt.Fprintf(w, "wall clock: %.2fs  (%.1f requests/s)\n", s.Elapsed.Seconds(), throughput)
+	fmt.Fprintf(w, "latency:    p50 %.1fms  p90 %.1fms  p99 %.1fms\n", ms(p50), ms(p90), ms(p99))
+	if s.DaemonStat != nil {
+		fmt.Fprintf(w, "daemon:     fncache %d hits / %d misses, %d evaluations, %d compilers built\n",
+			s.DaemonStat.FnCache.Hits, s.DaemonStat.FnCache.Misses,
+			s.DaemonStat.Evaluations, s.DaemonStat.Compilers.Built)
+	}
+}
+
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func doPost(client *http.Client, url string, payload []byte) (int, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+func fetchStats(base string) (*server.StatsResponse, error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func truncate(b []byte) string {
+	const maxLen = 200
+	if len(b) > maxLen {
+		return string(b[:maxLen]) + "..."
+	}
+	return string(b)
+}

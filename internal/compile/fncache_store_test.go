@@ -1,0 +1,474 @@
+package compile
+
+// Tests for the append-log incarnation of the FnCache store: incremental
+// persistence (records durable before any end-of-run Save), the LRU
+// eviction bound, canonical compaction, crash recovery after a SIGKILL
+// mid-append, and the 16-goroutine race suite the concurrency test tier
+// runs under -race in CI.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optinline/internal/codegen"
+)
+
+// storeRecords returns the number of complete records in dir's log file
+// (panicking on a missing file is fine in tests).
+func storeRecords(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, fnCacheFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < len(fnCacheHeader) {
+		return 0
+	}
+	return (len(data) - len(fnCacheHeader)) / fnRecordSize
+}
+
+// fakeSize is the deterministic size oracle the synthetic-key tests use:
+// any path that would return something else for a key is a store bug.
+func fakeSize(k FnKey) int { return int((k.Hi*31 + k.Lo) % 4096) }
+
+// TestFnCacheAppendsIncrementally: a computed entry must be on disk before
+// any Save call — the property that lets a long-running daemon crash
+// without losing its run's cache work (modulo the fsync window).
+func TestFnCacheAppendsIncrementally(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h, m atomic.Int64
+	for i := 1; i <= 5; i++ {
+		k := FnKey{Hi: uint64(i), Lo: uint64(i * 7)}
+		fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) })
+		if got := storeRecords(t, dir); got != i {
+			t.Fatalf("after %d computes: %d records on disk (no Save was called)", i, got)
+		}
+	}
+	// A second cache opened on the same dir sees everything, Save or not.
+	fc2, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := fc2.Stats(); st.Loaded != 5 || st.Corrupt != 0 {
+		t.Fatalf("second open loaded %d corrupt %d, want 5 / 0", st.Loaded, st.Corrupt)
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFnCacheLRUEviction: the MaxEntries bound must hold, evict least
+// recently used first, never evict in-flight entries, and keep sizes
+// correct across the recompute of an evicted key.
+func TestFnCacheLRUEviction(t *testing.T) {
+	fc, err := OpenFnCacheWith(FnCacheConfig{MaxEntries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h, m atomic.Int64
+	get := func(i int) int {
+		k := FnKey{Hi: uint64(i), Lo: 9}
+		return fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) })
+	}
+	for i := 1; i <= 5; i++ {
+		get(i)
+	}
+	if n := fc.Len(); n != 3 {
+		t.Fatalf("Len = %d after 5 inserts with MaxEntries 3", n)
+	}
+	if ev := fc.Stats().Evicted; ev != 2 {
+		t.Fatalf("Evicted = %d, want 2", ev)
+	}
+	// Keys 1 and 2 were evicted; key 5 is resident. Touch order matters:
+	// hitting 3 then inserting a new key must evict 4, not 3.
+	missesBefore := m.Load()
+	get(5)
+	if m.Load() != missesBefore {
+		t.Fatal("resident key 5 recomputed")
+	}
+	get(3) // touch: 3 becomes most recent
+	get(6) // evicts 4 (now least recent)
+	missesBefore = m.Load()
+	get(3)
+	if m.Load() != missesBefore {
+		t.Fatal("touched key 3 was evicted instead of key 4")
+	}
+	get(4)
+	if m.Load() != missesBefore+1 {
+		t.Fatal("evicted key 4 did not recompute")
+	}
+	// Evicted keys recompute to the same size — the bound changes cost,
+	// never answers.
+	for i := 1; i <= 6; i++ {
+		k := FnKey{Hi: uint64(i), Lo: 9}
+		if got := fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) }); got != fakeSize(k) {
+			t.Fatalf("key %d: size %d, want %d", i, got, fakeSize(k))
+		}
+	}
+}
+
+// TestFnCacheEvictionPinsInFlight: an entry being computed has no LRU node
+// and must survive a flood of inserts that evicts everything ready.
+func TestFnCacheEvictionPinsInFlight(t *testing.T) {
+	fc, err := OpenFnCacheWith(FnCacheConfig{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h, m atomic.Int64
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	slow := FnKey{Hi: 99, Lo: 99}
+	done := make(chan int, 1)
+	go func() {
+		done <- fc.sizeOf(slow, &h, &m, func() int {
+			close(inCompute)
+			<-release
+			return 1234
+		})
+	}()
+	<-inCompute
+	for i := 1; i <= 10; i++ {
+		k := FnKey{Hi: uint64(i), Lo: 1}
+		fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) })
+	}
+	close(release)
+	if got := <-done; got != 1234 {
+		t.Fatalf("in-flight entry returned %d, want 1234", got)
+	}
+	// The slow entry must now be resident (it was published after the flood).
+	missesBefore := m.Load()
+	if got := fc.sizeOf(slow, &h, &m, func() int { return 0 }); got != 1234 {
+		t.Fatalf("slow entry lookup = %d, want 1234", got)
+	}
+	if m.Load() != missesBefore {
+		t.Fatal("slow entry was evicted while in flight")
+	}
+}
+
+// TestFnCacheCompactCanonical: compaction output is a pure function of the
+// cache contents — append order, duplicate records, and corrupt junk must
+// not leak into the compacted bytes — and eviction bounds the store via
+// compaction (dropped entries are scrubbed).
+func TestFnCacheCompactCanonical(t *testing.T) {
+	keys := make([]FnKey, 12)
+	for i := range keys {
+		keys[i] = FnKey{Hi: uint64(i * 17), Lo: uint64(i*i + 3)}
+	}
+	build := func(order []int) string {
+		dir := t.TempDir()
+		fc, err := OpenFnCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h, m atomic.Int64
+		for _, i := range order {
+			k := keys[i]
+			fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) })
+		}
+		if err := fc.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, fnCacheFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	fwd := make([]int, len(keys))
+	rev := make([]int, len(keys))
+	for i := range keys {
+		fwd[i] = i
+		rev[i] = len(keys) - 1 - i
+	}
+	a, b := build(fwd), build(rev)
+	if a != b {
+		t.Fatal("compacted logs differ across append orders")
+	}
+
+	// Dupes scrub: replay the same key set twice through two cache opens
+	// (the second open dedups, but appending a fresh computation of an
+	// evicted key duplicates the record), then compact and reopen clean.
+	dir := t.TempDir()
+	fc, err := OpenFnCacheWith(FnCacheConfig{Dir: dir, MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h, m atomic.Int64
+	for round := 0; round < 2; round++ {
+		for _, k := range keys {
+			k := k
+			fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) })
+		}
+	}
+	if fc.Stats().Evicted == 0 {
+		t.Fatal("bound never evicted; dupes scenario not exercised")
+	}
+	if n := storeRecords(t, dir); n <= len(keys) {
+		t.Fatalf("expected duplicate records from evict-recompute, have %d for %d keys", n, len(keys))
+	}
+	reopened, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := reopened.Stats(); st.Dupes == 0 || st.Corrupt != 0 {
+		t.Fatalf("reopen of dup-bearing log: %+v (want dupes > 0, corrupt 0)", st)
+	}
+	if err := reopened.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := clean.Stats(); st.Dupes != 0 || st.Corrupt != 0 || st.Loaded != int64(len(keys)) {
+		t.Fatalf("compacted log reopen: %+v (want %d loaded, 0 dupes, 0 corrupt)", st, len(keys))
+	}
+}
+
+// TestFnCacheStoreRace is the concurrency tier's store hammer: 16
+// goroutines mixing lookups, inserts, evictions (via a tight MaxEntries),
+// Save, and Compact against one shared persistent cache. Run under -race
+// by ci.sh; correctness assertions are that every lookup returns the
+// deterministic oracle size and the final log reopens with no corruption.
+func TestFnCacheStoreRace(t *testing.T) {
+	dir := t.TempDir()
+	fc, err := OpenFnCacheWith(FnCacheConfig{Dir: dir, MaxEntries: 64, FsyncEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	const opsPerG = 400
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			var h, m atomic.Int64
+			for op := 0; op < opsPerG; op++ {
+				switch {
+				case op%97 == 96:
+					if err := fc.Save(); err != nil {
+						errs <- fmt.Errorf("goroutine %d: Save: %w", g, err)
+						return
+					}
+				case op%139 == 138:
+					if err := fc.Compact(); err != nil {
+						errs <- fmt.Errorf("goroutine %d: Compact: %w", g, err)
+						return
+					}
+				default:
+					// 200 distinct keys against a 64-entry bound: constant
+					// churn of insert/evict/recompute across goroutines.
+					k := FnKey{Hi: uint64(rng.Intn(200)), Lo: uint64(rng.Intn(2)) + 1}
+					want := fakeSize(k)
+					if got := fc.sizeOf(k, &h, &m, func() int { return want }); got != want {
+						errs <- fmt.Errorf("goroutine %d: key %v: size %d, want %d", g, k, got, want)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := final.Stats()
+	if st.Corrupt != 0 {
+		t.Fatalf("store corrupt after concurrent run: %+v", st)
+	}
+	if st.Loaded == 0 {
+		t.Fatalf("nothing persisted by concurrent run: %+v", st)
+	}
+	var h, m atomic.Int64
+	for hi := 0; hi < 200; hi++ {
+		for lo := 1; lo <= 2; lo++ {
+			k := FnKey{Hi: uint64(hi), Lo: uint64(lo)}
+			want := fakeSize(k)
+			if got := final.sizeOf(k, &h, &m, func() int { return want }); got != want {
+				t.Fatalf("key %v after reopen: %d, want %d", k, got, want)
+			}
+		}
+	}
+}
+
+// TestFnCacheSharedCompilerRace hammers one shared cache through real
+// Compilers — the inlined daemon's sharing shape — from 16 goroutines
+// evaluating overlapping configurations of the twin module, asserting
+// every size matches the single-threaded reference.
+func TestFnCacheSharedCompilerRace(t *testing.T) {
+	mod := twinModule(t)
+	want := evalAll(New(mod, codegen.TargetX86))
+
+	dir := t.TempDir()
+	shared, err := OpenFnCacheWith(FnCacheConfig{Dir: dir, MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewWithOptions(mod, codegen.TargetX86, Options{FnCache: shared})
+			for round := 0; round < 3; round++ {
+				got := evalAll(c)
+				for k, w := range want {
+					if got[k] != w {
+						errs <- fmt.Errorf("goroutine %d round %d cfg %s: %d, want %d", g, round, k, got[k], w)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := shared.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFnCacheCrashRecovery kills a writer process with SIGKILL while it is
+// appending records, then reopens the store: every record the kernel saw
+// completely written must load, at most the final record may be torn, and
+// nothing may load with a wrong size.
+func TestFnCacheCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestFnCacheCrashWriterHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "FNCACHE_CRASH_HELPER=1", "FNCACHE_CRASH_DIR="+dir)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the helper has demonstrably appended a few records, then
+	// kill it hard mid-stream.
+	path := filepath.Join(dir, fnCacheFile)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if fi, err := os.Stat(path); err == nil && fi.Size() > int64(len(fnCacheHeader)+20*fnRecordSize) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("helper never wrote 20 records")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // reaps; exit status is the kill, not meaningful
+
+	fc, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatalf("store must open after crash: %v", err)
+	}
+	st := fc.Stats()
+	if st.Loaded < 20 {
+		t.Fatalf("crash lost completed appends: loaded %d", st.Loaded)
+	}
+	if st.Corrupt > 1 {
+		t.Fatalf("more than a torn tail after crash: %+v", st)
+	}
+	// Every loaded record must carry the helper's deterministic size, and
+	// re-deriving lost keys must not conflict with survivors: the recovered
+	// cache answers the oracle for the whole key range the helper walked.
+	var h, m atomic.Int64
+	for i := uint64(1); i <= 20; i++ {
+		k := FnKey{Hi: i, Lo: i * 3}
+		want := fakeSize(k)
+		if got := fc.sizeOf(k, &h, &m, func() int { return want }); got != want {
+			t.Fatalf("key %v after crash recovery: %d, want %d", k, got, want)
+		}
+	}
+	if h.Load() == 0 {
+		t.Fatal("no crash survivor was served from disk")
+	}
+	// The reopened store heals: appends continue on a record boundary, and
+	// a further reopen sees a consistent log again.
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := OpenFnCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst := clean.Stats(); cst.Corrupt != 0 && !(st.Corrupt == 0 && cst.Corrupt == 0) {
+		// Open truncated the torn tail, so the second open must be clean.
+		t.Fatalf("torn tail not healed: %+v", cst)
+	}
+}
+
+// TestFnCacheCrashWriterHelper is the subprocess body for
+// TestFnCacheCrashRecovery; it appends records forever until killed.
+func TestFnCacheCrashWriterHelper(t *testing.T) {
+	if os.Getenv("FNCACHE_CRASH_HELPER") != "1" {
+		t.Skip("helper process")
+	}
+	fc, err := OpenFnCacheWith(FnCacheConfig{Dir: os.Getenv("FNCACHE_CRASH_DIR"), FsyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h, m atomic.Int64
+	for i := uint64(1); ; i++ {
+		k := FnKey{Hi: i, Lo: i * 3}
+		fc.sizeOf(k, &h, &m, func() int { return fakeSize(k) })
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestFnCacheRecordEncoding pins the record layout: 32 bytes, little-endian
+// key/size/checksum — the compatibility contract Compact and load share.
+func TestFnCacheRecordEncoding(t *testing.T) {
+	var rec [fnRecordSize]byte
+	k := FnKey{Hi: 0x1122334455667788, Lo: 0x99aabbccddeeff00}
+	encodeRecord(rec[:], k, 777)
+	if binary.LittleEndian.Uint64(rec[0:8]) != k.Hi ||
+		binary.LittleEndian.Uint64(rec[8:16]) != k.Lo ||
+		binary.LittleEndian.Uint64(rec[16:24]) != 777 {
+		t.Fatal("record fields not little-endian at fixed offsets")
+	}
+	if binary.LittleEndian.Uint64(rec[24:32]) != fnRecordSum(k.Hi, k.Lo, 777) {
+		t.Fatal("checksum word mismatch")
+	}
+}

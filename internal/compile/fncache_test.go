@@ -305,7 +305,21 @@ func TestFnCacheCorruptionDegradesToMiss(t *testing.T) {
 			out[len(fnCacheHeader)+3] ^= 0x01 // key word of record 0
 			return out
 		}, int64(nrec) - 1, 1},
-		{"empty-file", func([]byte) []byte { return nil }, 0, 1},
+		// An empty store file is indistinguishable from a fresh one now that
+		// open itself creates the log (O_CREATE): not corruption, just empty.
+		{"empty-file", func([]byte) []byte { return nil }, 0, 0},
+		// Append-mode artifacts: a torn *final* record is the crash-mid-append
+		// signature — everything before it loads, the tail is truncated away.
+		{"torn-final-record", func(b []byte) []byte {
+			return b[:len(b)-fnRecordSize/4]
+		}, int64(nrec) - 1, 1},
+		// Duplicate keys are what a crash-and-reappend cycle (or recompute
+		// after eviction) leaves behind: legitimate, first record wins, and
+		// the dupe is counted rather than treated as corruption.
+		{"duplicate-keys", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			return append(out, b[len(fnCacheHeader):len(fnCacheHeader)+2*fnRecordSize]...)
+		}, int64(nrec), 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

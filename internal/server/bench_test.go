@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// BenchmarkServerJobsScaling measures daemon wall clock per full corpus
+// replay as the global worker-token pool widens: 8 concurrent clients
+// replay the example corpus (compile-os + search per file) against servers
+// configured -jobs 1/2/4/8. On a multi-core machine the pool turns client
+// concurrency into parallel search workers; on one CPU the curve is flat
+// and the numbers document exactly that (BENCH_search.json records the
+// host's CPU count next to the figures).
+func BenchmarkServerJobsScaling(b *testing.B) {
+	files := exampleSources(b)
+	type benchReq struct {
+		path    string
+		payload []byte
+	}
+	build := func(jobs int) []benchReq {
+		var reqs []benchReq
+		for _, f := range files {
+			cp, err := json.Marshal(CompileRequest{Name: f.name, Source: f.src, Inline: "os", Jobs: jobs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sp, err := json.Marshal(SearchRequest{Name: f.name, Source: f.src, MaxSpace: 1 << 16, Jobs: jobs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs = append(reqs, benchReq{"/compile", cp}, benchReq{"/search", sp})
+		}
+		return reqs
+	}
+
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			srv := New(Config{Jobs: jobs, MaxQueue: 1 << 12})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			reqs := build(jobs)
+			client := &http.Client{}
+
+			// Warm the daemon-side caches once so iterations measure the
+			// steady state a long-running service actually operates in.
+			for _, r := range reqs {
+				doBench(b, client, ts.URL, r.path, r.payload)
+			}
+
+			const clients = 8
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for j := range reqs {
+							r := reqs[(j+c*5)%len(reqs)]
+							doBench(b, client, ts.URL, r.path, r.payload)
+						}
+					}(c)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+func doBench(b *testing.B, client *http.Client, base, path string, payload []byte) {
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		b.Error(err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+}

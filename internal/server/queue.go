@@ -1,0 +1,157 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull reports that the bounded job queue already holds its maximum
+// number of waiting requests; the caller should answer 503 rather than let
+// unbounded queueing turn overload into unbounded latency.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// jobQueue is the daemon's bounded job queue: a weighted FIFO semaphore
+// over "job tokens", one token per worker goroutine a request is budgeted.
+// A request acquires its whole budget atomically (all-or-nothing, so two
+// half-granted requests can never deadlock each other) and strictly in
+// arrival order — a wide request at the head blocks narrower ones behind
+// it, which is the price of starvation-freedom and is what keeps latency
+// predictable under load. The number of *waiting* requests is bounded
+// separately: beyond maxWaiters, Acquire fails fast with ErrQueueFull.
+type jobQueue struct {
+	mu       sync.Mutex
+	capacity int
+	free     int
+	waiters  *list.List // of *jqWaiter, FIFO
+
+	maxWaiters int
+
+	// Counters for /stats; all guarded by mu.
+	granted    int64
+	rejected   int64
+	waited     int64 // requests that could not be granted immediately
+	peakQueued int
+}
+
+type jqWaiter struct {
+	n     int
+	ready chan struct{} // closed by grantLocked with the tokens assigned
+}
+
+func newJobQueue(capacity, maxWaiters int) *jobQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxWaiters < 0 {
+		maxWaiters = 0
+	}
+	return &jobQueue{capacity: capacity, free: capacity, maxWaiters: maxWaiters, waiters: list.New()}
+}
+
+// Clamp bounds a requested per-request budget to [1, capacity].
+func (q *jobQueue) Clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > q.capacity {
+		return q.capacity
+	}
+	return n
+}
+
+// Acquire blocks until n tokens are granted, the queue bound rejects the
+// request (ErrQueueFull), or ctx is done (its error). n is clamped to the
+// queue capacity by the caller via Clamp.
+func (q *jobQueue) Acquire(ctx context.Context, n int) error {
+	n = q.Clamp(n)
+	q.mu.Lock()
+	if q.waiters.Len() == 0 && q.free >= n {
+		q.free -= n
+		q.granted++
+		q.mu.Unlock()
+		return nil
+	}
+	if q.waiters.Len() >= q.maxWaiters {
+		q.rejected++
+		q.mu.Unlock()
+		return ErrQueueFull
+	}
+	w := &jqWaiter{n: n, ready: make(chan struct{})}
+	elem := q.waiters.PushBack(w)
+	q.waited++
+	if q.waiters.Len() > q.peakQueued {
+		q.peakQueued = q.waiters.Len()
+	}
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: hand the tokens back
+			// (Release re-runs the grant loop for the next waiter).
+			q.free += w.n
+			q.grantLocked()
+			q.mu.Unlock()
+		default:
+			q.waiters.Remove(elem)
+			q.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns n tokens and wakes whatever prefix of the FIFO now fits.
+func (q *jobQueue) Release(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.free += n
+	if q.free > q.capacity {
+		panic("server: jobQueue over-released")
+	}
+	q.grantLocked()
+}
+
+func (q *jobQueue) grantLocked() {
+	for q.waiters.Len() > 0 {
+		front := q.waiters.Front()
+		w := front.Value.(*jqWaiter)
+		if w.n > q.free {
+			return // strict FIFO: nothing behind the head may overtake it
+		}
+		q.free -= w.n
+		q.waiters.Remove(front)
+		q.granted++
+		close(w.ready)
+	}
+}
+
+// queueStats is a consistent snapshot for /stats.
+type queueStats struct {
+	Capacity   int   `json:"capacity"`
+	Busy       int   `json:"busyTokens"`
+	Queued     int   `json:"queuedRequests"`
+	Granted    int64 `json:"granted"`
+	Rejected   int64 `json:"rejected"`
+	Waited     int64 `json:"waited"`
+	PeakQueued int   `json:"peakQueued"`
+}
+
+func (q *jobQueue) Stats() queueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return queueStats{
+		Capacity:   q.capacity,
+		Busy:       q.capacity - q.free,
+		Queued:     q.waiters.Len(),
+		Granted:    q.granted,
+		Rejected:   q.rejected,
+		Waited:     q.waited,
+		PeakQueued: q.peakQueued,
+	}
+}

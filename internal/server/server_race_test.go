@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// raceRequest is one prepared request; Payload is marshaled once so both
+// the reference and the concurrent runs send identical bytes.
+type raceRequest struct {
+	desc    string
+	path    string
+	payload []byte
+}
+
+// buildRaceCorpus prepares the mixed /compile+/search+/tune request set
+// over the example corpus, every inline mode represented.
+func buildRaceCorpus(t *testing.T) []raceRequest {
+	t.Helper()
+	var reqs []raceRequest
+	addJSON := func(desc, path string, body any) {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", desc, err)
+		}
+		reqs = append(reqs, raceRequest{desc: desc, path: path, payload: payload})
+	}
+	for _, f := range exampleSources(t) {
+		for _, mode := range []string{"none", "os", "tune", "optimal"} {
+			addJSON(f.name+" compile "+mode, "/compile", CompileRequest{
+				Name: f.name, Source: f.src, Inline: mode, Rounds: 2, MaxSpace: 1 << 16, Jobs: 2,
+			})
+		}
+		addJSON(f.name+" search", "/search", SearchRequest{
+			Name: f.name, Source: f.src, MaxSpace: 1 << 16, Jobs: 2,
+		})
+		addJSON(f.name+" tune", "/tune", TuneRequest{
+			Name: f.name, Source: f.src, Init: "clean", Rounds: 2,
+		})
+	}
+	return reqs
+}
+
+func doRace(t *testing.T, url string, rr raceRequest) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+rr.path, "application/json", bytes.NewReader(rr.payload))
+	if err != nil {
+		t.Fatalf("%s: %v", rr.desc, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("%s: read body: %v", rr.desc, err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestServerConcurrentByteIdentical is the HTTP half of the concurrency
+// tier: 16 client goroutines fire overlapping /compile, /search and /tune
+// requests (plus /stats probes) at one daemon sharing a single FnCache and
+// compiler pool, and every response body must be byte-identical to the
+// one a single-threaded server produced for the same request bytes. This
+// is exactly the determinism contract of types.go: work responses are
+// pure functions of the request, no matter how caches warm up underneath.
+func TestServerConcurrentByteIdentical(t *testing.T) {
+	corpus := buildRaceCorpus(t)
+
+	// Reference: a fresh single-threaded server, each request once, in order.
+	want := make(map[string][]byte, len(corpus))
+	_, ref := newTestServer(t, Config{Jobs: 1})
+	for _, rr := range corpus {
+		status, body := doRace(t, ref.URL, rr)
+		if status != http.StatusOK {
+			t.Fatalf("reference %s: status %d: %s", rr.desc, status, body)
+		}
+		want[rr.desc] = body
+	}
+
+	// Hot server: 16 clients, each walking the corpus from a different
+	// offset so distinct requests overlap, several repeats so the same
+	// request also races itself.
+	const clients = 16
+	const repeats = 3
+	_, hot := newTestServer(t, Config{Jobs: 4, MaxQueue: clients * len(corpus)})
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < repeats; rep++ {
+				for i := range corpus {
+					rr := corpus[(i+c*7)%len(corpus)]
+					status, body := doRace(t, hot.URL, rr)
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("%s: status %d: %s", rr.desc, status, body)
+						return
+					}
+					if !bytes.Equal(body, want[rr.desc]) {
+						errs <- fmt.Errorf("%s: concurrent response diverged\n got: %s\nwant: %s",
+							rr.desc, body, want[rr.desc])
+						return
+					}
+					// Interleave observability traffic: must always answer.
+					if i%5 == 0 {
+						st := getStats(t, hot.URL)
+						if st.Queue.Capacity != 4 {
+							errs <- fmt.Errorf("stats under load: capacity %d, want 4", st.Queue.Capacity)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Post-load bookkeeping must balance exactly.
+	st := getStats(t, hot.URL)
+	if st.Queue.Busy != 0 || st.Queue.Queued != 0 {
+		t.Errorf("after load: busy=%d queued=%d, want 0/0", st.Queue.Busy, st.Queue.Queued)
+	}
+	wantGranted := int64(clients * repeats * len(corpus))
+	if st.Queue.Granted != wantGranted {
+		t.Errorf("queue.granted = %d, want %d", st.Queue.Granted, wantGranted)
+	}
+}
+
+// TestQueueAcquireReleaseRace hammers the weighted semaphore directly:
+// mixed widths, cancellations, and stats reads from 16 goroutines, then
+// checks that every token came home.
+func TestQueueAcquireReleaseRace(t *testing.T) {
+	q := newJobQueue(4, 64)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				n := 1 + (w+i)%4
+				if err := q.Acquire(t.Context(), n); err != nil {
+					continue
+				}
+				if i%3 == 0 {
+					q.Stats()
+				}
+				q.Release(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := q.Stats()
+	if st.Busy != 0 || st.Queued != 0 {
+		t.Fatalf("after race: busy=%d queued=%d, want 0/0", st.Busy, st.Queued)
+	}
+}

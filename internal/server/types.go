@@ -1,0 +1,184 @@
+package server
+
+// JSON request/response schemas of the inlined service. Responses to the
+// three work endpoints deliberately contain only *deterministic* fields —
+// pure functions of the request — so that replaying a request yields a
+// byte-identical body no matter how caches are warmed, how many clients
+// run, or how the scheduler interleaves them. Volatile counters (cache
+// hits, evaluation counts, queue depths) live in /stats instead.
+
+// CompileRequest asks for one translation unit to be compiled under an
+// inlining strategy. Source is MinC or textual IR, dispatched on Name's
+// extension (.minc or .ir) exactly like the CLIs' file loading.
+type CompileRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Target string `json:"target,omitempty"` // x86 (default) | wasm
+	Inline string `json:"inline,omitempty"` // none | os (default) | tune | optimal
+	Rounds int    `json:"rounds,omitempty"` // autotuner rounds for inline=tune (default 4)
+	// MaxSpace caps the recursive search space for inline=optimal;
+	// 0 selects the server default.
+	MaxSpace uint64 `json:"maxSpace,omitempty"`
+	// Jobs is this request's worker budget, clamped to [1, server -jobs].
+	// 0 selects 1: a service run should opt in to width explicitly.
+	Jobs int `json:"jobs,omitempty"`
+	// DelayMs injects synthetic latency before the work runs. Honored only
+	// when the daemon was started with -allow-delay; used by load and
+	// drain testing to make timing deterministic.
+	DelayMs int `json:"delayMs,omitempty"`
+}
+
+// CompileResponse reports the strategy's outcome.
+type CompileResponse struct {
+	Name           string `json:"name"`
+	Target         string `json:"target"`
+	Inline         string `json:"inline"`
+	Size           int    `json:"size"`
+	InlinableSites int    `json:"inlinableSites"`
+	InlinedSites   int    `json:"inlinedSites"`
+	InlineSites    []int  `json:"inlineSites"`
+	ConfigKey      string `json:"configKey"`
+}
+
+// SearchRequest asks for the exhaustive optimal search on one unit — the
+// service form of `inlinesearch`.
+type SearchRequest struct {
+	Name     string `json:"name"`
+	Source   string `json:"source"`
+	Target   string `json:"target,omitempty"`
+	MaxSpace uint64 `json:"maxSpace,omitempty"` // 0 selects the server default
+	Jobs     int    `json:"jobs,omitempty"`
+	DelayMs  int    `json:"delayMs,omitempty"`
+}
+
+// SearchResponse mirrors inlinesearch's report. When the recursive space
+// exceeds MaxSpace the search does not run: Searched is false and only
+// SpaceSize (the full tree size) plus the heuristic/no-inline figures are
+// meaningful.
+type SearchResponse struct {
+	Name           string    `json:"name"`
+	Target         string    `json:"target"`
+	Searched       bool      `json:"searched"`
+	SpaceSize      uint64    `json:"spaceSize"`
+	NoInlineSize   int       `json:"noInlineSize"`
+	HeuristicSize  int       `json:"heuristicSize"`
+	OptimalSize    int       `json:"optimalSize,omitempty"`
+	InlinableSites int       `json:"inlinableSites"`
+	InlineSites    []int     `json:"inlineSites,omitempty"`
+	ConfigKey      string    `json:"configKey,omitempty"`
+	Agreement      [2][2]int `json:"agreement,omitempty"`
+}
+
+// TuneRequest asks for a round-based autotuning session — the service form
+// of `inlinetune`.
+type TuneRequest struct {
+	Name    string `json:"name"`
+	Source  string `json:"source"`
+	Target  string `json:"target,omitempty"`
+	Init    string `json:"init,omitempty"` // clean | os (default)
+	Rounds  int    `json:"rounds,omitempty"`
+	Jobs    int    `json:"jobs,omitempty"`
+	DelayMs int    `json:"delayMs,omitempty"`
+}
+
+// TuneRound is one round's trace (paper Table 4 shape).
+type TuneRound struct {
+	Round      int `json:"round"`
+	Size       int `json:"size"`
+	Inlined    int `json:"inlined"`
+	NotInlined int `json:"notInlined"`
+	Toggles    int `json:"toggles"`
+}
+
+// TuneResponse reports the session.
+type TuneResponse struct {
+	Name        string      `json:"name"`
+	Target      string      `json:"target"`
+	Init        string      `json:"init"`
+	InitSize    int         `json:"initSize"`
+	BestSize    int         `json:"bestSize"`
+	InlineSites []int       `json:"inlineSites"`
+	ConfigKey   string      `json:"configKey"`
+	Rounds      []TuneRound `json:"rounds"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse is the /stats payload: the daemon's observability surface,
+// aggregating the shared content cache, the per-module compiler pool, the
+// job queue, and per-endpoint request counters.
+type StatsResponse struct {
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Draining      bool       `json:"draining"`
+	Queue         queueStats `json:"queue"`
+
+	Requests map[string]EndpointStats `json:"requests"`
+
+	// FnCache is the process-wide content-addressed per-function cache
+	// shared by every compiler the daemon ever builds.
+	FnCache FnCacheStatsJSON `json:"fnCache"`
+
+	// Compilers tracks the per-module compiler pool (LRU over source hash).
+	Compilers CompilerPoolStats `json:"compilers"`
+
+	// Aggregates over every compiler ever built (live + retired).
+	ConfigCache CacheCounters `json:"configCache"`
+	FuncCache   CacheCounters `json:"funcCache"`
+	Evaluations int64         `json:"evaluations"`
+	Delta       DeltaCounters `json:"delta"`
+	Prune       PruneCounters `json:"prune"`
+}
+
+// EndpointStats counts one endpoint's traffic.
+type EndpointStats struct {
+	Count    int64 `json:"count"`
+	Errors   int64 `json:"errors"`   // 4xx/5xx except busy
+	Busy     int64 `json:"busy"`     // 503 from the queue bound or drain
+	Timeouts int64 `json:"timeouts"` // 504 after the request deadline
+}
+
+// FnCacheStatsJSON mirrors compile.FnCacheStats for the wire.
+type FnCacheStatsJSON struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	DiskHits int64 `json:"diskHits"`
+	Loaded   int64 `json:"loaded"`
+	Corrupt  int64 `json:"corrupt"`
+	Dupes    int64 `json:"dupes"`
+	Stored   int64 `json:"stored"`
+	Evicted  int64 `json:"evicted"`
+	Syncs    int64 `json:"syncs"`
+	Entries  int   `json:"entries"`
+}
+
+// CompilerPoolStats reports the compiler LRU.
+type CompilerPoolStats struct {
+	Live    int   `json:"live"`
+	Built   int64 `json:"built"`
+	Hits    int64 `json:"hits"`
+	Evicted int64 `json:"evicted"`
+}
+
+// CacheCounters is stats.CacheStats for the wire.
+type CacheCounters struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// DeltaCounters is stats.DeltaStats for the wire.
+type DeltaCounters struct {
+	Evals      int64 `json:"evals"`
+	DirtyFuncs int64 `json:"dirtyFuncs"`
+}
+
+// PruneCounters is search.PruneStats for the wire.
+type PruneCounters struct {
+	Enabled    bool  `json:"enabled"`
+	Subtrees   int64 `json:"subtrees"`
+	MemoHits   int64 `json:"memoHits"`
+	MemoMisses int64 `json:"memoMisses"`
+	BoundEvals int64 `json:"boundEvals"`
+}
