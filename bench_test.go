@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"testing"
 
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/autotune"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
@@ -21,6 +22,7 @@ import (
 	"optinline/internal/inline"
 	"optinline/internal/interp"
 	"optinline/internal/ir"
+	"optinline/internal/mlheur"
 	"optinline/internal/search"
 	"optinline/internal/workload"
 )
@@ -656,4 +658,56 @@ func BenchmarkInterpICache(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSiteFeatureExtraction measures the mlheur feature-extraction
+// throughput over the full 20-profile SPEC-shaped corpus: one interproc
+// summary analysis per file (the Extractor), then a SiteFeatures lookup
+// per candidate edge. "scratch" recomputes every file's summaries;
+// "shared-cache" reuses one content-addressed summary cache across files
+// and iterations (the daemon's steady state). sites/op reports how many
+// feature vectors one iteration produces.
+func BenchmarkSiteFeatureExtraction(b *testing.B) {
+	type unit struct {
+		m *ir.Module
+		g *callgraph.Graph
+	}
+	var units []unit
+	sites := 0
+	for _, p := range workload.SPECProfiles() {
+		for _, f := range workload.Generate(p).Files {
+			f.Module.AssignSites()
+			g := callgraph.Build(f.Module)
+			units = append(units, unit{f.Module, g})
+			sites += len(g.Edges)
+		}
+	}
+	extractAll := func(cache *interproc.Cache) int {
+		total := 0
+		for _, u := range units {
+			x := mlheur.NewExtractor(u.m, u.g, cache)
+			for _, e := range u.g.Edges {
+				fv := x.Extract(e)
+				total += int(fv[0]) // defeat dead-code elimination
+			}
+		}
+		return total
+	}
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			extractAll(nil)
+		}
+		b.ReportMetric(float64(sites), "sites/op")
+	})
+	b.Run("shared-cache", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := interproc.NewCache()
+		extractAll(cache) // warm the cache outside the timed region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			extractAll(cache)
+		}
+		b.ReportMetric(float64(sites), "sites/op")
+	})
 }

@@ -21,9 +21,12 @@
 //	-fsync-every N        fsync the store every N appended records
 //	-compact              compact the -cache-dir store offline and exit
 //	-allow-delay          honor requests' delayMs field (testing only)
+//	-no-interproc-cache   recompute /analyze summaries from scratch
+//	                      (differential oracle for the summary cache)
 //	-drain-timeout d      how long SIGTERM waits for in-flight work (default 30s)
 //
-// Endpoints: POST /compile, POST /search, POST /tune (JSON in/out),
+// Endpoints: POST /analyze, POST /compile, POST /search, POST /tune
+// (JSON in/out),
 // GET /stats, GET /healthz. On SIGTERM or SIGINT the daemon drains in two
 // phases: /healthz and new work answer 503 while in-flight requests
 // finish, then the listener shuts down and the cache store is synced.
@@ -65,6 +68,7 @@ func run() error {
 		fsyncEvery   = flag.Int("fsync-every", 0, "fsync the store every N appended records (0 = default)")
 		compact      = flag.Bool("compact", false, "compact the -cache-dir store offline and exit")
 		allowDelay   = flag.Bool("allow-delay", false, "honor requests' delayMs field (testing only)")
+		noIPCache    = flag.Bool("no-interproc-cache", false, "recompute /analyze summaries from scratch")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 	)
 	flag.Parse()
@@ -93,6 +97,8 @@ func run() error {
 		DefaultMaxSpace: *maxSpace,
 		FnCache:         fncache,
 		AllowDelay:      *allowDelay,
+
+		DisableSummaryCache: *noIPCache,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

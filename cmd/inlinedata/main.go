@@ -80,11 +80,14 @@ func run() error {
 			skipped++
 			continue
 		}
+		// One summary analysis per file; each edge's features are then a
+		// table lookup instead of a whole-module reanalysis.
+		extractor := mlheur.NewExtractor(comp.Module(), g, nil)
 		for _, e := range g.Edges {
 			if e.Recursive {
 				continue
 			}
-			x := mlheur.Extract(comp.Module(), g, e)
+			x := extractor.Extract(e)
 			row := make([]string, 0, len(header))
 			row = append(row, f.Name, fmt.Sprint(e.Site))
 			for _, v := range x {

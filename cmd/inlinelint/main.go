@@ -1,17 +1,27 @@
-// Command inlinelint runs the MinC source lints and the IR static-analyzer
-// suite over one or more files and reports the findings.
+// Command inlinelint runs the MinC source lints, the IR static-analyzer
+// suite, and the interprocedural summary lints over one or more files and
+// reports the findings.
 //
 // For a .minc file it lints the AST (unused locals, unreachable statements,
 // use-before-initialization, shadowing) and then lowers it and runs the IR
 // analyzers (undefined callees, dead global stores, recursion cycles,
 // constant conditions, unreachable blocks, ...). For a .ir file only the IR
-// analyzers run.
+// analyzers run. Both kinds additionally get the cross-function lints backed
+// by internal/analysis/interproc summaries (dead parameters, unused pure
+// results, constant returns, use-before-init through wrappers, unbounded
+// recursion); the summary cache is shared across all files of one run.
 //
 // Usage:
 //
 //	inlinelint [flags] file.minc [file2.minc ...]
 //
 //	-json           emit findings as a JSON array instead of text
+//	-sarif          emit findings as a SARIF 2.1.0 log instead of text
+//	-severity s     only report findings at severity s (info|warning|error)
+//	                or above; default info reports everything
+//	-no-interproc-cache
+//	                recompute interprocedural summaries from scratch
+//	                (differential oracle for the summary cache)
 //	-check          additionally push the module through the checked
 //	                compilation pipeline (no-inline and -Os configurations)
 //	                and report any invariant violation
@@ -29,6 +39,7 @@ import (
 	"path/filepath"
 
 	"optinline/internal/analysis"
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
@@ -47,6 +58,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		jsonOut    = fs.Bool("json", false, "emit findings as JSON")
+		sarifOut   = fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+		sevName    = fs.String("severity", "info", "minimum severity to report: info|warning|error")
+		noIPCache  = fs.Bool("no-interproc-cache", false, "recompute interprocedural summaries from scratch")
 		check      = fs.Bool("check", false, "run the checked compilation pipeline as well")
 		targetName = fs.String("target", "x86", "size model for -check: x86|wasm")
 	)
@@ -55,6 +69,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "usage: inlinelint [flags] file.minc [file2.minc ...]")
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "inlinelint: -json and -sarif are mutually exclusive")
+		return 2
+	}
+	var minSev diag.Severity
+	switch *sevName {
+	case "info":
+		minSev = diag.Info
+	case "warning":
+		minSev = diag.Warning
+	case "error":
+		minSev = diag.Error
+	default:
+		fmt.Fprintf(stderr, "inlinelint: unknown severity %q (want info|warning|error)\n", *sevName)
 		return 2
 	}
 	target := codegen.TargetX86
@@ -67,26 +97,44 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// One summary cache per run: structurally identical functions across
+	// the file list share their summary cores.
+	var ipCache *interproc.Cache
+	if !*noIPCache {
+		ipCache = interproc.NewCache()
+	}
+
 	var all diag.List
 	for _, path := range fs.Args() {
-		ds, err := lintOne(path, *check, target)
+		ds, err := lintOne(path, *check, target, ipCache)
 		if err != nil {
 			fmt.Fprintf(stderr, "inlinelint: %v\n", err)
 			return 2
 		}
 		all = append(all, ds...)
 	}
+	all = all.MinSeverity(minSev)
 	all.Sort()
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		data, err := all.SARIF(diag.SARIFOptions{Tool: "inlinelint", RuleDocs: ruleDocs()})
+		if err != nil {
+			fmt.Fprintf(stderr, "inlinelint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(data))
+	case *jsonOut:
 		data, err := all.JSON()
 		if err != nil {
 			fmt.Fprintf(stderr, "inlinelint: %v\n", err)
 			return 2
 		}
 		fmt.Fprintln(stdout, string(data))
-	} else if text := all.Text(); text != "" {
-		fmt.Fprint(stdout, text)
+	default:
+		if text := all.Text(); text != "" {
+			fmt.Fprint(stdout, text)
+		}
 	}
 	if all.HasErrors() {
 		return 1
@@ -94,9 +142,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// ruleDocs collects the one-line documentation of every registered
+// analyzer for the SARIF rules array.
+func ruleDocs() map[string]string {
+	docs := map[string]string{}
+	for _, info := range analysis.Analyzers() {
+		docs[info.Name] = info.Doc
+	}
+	for _, info := range interproc.Analyzers() {
+		docs[info.Name] = info.Doc
+	}
+	return docs
+}
+
 // lintOne lints a single file: source lints for .minc, then the IR analyzer
-// suite, then (with check) the checked compilation pipeline.
-func lintOne(path string, check bool, target codegen.Target) (diag.List, error) {
+// suite and the interprocedural summary lints, then (with check) the checked
+// compilation pipeline.
+func lintOne(path string, check bool, target codegen.Target, ipCache *interproc.Cache) (diag.List, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -126,6 +188,12 @@ func lintOne(path string, check bool, target codegen.Target) (diag.List, error) 
 		return nil, fmt.Errorf("%s: unsupported extension (want .minc or .ir)", path)
 	}
 	out = append(out, analysis.RunModule(mod, analysis.Options{})...)
+
+	mod.AssignSites()
+	g := callgraph.Build(mod)
+	ms := interproc.Analyze(mod, g, ipCache)
+	out = append(out, interproc.Lints(mod, g, ms)...)
+
 	// Analyzer positions carry the module name; point them at the file path
 	// so every finding is uniformly file-addressed.
 	for i := range out {

@@ -123,3 +123,138 @@ func TestLintUsageErrors(t *testing.T) {
 		t.Errorf("missing file: exit code = %d, want 2", code)
 	}
 }
+
+// interprocCorpus returns the interprocedural-lint fixture pairs: each
+// lint has one firing fixture and one *_ok false-positive fixture that
+// must stay clean of that lint.
+func interprocCorpus(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "lint", "interproc", "*.minc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus files under testdata/lint/interproc")
+	}
+	sort.Strings(files)
+	return files
+}
+
+func TestInterprocLintGoldenText(t *testing.T) {
+	repoRoot(t)
+	for _, src := range interprocCorpus(t) {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := run([]string{src}, &out, &errOut)
+			if errOut.Len() != 0 {
+				t.Fatalf("stderr: %s", errOut.String())
+			}
+			if code != 0 {
+				t.Fatalf("exit code = %d, want 0", code)
+			}
+			checkGolden(t, strings.TrimSuffix(src, ".minc")+".golden", out.Bytes())
+		})
+	}
+}
+
+// TestInterprocFiringAndClean pins the contract of the fixture pairs:
+// the firing fixture reports its lint, the *_ok twin does not.
+func TestInterprocFiringAndClean(t *testing.T) {
+	repoRoot(t)
+	lints := map[string]string{
+		"deadparam":    "ip-dead-param",
+		"pureunused":   "pure-call",
+		"constreturn":  "ip-const-return",
+		"uninitglobal": "ip-uninit-global",
+		"mutualrec":    "ip-unbounded-recursion",
+	}
+	for base, analyzer := range lints {
+		for _, variant := range []string{base, base + "_ok"} {
+			var out, errOut bytes.Buffer
+			src := filepath.Join("testdata", "lint", "interproc", variant+".minc")
+			if code := run([]string{src}, &out, &errOut); code != 0 {
+				t.Fatalf("%s: exit code = %d, stderr %s", variant, code, errOut.String())
+			}
+			fired := strings.Contains(out.String(), "["+analyzer+"]")
+			if variant == base && !fired {
+				t.Errorf("%s must report %s:\n%s", variant, analyzer, out.String())
+			}
+			if variant != base && fired {
+				t.Errorf("%s is a false-positive guard and must stay clean of %s:\n%s",
+					variant, analyzer, out.String())
+			}
+		}
+	}
+}
+
+// TestSeverityThreshold: -severity filters output and (via the filtered
+// list) the exit code; the default reproduces the unfiltered behavior.
+func TestSeverityThreshold(t *testing.T) {
+	repoRoot(t)
+	src := filepath.Join("testdata", "lint", "irdiag.minc")
+
+	var all, dflt bytes.Buffer
+	run([]string{src}, &all, &bytes.Buffer{})
+	run([]string{"-severity", "info", src}, &dflt, &bytes.Buffer{})
+	if all.String() != dflt.String() {
+		t.Error("-severity info must match the default output")
+	}
+
+	var warn bytes.Buffer
+	if code := run([]string{"-severity", "warning", src}, &warn, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("-severity warning exit = %d", code)
+	}
+	if strings.Contains(warn.String(), "info:") {
+		t.Errorf("-severity warning leaked infos:\n%s", warn.String())
+	}
+	if !strings.Contains(warn.String(), "warning:") {
+		t.Errorf("-severity warning dropped warnings:\n%s", warn.String())
+	}
+
+	// irdiag has warnings but no errors: at the error threshold the run is
+	// silent and exits 0 — the form the CI examples gate relies on.
+	var errOnly bytes.Buffer
+	if code := run([]string{"-severity", "error", src}, &errOnly, &bytes.Buffer{}); code != 0 {
+		t.Fatalf("-severity error exit = %d", code)
+	}
+	if errOnly.Len() != 0 {
+		t.Errorf("-severity error must be silent on an error-free file:\n%s", errOnly.String())
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-severity", "bogus", src}, &out, &errOut); code != 2 {
+		t.Errorf("bad severity: exit = %d, want 2", code)
+	}
+}
+
+func TestSARIFGolden(t *testing.T) {
+	repoRoot(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-sarif", filepath.Join("testdata", "lint", "irdiag.minc")}, &out, &errOut)
+	if errOut.Len() != 0 || code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	checkGolden(t, filepath.Join("testdata", "lint", "irdiag.sarif.golden"), out.Bytes())
+
+	var both bytes.Buffer
+	if code := run([]string{"-sarif", "-json", "x.minc"}, &both, &errOut); code != 2 {
+		t.Errorf("-sarif -json together: exit = %d, want 2", code)
+	}
+}
+
+// TestNoInterprocCacheParity: the cached and scratch analyses must render
+// byte-identical findings over the whole fixture corpus in one process
+// (the cache is shared across files, so cross-file reuse is exercised).
+func TestNoInterprocCacheParity(t *testing.T) {
+	repoRoot(t)
+	files := interprocCorpus(t)
+	files = append(files, corpus(t)...)
+	var cached, scratch bytes.Buffer
+	ccode := run(files, &cached, &bytes.Buffer{})
+	scode := run(append([]string{"-no-interproc-cache"}, files...), &scratch, &bytes.Buffer{})
+	if ccode != scode || cached.String() != scratch.String() {
+		t.Errorf("cached (exit %d) and -no-interproc-cache (exit %d) disagree:\n--- cached ---\n%s--- scratch ---\n%s",
+			ccode, scode, cached.String(), scratch.String())
+	}
+}

@@ -12,7 +12,8 @@
 //
 //	-addr host:port   daemon address (required), e.g. 127.0.0.1:7433
 //	-clients N        concurrent client goroutines (default 8)
-//	-mode m           mixed|compile|search|tune (default mixed)
+//	-mode m           mixed|compile|search|tune|analyze (default mixed;
+//	                  mixed covers compile, search, and analyze)
 //	-scale f          corpus scale; 1.0 = the full 20-benchmark corpus
 //	-repeat N         replay the request list N times per client (default 1)
 //	-max-space N      per-request search space cap (default 65536)
@@ -38,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
@@ -67,13 +69,14 @@ type expectation struct {
 	optimalSize int // 0 when the space exceeds -max-space
 	searched    bool
 	spaceSize   uint64
+	edges       int // candidate call sites (= /analyze sites)
 }
 
 func run() error {
 	var (
 		addr     = flag.String("addr", "", "inlined daemon address (host:port)")
 		clients  = flag.Int("clients", 8, "concurrent client goroutines")
-		mode     = flag.String("mode", "mixed", "request mix: mixed|compile|search|tune")
+		mode     = flag.String("mode", "mixed", "request mix: mixed|compile|search|tune|analyze")
 		scale    = flag.Float64("scale", 1.0, "corpus scale (1.0 = full 20-benchmark corpus)")
 		repeat   = flag.Int("repeat", 1, "replays of the request list per client")
 		maxSpace = flag.Uint64("max-space", 1<<16, "per-request search space cap")
@@ -234,6 +237,7 @@ func buildRequests(corpus []workload.File, mode string, maxSpace uint64, jobs in
 		wantCompile := mode == "mixed" || mode == "compile"
 		wantSearch := mode == "mixed" || mode == "search"
 		wantTune := mode == "tune"
+		wantAnalyze := mode == "mixed" || mode == "analyze"
 		if wantCompile {
 			if err := addJSON(name+"/compile-os", "/compile", server.CompileRequest{
 				Name: name, Source: src, Inline: "os", Jobs: jobs,
@@ -255,12 +259,19 @@ func buildRequests(corpus []workload.File, mode string, maxSpace uint64, jobs in
 				return nil, nil, err
 			}
 		}
-		if verify && (wantCompile || wantSearch) {
+		if wantAnalyze {
+			if err := addJSON(name+"/analyze", "/analyze", server.AnalyzeRequest{
+				Name: name, Source: src, Jobs: jobs,
+			}); err != nil {
+				return nil, nil, err
+			}
+		}
+		if verify && (wantCompile || wantSearch || wantAnalyze) {
 			expected[name] = computeLocal(f, maxSpace)
 		}
 	}
 	switch mode {
-	case "mixed", "compile", "search", "tune":
+	case "mixed", "compile", "search", "tune", "analyze":
 	default:
 		return nil, nil, fmt.Errorf("unknown -mode %q", mode)
 	}
@@ -271,7 +282,10 @@ func buildRequests(corpus []workload.File, mode string, maxSpace uint64, jobs in
 // sequential search — what `mincc -inline os` and `inlinesearch` print.
 func computeLocal(f workload.File, maxSpace uint64) expectation {
 	comp := compile.NewWithOptions(f.Module, codegen.TargetX86, compile.Options{FnCache: compile.NewFnCache()})
-	e := expectation{osSize: comp.Size(heuristic.OsConfig(comp.Module(), comp.Graph()))}
+	e := expectation{
+		osSize: comp.Size(heuristic.OsConfig(comp.Module(), comp.Graph())),
+		edges:  len(comp.Graph().Edges),
+	}
 	res, ok := search.Optimal(comp, search.Options{Workers: 1, MaxSpace: maxSpace})
 	e.searched = ok
 	e.spaceSize = res.SpaceSize
@@ -296,6 +310,23 @@ func verifyAgainstLocal(bodies map[string][]byte, expected map[string]expectatio
 			}
 			if resp.Size != want.osSize {
 				fail("%s: daemon size %d, batch CLI computes %d", key, resp.Size, want.osSize)
+			}
+		case strings.HasSuffix(key, "/analyze"):
+			var resp server.AnalyzeResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				fail("%s: bad response JSON: %v", key, err)
+				continue
+			}
+			want, ok := expected[resp.Name]
+			if !ok {
+				continue
+			}
+			if resp.SchemaVersion != interproc.FeatureSchemaVersion {
+				fail("%s: daemon feature schema v%d, this binary expects v%d",
+					key, resp.SchemaVersion, interproc.FeatureSchemaVersion)
+			}
+			if got := len(resp.Sites); got != want.edges {
+				fail("%s: daemon reports %d sites, local graph has %d candidate edges", key, got, want.edges)
 			}
 		case strings.HasSuffix(key, "/search"):
 			var resp server.SearchResponse

@@ -3,8 +3,9 @@
 // Where ir.Verify checks structural well-formedness (terminators, dominance,
 // arities), these analyzers check semantic hygiene: unreachable blocks,
 // unused block parameters, dead stores to globals, constant-condition
-// branches, recursion cycles, calls to undefined callees, and calls to pure
-// functions whose results are ignored.
+// branches, recursion cycles, and calls to undefined callees. The
+// cross-function analyzers (pure-call and the ip-* family) live in the
+// interproc subpackage, layered on per-function summaries.
 //
 // Severity policy: plain runs report lints as warnings and observations as
 // infos. With Options.PostPipeline set — the module has been through the
@@ -44,7 +45,6 @@ func Analyzers() []Info {
 		{"undefined-callee", "calls to functions not defined in the module (assumed extern)"},
 		{"dead-global-store", "stores to globals that are never read anywhere in the module"},
 		{"recursion-cycle", "cycles in the static call graph (inlined at most once)"},
-		{"pure-call", "unused results of calls to provably pure functions"},
 		{"unreachable-block", "basic blocks unreachable from the function entry"},
 		{"const-cond", "conditional branches on compile-time constants"},
 		{"unused-block-param", "block parameters without uses (post-pipeline only)"},
@@ -59,7 +59,6 @@ func RunModule(m *ir.Module, opts Options) diag.List {
 	out = append(out, checkUndefinedCallees(m)...)
 	out = append(out, checkDeadGlobalStores(m)...)
 	out = append(out, checkRecursionCycles(m)...)
-	out = append(out, checkPureCalls(m)...)
 	for _, f := range m.Funcs {
 		out = append(out, RunFunction(m, f, opts)...)
 	}
@@ -175,30 +174,10 @@ func selfCalls(f *ir.Function) bool {
 	return false
 }
 
-// checkPureCalls flags calls to provably pure functions whose results are
-// unused. The optimizer treats every call as effectful (the property the
-// paper's search-space partition relies on), so such a call survives DCE
-// even though the effect analysis proves nothing observable depends on it;
-// labeling its site inline is what lets the pipeline delete it.
-func checkPureCalls(m *ir.Module) diag.List {
-	eff := AnalyzeEffects(m)
-	var out diag.List
-	for _, f := range m.Funcs {
-		used := usedValues(f)
-		for _, b := range f.Blocks {
-			for _, in := range b.Instrs {
-				if in.Op != ir.OpCall || in.Result == nil || used[in.Result] {
-					continue
-				}
-				if eff.Pure(in.Callee) {
-					out = append(out, report(m, "pure-call", diag.Info, f.Name, b.Name,
-						"result of call to pure function @%s is unused; the call survives only because the optimizer treats calls as effectful (inlining the site lets DCE remove it)", in.Callee))
-				}
-			}
-		}
-	}
-	return out
-}
+// The pure-call analyzer (unused results of calls to provably pure
+// functions) lives in internal/analysis/interproc with the rest of the
+// cross-function lint family; its purity fixpoint is Summary.Pure, which
+// agrees with AnalyzeEffects (kept here as the optimizer-facing oracle).
 
 // checkUnreachableBlocks flags blocks unreachable from the entry. The
 // optimizer's removeUnreachable pass deletes them at fixpoint, so their

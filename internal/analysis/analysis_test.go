@@ -85,26 +85,24 @@ export func main(n) {
 	}
 }
 
-func TestPureCallUnusedResult(t *testing.T) {
+// The pure-call analyzer moved to internal/analysis/interproc (see
+// TestLintPureCall there); RunModule must no longer report it.
+func TestPureCallNotInRunModule(t *testing.T) {
 	m := mustCompile(t, `
 func sq(k) {
     return k * k;
 }
-func noisy(k) {
-    output k;
-    return k;
-}
 export func main(n) {
     sq(n);
-    noisy(n);
     return n;
 }`)
-	ds := RunModule(m, Options{}).ByAnalyzer("pure-call")
-	if len(ds) != 1 {
-		t.Fatalf("got %d pure-call findings, want 1 (sq only; noisy has effects): %v", len(ds), ds)
+	if ds := RunModule(m, Options{}).ByAnalyzer("pure-call"); len(ds) != 0 {
+		t.Fatalf("pure-call moved to interproc, RunModule still reports it: %v", ds)
 	}
-	if !strings.Contains(ds[0].Message, "sq") {
-		t.Errorf("finding should name @sq: %q", ds[0].Message)
+	for _, info := range Analyzers() {
+		if info.Name == "pure-call" {
+			t.Error("Analyzers() still lists pure-call")
+		}
 	}
 }
 
@@ -218,7 +216,7 @@ func TestAnalyzersListMatchesSuite(t *testing.T) {
 		}
 		names[info.Name] = true
 	}
-	if len(names) != 8 {
-		t.Errorf("suite lists %d analyzers, want 8", len(names))
+	if len(names) != 7 {
+		t.Errorf("suite lists %d analyzers, want 7 (pure-call moved to interproc)", len(names))
 	}
 }

@@ -1,0 +1,104 @@
+package interproc
+
+import "optinline/internal/callgraph"
+
+// FeatureSchemaVersion identifies the meaning of the SiteFeatures
+// vector. Version 1 was the original 10-feature local vector in
+// internal/mlheur; version 2 appends the ten interprocedural summary
+// features below. Consumers that persist vectors or trained weights must
+// record the version they were built against.
+const FeatureSchemaVersion = 2
+
+// NumSiteFeatures is the dimensionality of the per-site feature vector.
+const NumSiteFeatures = 20
+
+// SiteFeatureNames documents each feature slot, in order. Slots 0-9 are
+// the schema-v1 local features, preserved bit-for-bit; slots 10-19 are
+// the interprocedural summary features.
+var SiteFeatureNames = [NumSiteFeatures]string{
+	"callee_instrs",
+	"callee_blocks",
+	"num_args",
+	"const_args",
+	"caller_instrs",
+	"callee_in_degree",
+	"callee_out_degree",
+	"single_caller_internal",
+	"callee_exported",
+	"callee_has_branches",
+	"callee_pure",
+	"callee_writes_globals",
+	"callee_reads_globals",
+	"callee_const_return",
+	"callee_dead_params",
+	"callee_transitive_instrs",
+	"site_loop_depth",
+	"callee_max_loop_depth",
+	"callee_in_cycle",
+	"callee_escaping_params",
+}
+
+// FeatureVector is one call site's feature vector under
+// FeatureSchemaVersion.
+type FeatureVector [NumSiteFeatures]float64
+
+// SiteFeatures computes the feature vector of a candidate edge. The
+// zero vector is returned for edges whose endpoints are not defined in
+// the module (which Build never produces).
+func (ms *ModuleSummary) SiteFeatures(e callgraph.Edge) FeatureVector {
+	var x FeatureVector
+	cs := ms.byName[e.Callee]
+	cr := ms.byName[e.Caller]
+	if cs == nil || cr == nil {
+		return x
+	}
+	x[0] = float64(cs.OwnInstrs)
+	x[1] = float64(cs.NumBlocks)
+	x[2] = float64(e.NumArgs)
+	x[3] = float64(e.ConstArgs)
+	x[4] = float64(cr.OwnInstrs)
+	x[5] = float64(cs.FanIn)
+	x[6] = float64(cs.FanOut)
+	if cs.FanIn == 1 && !cs.Exported {
+		x[7] = 1
+	}
+	if cs.Exported {
+		x[8] = 1
+	}
+	x[9] = float64(cs.CondBranches)
+	if cs.Pure {
+		x[10] = 1
+	}
+	x[11] = float64(len(cs.WritesGlobals))
+	x[12] = float64(len(cs.ReadsGlobals))
+	if cs.Return.State == ConstKnown {
+		x[13] = 1
+	}
+	dead, escaping := 0, 0
+	for _, p := range cs.Params {
+		if p.Dead {
+			dead++
+		}
+		if p.Escapes {
+			escaping++
+		}
+	}
+	x[14] = float64(dead)
+	x[15] = float64(cs.TransitiveInstrs)
+	x[16] = float64(ms.siteDepth[e.Site])
+	x[17] = float64(cs.MaxLoopDepth)
+	if cs.InCycle {
+		x[18] = 1
+	}
+	x[19] = float64(escaping)
+	return x
+}
+
+// SiteFeaturesBySite looks the candidate edge up by call-site ID.
+func (ms *ModuleSummary) SiteFeaturesBySite(site int) (FeatureVector, bool) {
+	e := ms.graph.Edge(site)
+	if e == nil {
+		return FeatureVector{}, false
+	}
+	return ms.SiteFeatures(*e), true
+}

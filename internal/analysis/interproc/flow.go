@@ -1,0 +1,237 @@
+package interproc
+
+import "optinline/internal/ir"
+
+// This file is the read-before-write (use-before-init) dataflow: for each
+// function, which globals may some execution load before the closure's
+// first store to them (mayReadFirst), and which globals are stored on
+// every terminating path (mustWrite). The per-function pass is a forward
+// must-write analysis over the CFG whose call transfer substitutes the
+// callee's own facts — that is what sees a read through an
+// always-inlined wrapper: the wrapper's mayReadFirst set surfaces in
+// every caller that has not yet written the global. In-SCC callees start
+// optimistic (mustWrite = universe, mayReadFirst = empty) and descend
+// monotonically under the outer fixpoint in summary.go.
+
+// rbwState is one function's working read-before-write facts.
+type rbwState struct {
+	mayReadFirst map[string]bool
+	mustWrite    map[string]bool
+	// outTop marks "no terminating path found (yet)": the must-write set
+	// is vacuously the universe. This is both the optimistic fixpoint
+	// start and, at convergence, the never-returns verdict.
+	outTop bool
+}
+
+func newRBWState() *rbwState {
+	return &rbwState{
+		mayReadFirst: make(map[string]bool),
+		mustWrite:    make(map[string]bool),
+		outTop:       true,
+	}
+}
+
+// mwFact is a point state of the must-write analysis: the set of globals
+// definitely written on every path reaching this point. top is the
+// unreached/non-terminating state (every global counts as written).
+type mwFact struct {
+	top bool
+	set map[string]bool
+}
+
+func (a *mwFact) clone() *mwFact {
+	c := &mwFact{top: a.top, set: make(map[string]bool, len(a.set))}
+	for g := range a.set {
+		c.set[g] = true
+	}
+	return c
+}
+
+// meet intersects a with b in place (top is the identity).
+func (a *mwFact) meet(b *mwFact) {
+	if b.top {
+		return
+	}
+	if a.top {
+		a.top = false
+		a.set = make(map[string]bool, len(b.set))
+		for g := range b.set {
+			a.set[g] = true
+		}
+		return
+	}
+	for g := range a.set {
+		if !b.set[g] {
+			delete(a.set, g)
+		}
+	}
+}
+
+func (a *mwFact) equal(b *mwFact) bool {
+	if a.top != b.top {
+		return false
+	}
+	if a.top {
+		return true
+	}
+	if len(a.set) != len(b.set) {
+		return false
+	}
+	for g := range a.set {
+		if !b.set[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// calleeRBW is the call-transfer view of one callee: its read-first set,
+// must-write set, and never-returns flag, from either an in-SCC working
+// state or a finished out-of-SCC summary.
+type calleeRBW struct {
+	readFirst func(func(g string))
+	mustWrite func(func(g string))
+	top       bool
+}
+
+// rbwFunction recomputes f's read-before-write facts against the current
+// callee facts and folds them into mf.rbw, reporting whether anything
+// changed (the outer SCC fixpoint iterates until it does not).
+func rbwFunction(f *ir.Function, mf *memberFacts, calleeCore func(string) (*memberFacts, *Summary)) bool {
+	rbwOf := func(name string) (calleeRBW, bool) {
+		cf, cs := calleeCore(name)
+		if cf != nil {
+			return calleeRBW{
+				readFirst: func(emit func(string)) {
+					for g := range cf.rbw.mayReadFirst {
+						emit(g)
+					}
+				},
+				mustWrite: func(emit func(string)) {
+					for g := range cf.rbw.mustWrite {
+						emit(g)
+					}
+				},
+				top: cf.rbw.outTop,
+			}, true
+		}
+		if cs != nil {
+			return calleeRBW{
+				readFirst: func(emit func(string)) {
+					for _, g := range cs.ReadsBeforeWrite {
+						emit(g)
+					}
+				},
+				mustWrite: func(emit func(string)) {
+					for _, g := range cs.MustWriteGlobals {
+						emit(g)
+					}
+				},
+				top: cs.NeverReturns,
+			}, true
+		}
+		return calleeRBW{}, false // extern: cannot touch module-private globals
+	}
+
+	// transfer walks one block from the given in-state; emitRead fires
+	// for every global that may be read before being written.
+	transfer := func(b *ir.Block, st *mwFact, emitRead func(string)) {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoadG:
+				if !st.top && !st.set[in.Global] {
+					emitRead(in.Global)
+				}
+			case ir.OpStoreG:
+				if !st.top {
+					st.set[in.Global] = true
+				}
+			case ir.OpCall:
+				c, ok := rbwOf(in.Callee)
+				if !ok {
+					continue
+				}
+				if !st.top {
+					c.readFirst(func(g string) {
+						if !st.set[g] {
+							emitRead(g)
+						}
+					})
+				}
+				if c.top {
+					st.top = true // the callee never returns: code below is dead
+				} else if !st.top {
+					c.mustWrite(func(g string) { st.set[g] = true })
+				}
+			}
+		}
+	}
+
+	rpo := f.ReversePostorder()
+	preds := f.Predecessors()
+	entry := f.Entry()
+	out := make(map[*ir.Block]*mwFact, len(rpo))
+
+	inState := func(b *ir.Block) *mwFact {
+		if b == entry {
+			return &mwFact{set: make(map[string]bool)}
+		}
+		st := &mwFact{top: true}
+		for _, p := range preds[b] {
+			if po := out[p]; po != nil {
+				st.meet(po)
+			}
+		}
+		return st
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			st := inState(b)
+			transfer(b, st, func(string) {})
+			if prev := out[b]; prev == nil || !prev.equal(st) {
+				out[b] = st
+				changed = true
+			}
+		}
+	}
+
+	// Final pass over the stable states: collect the read-first set and
+	// meet the states at every reachable ret into the function exit fact.
+	mrf := make(map[string]bool)
+	exit := &mwFact{top: true}
+	for _, b := range rpo {
+		st := inState(b)
+		transfer(b, st, func(g string) { mrf[g] = true })
+		if t := b.Term(); t != nil && t.Op == ir.OpRet {
+			exit.meet(st)
+		}
+	}
+
+	changed := false
+	for g := range mrf {
+		if !mf.rbw.mayReadFirst[g] {
+			mf.rbw.mayReadFirst[g] = true
+			changed = true
+		}
+	}
+	if exit.top != mf.rbw.outTop {
+		mf.rbw.outTop = exit.top
+		changed = true
+	}
+	if !exit.top {
+		if len(exit.set) != len(mf.rbw.mustWrite) {
+			changed = true
+		} else {
+			for g := range mf.rbw.mustWrite {
+				if !exit.set[g] {
+					changed = true
+					break
+				}
+			}
+		}
+		mf.rbw.mustWrite = exit.set
+	}
+	return changed
+}

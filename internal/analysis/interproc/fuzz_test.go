@@ -1,0 +1,88 @@
+package interproc
+
+import (
+	"bytes"
+	"testing"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/inline"
+	"optinline/internal/lang"
+	"optinline/internal/opt"
+)
+
+// FuzzInterprocSummaries is the cached-vs-scratch differential oracle:
+// for seeded MinC programs, summaries and lint output computed through a
+// shared content-addressed cache — cold, warm, and after a post-inline
+// mutation of the module — must be byte-identical to a from-scratch
+// recomputation. This is the proof obligation behind reusing cores
+// across modules: fingerprint-keyed invalidation must be exact.
+func FuzzInterprocSummaries(f *testing.F) {
+	for seed := int64(0); seed < 30; seed++ {
+		f.Add(seed)
+	}
+	shared := NewCache() // deliberately shared across every execution
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		render := func(c *Cache) ([]byte, string) {
+			m, err := lang.Compile("fuzz.minc", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.AssignSites()
+			g := callgraph.Build(m)
+			ms := Analyze(m, g, c)
+			b, err := ms.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b, Lints(m, g, ms).Text()
+		}
+		wantSum, wantLints := render(nil)
+		for pass := 0; pass < 2; pass++ { // cold then warm
+			gotSum, gotLints := render(shared)
+			if !bytes.Equal(gotSum, wantSum) {
+				t.Fatalf("seed %d pass %d: cached summaries != scratch\ncached:\n%s\nscratch:\n%s", seed, pass, gotSum, wantSum)
+			}
+			if gotLints != wantLints {
+				t.Fatalf("seed %d pass %d: cached lints != scratch\ncached:\n%s\nscratch:\n%s", seed, pass, gotLints, wantLints)
+			}
+		}
+
+		// Mutate: inline every second candidate site, re-optimize, and
+		// check the mutated module the same way against the same shared
+		// cache (stale entries must be unreachable, fresh ones correct).
+		mutate := func(c *Cache) ([]byte, string) {
+			m, err := lang.Compile("fuzz.minc", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.AssignSites()
+			g := callgraph.Build(m)
+			cfg := callgraph.NewConfig()
+			for i, e := range g.Edges {
+				if i%2 == 0 {
+					cfg.Set(e.Site, true)
+				}
+			}
+			if err := inline.Apply(m, cfg, inline.Options{}); err != nil {
+				t.Fatal(err)
+			}
+			opt.Module(m)
+			g2 := callgraph.Build(m)
+			ms := Analyze(m, g2, c)
+			b, err := ms.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b, Lints(m, g2, ms).Text()
+		}
+		wantSum2, wantLints2 := mutate(nil)
+		gotSum2, gotLints2 := mutate(shared)
+		if !bytes.Equal(gotSum2, wantSum2) {
+			t.Fatalf("seed %d: post-inline cached summaries != scratch\ncached:\n%s\nscratch:\n%s", seed, gotSum2, wantSum2)
+		}
+		if gotLints2 != wantLints2 {
+			t.Fatalf("seed %d: post-inline cached lints != scratch\ncached:\n%s\nscratch:\n%s", seed, gotLints2, wantLints2)
+		}
+	})
+}

@@ -1,0 +1,632 @@
+package interproc
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"optinline/internal/analysis"
+	"optinline/internal/callgraph"
+	"optinline/internal/inline"
+	"optinline/internal/ir"
+	"optinline/internal/lang"
+	"optinline/internal/opt"
+)
+
+func build(t *testing.T, src string) (*ir.Module, *callgraph.Graph) {
+	t.Helper()
+	m, err := lang.Compile("test.minc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AssignSites()
+	return m, callgraph.Build(m)
+}
+
+func analyze(t *testing.T, src string) *ModuleSummary {
+	t.Helper()
+	m, g := build(t, src)
+	return Analyze(m, g, nil)
+}
+
+func TestPurityMatchesAnalyzeEffects(t *testing.T) {
+	srcs := []string{
+		`
+func sq(k) { return k * k; }
+func noisy(k) { output k; return k; }
+func wraps(k) { return sq(k) + 1; }
+func wrapn(k) { return noisy(k); }
+func ext(k) { return ext_rand(k); }
+export func main(n) { return wraps(n) + wrapn(n) + ext(n); }`,
+		`
+func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+export func main(n) { return even(n); }`,
+		`
+global g;
+func reader(n) { return g + n; }
+func writer(n) { g = n; return n; }
+export func main(n) { return writer(reader(n)); }`,
+	}
+	for i := int64(0); i < 10; i++ {
+		srcs = append(srcs, lang.GenerateSource(9000+i, lang.GenOptions{}))
+	}
+	for i, src := range srcs {
+		m, g := build(t, src)
+		ms := Analyze(m, g, nil)
+		eff := analysis.AnalyzeEffects(m)
+		for _, f := range m.Funcs {
+			if got, want := ms.Func(f.Name).Pure, eff.Pure(f.Name); got != want {
+				t.Errorf("src %d: Pure(@%s) = %v, AnalyzeEffects says %v", i, f.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestConstReturnLattice(t *testing.T) {
+	ms := analyze(t, `
+func answer() { return 42; }
+func wrap() { return answer(); }
+func fold() { return answer() + answer(); }
+func branchy(n) { if (n > 0) { return 7; } return 7; }
+func split(n) { if (n > 0) { return 1; } return 2; }
+func ident(n) { return n; }
+export func main(n) { return wrap() + fold() + branchy(n) + split(n) + ident(n); }`)
+	want := map[string]ConstVal{
+		"answer":  known(42),
+		"wrap":    known(42),
+		"fold":    known(84),
+		"branchy": known(7),
+		"split":   top(),
+		"ident":   top(),
+	}
+	for name, w := range want {
+		if got := ms.Func(name).Return; got != w {
+			t.Errorf("Return(@%s) = %v, want %v", name, got, w)
+		}
+	}
+}
+
+func TestConstReturnThroughRecursion(t *testing.T) {
+	// Every terminating path of both members returns 3: the optimistic
+	// fixpoint must converge to Known(3), not Top.
+	ms := analyze(t, `
+func pingy(n) { if (n <= 0) { return 3; } return pongy(n - 1); }
+func pongy(n) { if (n <= 0) { return 3; } return pingy(n - 1); }
+export func main(n) { return pingy(n); }`)
+	for _, name := range []string{"pingy", "pongy"} {
+		if got := ms.Func(name).Return; got != known(3) {
+			t.Errorf("Return(@%s) = %v, want const(3)", name, got)
+		}
+	}
+}
+
+func TestParamUsage(t *testing.T) {
+	ms := analyze(t, `
+global g;
+func f(a, b, c, d) {
+    g = b;
+    output sink(c);
+    return a;
+}
+func sink(x) { return x; }
+export func main(n) { return f(n, n, n, 5); }`)
+	s := ms.Func("f")
+	if len(s.Params) != 4 {
+		t.Fatalf("NumParams = %d, want 4", len(s.Params))
+	}
+	cases := []struct {
+		i    int
+		want ParamSummary
+	}{
+		{0, ParamSummary{Returned: true, Incoming: top()}},
+		{1, ParamSummary{Escapes: true, Incoming: top()}},
+		{2, ParamSummary{PassedOn: true, Incoming: top()}},
+		{3, ParamSummary{Dead: true, Incoming: known(5)}},
+	}
+	for _, c := range cases {
+		if s.Params[c.i] != c.want {
+			t.Errorf("param %d = %+v, want %+v", c.i, s.Params[c.i], c.want)
+		}
+	}
+}
+
+func TestIncomingJoinsAllSites(t *testing.T) {
+	ms := analyze(t, `
+func f(a) { return a; }
+export func main(n) { return f(4) + f(4) + f(9); }`)
+	if got := ms.Func("f").Params[0].Incoming; got != top() {
+		t.Errorf("Incoming = %v, want top (two distinct constants)", got)
+	}
+	ms = analyze(t, `
+func f(a) { return a; }
+export func main(n) { return f(4) + f(4); }`)
+	if got := ms.Func("f").Params[0].Incoming; got != known(4) {
+		t.Errorf("Incoming = %v, want const(4)", got)
+	}
+}
+
+func TestModRefSets(t *testing.T) {
+	ms := analyze(t, `
+global a;
+global b;
+func readA() { return a; }
+func writeB(n) { b = n; return n; }
+func both(n) { return readA() + writeB(n); }
+export func main(n) { return both(n); }`)
+	s := ms.Func("both")
+	if got := strings.Join(s.ReadsGlobals, ","); got != "a" {
+		t.Errorf("ReadsGlobals(both) = %q, want \"a\"", got)
+	}
+	if got := strings.Join(s.WritesGlobals, ","); got != "b" {
+		t.Errorf("WritesGlobals(both) = %q, want \"b\"", got)
+	}
+	if s.Pure {
+		t.Error("both writes a global through a callee; Pure must be false")
+	}
+	if !ms.Func("readA").Pure {
+		t.Error("readA only loads a global; loads are pure here")
+	}
+}
+
+func TestLoopDepthsAndSiteDepth(t *testing.T) {
+	m, g := build(t, `
+func leaf(n) { return n + 1; }
+export func main(n) {
+    var acc = leaf(n);
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            acc = acc + leaf(i * j);
+        }
+    }
+    return acc;
+}`)
+	ms := Analyze(m, g, nil)
+	if got := ms.Func("main").MaxLoopDepth; got != 2 {
+		t.Errorf("MaxLoopDepth(main) = %d, want 2", got)
+	}
+	if got := ms.Func("leaf").MaxLoopDepth; got != 0 {
+		t.Errorf("MaxLoopDepth(leaf) = %d, want 0", got)
+	}
+	depths := make(map[int]bool)
+	for _, e := range g.Edges {
+		depths[ms.SiteLoopDepth(e.Site)] = true
+	}
+	if !depths[0] || !depths[2] {
+		t.Errorf("expected call sites at loop depths 0 and 2, got %v", depths)
+	}
+}
+
+func TestUnboundedRecursion(t *testing.T) {
+	ms := analyze(t, `
+func spina(n) { return spinb(n + 1); }
+func spinb(n) { return spina(n - 1); }
+func self(n) { return self(n); }
+func guarded(n) { if (n <= 0) { return 0; } return guarded(n - 1); }
+export func main(n) { return spina(n) + self(n) + guarded(n); }`)
+	for _, name := range []string{"spina", "spinb", "self"} {
+		if !ms.Func(name).UnboundedRecursion {
+			t.Errorf("@%s must be flagged unboundedly recursive", name)
+		}
+	}
+	if ms.Func("guarded").UnboundedRecursion {
+		t.Error("@guarded has a dominating base case; must not be flagged")
+	}
+	if ms.Func("main").UnboundedRecursion {
+		t.Error("@main is not in any cycle")
+	}
+}
+
+func TestReadsBeforeWrite(t *testing.T) {
+	ms := analyze(t, `
+global cfg;
+func getcfg() { return cfg; }
+func setup(n) { cfg = n; return n; }
+export func cold(n) { return getcfg() + n; }
+export func warm(n) {
+    var x = setup(n);
+    return getcfg() + x;
+}`)
+	if got := strings.Join(ms.Func("cold").ReadsBeforeWrite, ","); got != "cfg" {
+		t.Errorf("ReadsBeforeWrite(cold) = %q, want \"cfg\" (read through the wrapper)", got)
+	}
+	if got := ms.Func("warm").ReadsBeforeWrite; len(got) != 0 {
+		t.Errorf("ReadsBeforeWrite(warm) = %v, want empty (setup must-writes cfg first)", got)
+	}
+	if got := strings.Join(ms.Func("setup").MustWriteGlobals, ","); got != "cfg" {
+		t.Errorf("MustWriteGlobals(setup) = %q, want \"cfg\"", got)
+	}
+}
+
+func TestNeverReturns(t *testing.T) {
+	ms := analyze(t, `
+func spin(n) { return spin(n); }
+func fine(n) { return n; }
+export func main(n) { return spin(n) + fine(n); }`)
+	if !ms.Func("spin").NeverReturns {
+		t.Error("@spin has no terminating path; NeverReturns must hold")
+	}
+	if ms.Func("fine").NeverReturns {
+		t.Error("@fine returns; NeverReturns must not hold")
+	}
+	if !ms.Func("main").NeverReturns {
+		t.Error("@main calls @spin unconditionally; no terminating path")
+	}
+}
+
+func TestTransitiveInstrsDeduplicates(t *testing.T) {
+	// Diamond: top calls l and r; both call shared. shared must be
+	// counted once, not twice.
+	m, g := build(t, `
+func shared(n) { return n * n + n - 1; }
+func l(n) { return shared(n) + 1; }
+func r(n) { return shared(n) + 2; }
+func top2(n) { return l(n) + r(n); }
+export func main(n) { return top2(n); }`)
+	ms := Analyze(m, g, nil)
+	sum := 0
+	for _, name := range []string{"shared", "l", "r", "top2"} {
+		sum += m.Func(name).NumInstrs()
+	}
+	if got := ms.Func("top2").TransitiveInstrs; got != sum {
+		t.Errorf("TransitiveInstrs(top2) = %d, want %d (shared counted once)", got, sum)
+	}
+	if got, want := ms.Func("shared").TransitiveInstrs, m.Func("shared").NumInstrs(); got != want {
+		t.Errorf("TransitiveInstrs(shared) = %d, want %d", got, want)
+	}
+}
+
+// summariesJSON canonicalizes a module's summaries for parity checks.
+func summariesJSON(t *testing.T, ms *ModuleSummary) []byte {
+	t.Helper()
+	b, err := ms.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCacheWarmMatchesScratch(t *testing.T) {
+	cache := NewCache()
+	for seed := int64(0); seed < 20; seed++ {
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		m1, g1 := build(t, src)
+		scratch := summariesJSON(t, Analyze(m1, g1, nil))
+		m2, g2 := build(t, src)
+		cold := summariesJSON(t, Analyze(m2, g2, cache))
+		m3, g3 := build(t, src)
+		warm := summariesJSON(t, Analyze(m3, g3, cache))
+		if !bytes.Equal(scratch, cold) {
+			t.Fatalf("seed %d: cold cached summaries differ from scratch", seed)
+		}
+		if !bytes.Equal(scratch, warm) {
+			t.Fatalf("seed %d: warm cached summaries differ from scratch", seed)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses after cold+warm runs, got %+v", st)
+	}
+}
+
+func TestCacheWarmRunIsAllHits(t *testing.T) {
+	src := lang.GenerateSource(77, lang.GenOptions{})
+	cache := NewCache()
+	m1, g1 := build(t, src)
+	Analyze(m1, g1, cache)
+	before := cache.Stats()
+	m2, g2 := build(t, src)
+	Analyze(m2, g2, cache)
+	after := cache.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("warm rerun recomputed summaries: misses %d -> %d", before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("warm rerun produced no hits: hits %d -> %d", before.Hits, after.Hits)
+	}
+}
+
+func TestCacheInvalidationOnMutation(t *testing.T) {
+	cache := NewCache()
+	src := `
+func leaf(n) { return n + 1; }
+func mid(n) { return leaf(n) * 2; }
+export func main(n) { return mid(n); }`
+	m1, g1 := build(t, src)
+	Analyze(m1, g1, cache)
+
+	// Inline every candidate site and re-optimize: mutated bodies must
+	// get fresh fingerprints (cache misses), and the cached-vs-scratch
+	// summaries of the mutated module must still agree.
+	m2, g2 := build(t, src)
+	cfg := callgraph.NewConfig()
+	for _, e := range g2.Edges {
+		cfg.Set(e.Site, true)
+	}
+	if err := inline.Apply(m2, cfg, inline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	opt.Module(m2)
+	g2b := callgraph.Build(m2)
+	before := cache.Stats()
+	cached := summariesJSON(t, Analyze(m2, g2b, cache))
+	after := cache.Stats()
+	if after.Misses == before.Misses {
+		t.Error("mutated module hit stale cache entries only; fingerprint invalidation failed")
+	}
+
+	m3, _ := build(t, src)
+	if err := inline.Apply(m3, cfg, inline.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	opt.Module(m3)
+	scratch := summariesJSON(t, Analyze(m3, callgraph.Build(m3), nil))
+	if !bytes.Equal(cached, scratch) {
+		t.Error("post-mutation cached summaries differ from scratch")
+	}
+}
+
+func TestStructuralTwinsShareCache(t *testing.T) {
+	cache := NewCache()
+	m1, g1 := build(t, `
+func leaf(n) { return n * 3; }
+export func main(n) { return leaf(n); }`)
+	Analyze(m1, g1, cache)
+	before := cache.Stats()
+	// Same bodies, different own names: fingerprints are own-name-free
+	// and the callee reference is pinned by the key chain, so the twin
+	// leaf SCC must hit.
+	m2, g2 := build(t, `
+func frond(n) { return n * 3; }
+export func main(n) { return frond(n); }`)
+	ms := Analyze(m2, g2, cache)
+	after := cache.Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("structural twin did not share: hits %d -> %d", before.Hits, after.Hits)
+	}
+	if got := ms.Func("frond").Name; got != "frond" {
+		t.Errorf("shared core must be re-labeled per module: Name = %q", got)
+	}
+}
+
+func TestConcurrentSharedCacheDeterminism(t *testing.T) {
+	srcs := make([]string, 8)
+	for i := range srcs {
+		srcs[i] = lang.GenerateSource(int64(300+i%3), lang.GenOptions{})
+	}
+	want := make([][]byte, len(srcs))
+	for i, src := range srcs {
+		m, g := build(t, src)
+		want[i] = summariesJSON(t, Analyze(m, g, nil))
+	}
+	cache := NewCache()
+	var wg sync.WaitGroup
+	got := make([][]byte, len(srcs))
+	for i, src := range srcs {
+		wg.Add(1)
+		go func(i int, src string) {
+			defer wg.Done()
+			m, err := lang.Compile("test.minc", src)
+			if err != nil {
+				panic(err)
+			}
+			m.AssignSites()
+			g := callgraph.Build(m)
+			b, err := Analyze(m, g, cache).JSON()
+			if err != nil {
+				panic(err)
+			}
+			got[i] = b
+		}(i, src)
+	}
+	wg.Wait()
+	for i := range srcs {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("module %d: concurrent shared-cache summaries differ from scratch", i)
+		}
+	}
+}
+
+func TestCachePanicDoesNotWedge(t *testing.T) {
+	cache := NewCache()
+	key := Key{Hi: 1, Lo: 2}
+	func() {
+		defer func() { recover() }()
+		cache.getOrCompute(key, func() []Summary { panic("boom") })
+	}()
+	done := make(chan []Summary, 1)
+	go func() {
+		done <- cache.getOrCompute(key, func() []Summary { return []Summary{{OwnInstrs: 7}} })
+	}()
+	select {
+	case cores := <-done:
+		if len(cores) != 1 || cores[0].OwnInstrs != 7 {
+			t.Errorf("retry after panic returned %+v", cores)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cache wedged after compute panic")
+	}
+}
+
+func TestSiteFeatures(t *testing.T) {
+	m, g := build(t, `
+global acc;
+func pureleaf(a, b) { return a * b; }
+func impure(n) { acc = n; return n; }
+export func main(n) {
+    var r = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        r = r + pureleaf(i, 3);
+    }
+    return r + impure(n);
+}`)
+	ms := Analyze(m, g, nil)
+	var pureEdge, impureEdge *callgraph.Edge
+	for i := range g.Edges {
+		switch g.Edges[i].Callee {
+		case "pureleaf":
+			pureEdge = &g.Edges[i]
+		case "impure":
+			impureEdge = &g.Edges[i]
+		}
+	}
+	if pureEdge == nil || impureEdge == nil {
+		t.Fatal("expected candidate edges to pureleaf and impure")
+	}
+	x := ms.SiteFeatures(*pureEdge)
+	callee := m.Func("pureleaf")
+	if x[0] != float64(callee.NumInstrs()) {
+		t.Errorf("callee_instrs = %v, want %d", x[0], callee.NumInstrs())
+	}
+	if x[2] != 2 {
+		t.Errorf("num_args = %v, want 2", x[2])
+	}
+	if x[10] != 1 {
+		t.Errorf("callee_pure = %v, want 1", x[10])
+	}
+	if x[16] != 1 {
+		t.Errorf("site_loop_depth = %v, want 1 (call inside the for loop)", x[16])
+	}
+	y := ms.SiteFeatures(*impureEdge)
+	if y[10] != 0 {
+		t.Errorf("callee_pure(impure) = %v, want 0", y[10])
+	}
+	if y[11] != 1 {
+		t.Errorf("callee_writes_globals(impure) = %v, want 1", y[11])
+	}
+	if y[16] != 0 {
+		t.Errorf("site_loop_depth(impure) = %v, want 0", y[16])
+	}
+	if bySite, ok := ms.SiteFeaturesBySite(pureEdge.Site); !ok || bySite != x {
+		t.Error("SiteFeaturesBySite disagrees with SiteFeatures")
+	}
+	if len(SiteFeatureNames) != NumSiteFeatures {
+		t.Error("SiteFeatureNames length mismatch")
+	}
+}
+
+func lintText(t *testing.T, src string) string {
+	t.Helper()
+	m, g := build(t, src)
+	ms := Analyze(m, g, nil)
+	return Lints(m, g, ms).Text()
+}
+
+func TestLintPureCall(t *testing.T) {
+	out := lintText(t, `
+func sq(k) { return k * k; }
+func noisy(k) { output k; return k; }
+export func main(n) {
+    sq(n);
+    noisy(n);
+    return n;
+}`)
+	if !strings.Contains(out, "[pure-call]") || !strings.Contains(out, "@sq") {
+		t.Errorf("expected one pure-call finding naming @sq:\n%s", out)
+	}
+	if strings.Contains(out, "@noisy") {
+		t.Errorf("noisy has effects, must not be flagged:\n%s", out)
+	}
+}
+
+func TestLintDeadParam(t *testing.T) {
+	out := lintText(t, `
+func f(a, unused) { return a; }
+export func main(n) { return f(n, n * 7); }`)
+	if !strings.Contains(out, "[ip-dead-param]") || !strings.Contains(out, "index 1") {
+		t.Errorf("expected ip-dead-param on index 1:\n%s", out)
+	}
+	clean := lintText(t, `
+func f(a, b) { return a + b; }
+export func main(n) { return f(n, n * 7); }`)
+	if strings.Contains(clean, "ip-dead-param") {
+		t.Errorf("all params used; got:\n%s", clean)
+	}
+}
+
+func TestLintConstReturn(t *testing.T) {
+	out := lintText(t, `
+func seven() { return 7; }
+export func main(n) { return seven() + n; }`)
+	if !strings.Contains(out, "[ip-const-return]") || !strings.Contains(out, "constant 7") {
+		t.Errorf("expected ip-const-return naming 7:\n%s", out)
+	}
+	clean := lintText(t, `
+func ident(n) { return n; }
+export func main(n) { return ident(n); }`)
+	if strings.Contains(clean, "ip-const-return") {
+		t.Errorf("non-constant return flagged:\n%s", clean)
+	}
+}
+
+func TestLintUninitGlobal(t *testing.T) {
+	never := lintText(t, `
+global zero;
+export func main(n) { return zero + n; }`)
+	if !strings.Contains(never, "[ip-uninit-global]") || !strings.Contains(never, "never written") {
+		t.Errorf("expected never-written finding:\n%s", never)
+	}
+	wrapper := lintText(t, `
+global cfg;
+func getcfg() { return cfg; }
+func setup(n) { cfg = n; return n; }
+export func main(n) {
+    if (n > 0) {
+        var x = setup(n);
+        return getcfg() + x;
+    }
+    return getcfg();
+}`)
+	if !strings.Contains(wrapper, "may be read before its first write") {
+		t.Errorf("expected read-before-write finding through the wrapper:\n%s", wrapper)
+	}
+	clean := lintText(t, `
+global cfg;
+func getcfg() { return cfg; }
+func setup(n) { cfg = n; return n; }
+export func main(n) {
+    var x = setup(n);
+    return getcfg() + x;
+}`)
+	if strings.Contains(clean, "ip-uninit-global") {
+		t.Errorf("setup always runs first; got:\n%s", clean)
+	}
+}
+
+func TestLintUnboundedRecursion(t *testing.T) {
+	out := lintText(t, `
+func spina(n) { return spinb(n + 1); }
+func spinb(n) { return spina(n - 1); }
+export func main(n) { return spina(n); }`)
+	if !strings.Contains(out, "[ip-unbounded-recursion]") || !strings.Contains(out, "@spina, @spinb") {
+		t.Errorf("expected one cycle finding naming both members:\n%s", out)
+	}
+	if c := strings.Count(out, "ip-unbounded-recursion"); c != 1 {
+		t.Errorf("want exactly one finding per SCC, got %d:\n%s", c, out)
+	}
+	clean := lintText(t, `
+func even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+func odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+export func main(n) { return even(n); }`)
+	if strings.Contains(clean, "ip-unbounded-recursion") {
+		t.Errorf("guarded mutual recursion flagged:\n%s", clean)
+	}
+}
+
+func TestLintsDeterministicAndCacheInvariant(t *testing.T) {
+	for seed := int64(50); seed < 56; seed++ {
+		src := lang.GenerateSource(seed, lang.GenOptions{})
+		m1, g1 := build(t, src)
+		scratch := Lints(m1, g1, Analyze(m1, g1, nil)).Text()
+		cache := NewCache()
+		m2, g2 := build(t, src)
+		Analyze(m2, g2, cache) // prime
+		m3, g3 := build(t, src)
+		warm := Lints(m3, g3, Analyze(m3, g3, cache)).Text()
+		if scratch != warm {
+			t.Errorf("seed %d: lint output differs warm vs scratch:\n--- scratch\n%s\n--- warm\n%s", seed, scratch, warm)
+		}
+	}
+}

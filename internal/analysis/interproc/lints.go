@@ -1,0 +1,179 @@
+package interproc
+
+import (
+	"fmt"
+	"strings"
+
+	"optinline/internal/callgraph"
+	"optinline/internal/diag"
+	"optinline/internal/ir"
+)
+
+// Analyzers lists the cross-function lint family for documentation and
+// CLI listings, in execution order.
+func Analyzers() []struct{ Name, Doc string } {
+	return []struct{ Name, Doc string }{
+		{"pure-call", "unused results of calls to provably pure functions"},
+		{"ip-dead-param", "parameters no instruction ever uses, with live call sites passing them"},
+		{"ip-const-return", "functions that provably return one constant at every call site"},
+		{"ip-uninit-global", "globals read before any write can reach them (cross-function)"},
+		{"ip-unbounded-recursion", "recursion cycles with no terminating path"},
+	}
+}
+
+// Lints runs the cross-function lint family over the summaries and
+// returns the sorted findings. The pure-call analyzer moved here from
+// internal/analysis (its purity fixpoint is now the Summary.Pure
+// closure); name, severity, and message are unchanged.
+func Lints(m *ir.Module, g *callgraph.Graph, ms *ModuleSummary) diag.List {
+	var out diag.List
+	out = append(out, lintPureCalls(m, ms)...)
+	out = append(out, lintDeadParams(m, ms)...)
+	out = append(out, lintConstReturns(m, ms)...)
+	out = append(out, lintUninitGlobals(m, ms)...)
+	out = append(out, lintUnboundedRecursion(m, ms)...)
+	out.Sort()
+	return out
+}
+
+func ipReport(m *ir.Module, analyzer string, sev diag.Severity, fn, block, format string, args ...interface{}) diag.Diagnostic {
+	return diag.Diagnostic{
+		Analyzer: analyzer,
+		Severity: sev,
+		Pos:      diag.Pos{File: m.Name},
+		Func:     fn,
+		Block:    block,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// lintPureCalls flags calls whose result is unused and whose callee is
+// provably pure: the call survives only because the optimizer treats
+// calls as effectful, so labeling the site inline lets DCE delete it.
+func lintPureCalls(m *ir.Module, ms *ModuleSummary) diag.List {
+	var out diag.List
+	for _, f := range m.Funcs {
+		used := usedValues(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.Result == nil || used[in.Result] {
+					continue
+				}
+				if s := ms.Func(in.Callee); s != nil && s.Pure {
+					out = append(out, ipReport(m, "pure-call", diag.Info, f.Name, b.Name,
+						"result of call to pure function @%s is unused; the call survives only because the optimizer treats calls as effectful (inlining the site lets DCE remove it)", in.Callee))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lintDeadParams flags parameters with zero uses in the callee body when
+// live call sites exist: every one of them computes and passes an
+// argument the callee provably ignores.
+func lintDeadParams(m *ir.Module, ms *ModuleSummary) diag.List {
+	var out diag.List
+	for _, f := range m.Funcs {
+		s := ms.Func(f.Name)
+		if s.FanIn == 0 && !f.Exported {
+			continue
+		}
+		for i, p := range s.Params {
+			if !p.Dead {
+				continue
+			}
+			out = append(out, ipReport(m, "ip-dead-param", diag.Warning, f.Name, "",
+				"parameter %s (index %d) of @%s is dead: no instruction uses it, yet every call site computes and passes an argument for it", f.Entry().Params[i], i, f.Name))
+		}
+	}
+	return out
+}
+
+// lintConstReturns flags functions whose return lattice converged to a
+// single known constant while in-module call sites exist: each site can
+// fold the call result to a literal once the site is inlined.
+func lintConstReturns(m *ir.Module, ms *ModuleSummary) diag.List {
+	var out diag.List
+	for _, f := range m.Funcs {
+		s := ms.Func(f.Name)
+		if s.Return.State != ConstKnown || s.FanIn == 0 {
+			continue
+		}
+		out = append(out, ipReport(m, "ip-const-return", diag.Warning, f.Name, "",
+			"@%s provably returns the constant %d on every terminating path; all %d call sites can fold the result after inlining", f.Name, s.Return.K, s.FanIn))
+	}
+	return out
+}
+
+// lintUninitGlobals has two cases. A global that is loaded somewhere but
+// stored nowhere always yields its zero initialization (globals are
+// module-private, so this is exact). A global that is stored somewhere
+// may still be read before that store executes: the read-before-write
+// summaries surface such reads at entry points — non-called exported
+// functions — including reads buried in wrapper callees.
+func lintUninitGlobals(m *ir.Module, ms *ModuleSummary) diag.List {
+	stored := make(map[string]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStoreG {
+					stored[in.Global] = true
+				}
+			}
+		}
+	}
+	var out diag.List
+	reported := make(map[string]bool)
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpLoadG || stored[in.Global] || reported[in.Global] {
+					continue
+				}
+				reported[in.Global] = true
+				out = append(out, ipReport(m, "ip-uninit-global", diag.Warning, f.Name, b.Name,
+					"global @%s is read but never written anywhere in the module; every load yields its zero initialization", in.Global))
+			}
+		}
+	}
+	for _, f := range m.Funcs {
+		s := ms.Func(f.Name)
+		if !f.Exported || s.FanIn > 0 {
+			continue // only module entry points anchor the argument
+		}
+		for _, g := range s.ReadsBeforeWrite {
+			if !stored[g] {
+				continue // already reported as never-written above
+			}
+			out = append(out, ipReport(m, "ip-uninit-global", diag.Warning, f.Name, "",
+				"global @%s may be read before its first write when @%s is entered from outside the module (an initializing store exists but is not on every path to the read)", g, f.Name))
+		}
+	}
+	return out
+}
+
+// lintUnboundedRecursion reports one finding per SCC whose every member
+// performs an in-SCC call on every path to every return: no invocation
+// of any member can terminate.
+func lintUnboundedRecursion(m *ir.Module, ms *ModuleSummary) diag.List {
+	var out diag.List
+	for _, scc := range ms.SCCs() {
+		s := ms.Func(scc[0])
+		if !s.UnboundedRecursion {
+			continue
+		}
+		if len(scc) == 1 {
+			out = append(out, ipReport(m, "ip-unbounded-recursion", diag.Warning, scc[0], "",
+				"@%s always recurses: every path to a return performs another recursive call, so no invocation terminates", scc[0]))
+			continue
+		}
+		names := make([]string, len(scc))
+		for i, n := range scc {
+			names[i] = "@" + n
+		}
+		out = append(out, ipReport(m, "ip-unbounded-recursion", diag.Warning, scc[0], "",
+			"functions %s form an unboundedly recursive cycle: each member performs another in-cycle call before any return can execute, so no invocation terminates", strings.Join(names, ", ")))
+	}
+	return out
+}

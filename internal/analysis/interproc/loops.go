@@ -1,0 +1,122 @@
+package interproc
+
+import "optinline/internal/ir"
+
+// This file computes natural-loop nesting depths and the
+// unbounded-recursion dominance property, both from the CFG shape alone
+// (cacheable core facts).
+
+// dominates reports whether a dominates b under the immediate-dominator
+// relation (entry maps to nil; unreachable blocks are absent).
+func dominates(idom map[*ir.Block]*ir.Block, a, b *ir.Block) bool {
+	for x := b; x != nil; x = idom[x] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// loopDepths returns the natural-loop nesting depth of every reachable
+// block and the function's maximum depth. A natural loop is the body of
+// a back edge b->h where h dominates b: h plus every block that reaches
+// b without passing through h; bodies sharing a header are merged. A
+// block's depth is the number of loop headers whose body contains it.
+func loopDepths(f *ir.Function, idom map[*ir.Block]*ir.Block, reachable map[*ir.Block]bool) (map[*ir.Block]int, int) {
+	preds := f.Predecessors()
+	bodies := make(map[*ir.Block]map[*ir.Block]bool)
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		for _, s := range b.Succs() {
+			h := s.Dest
+			if !dominates(idom, h, b) {
+				continue
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[*ir.Block]bool{h: true}
+				bodies[h] = body
+			}
+			stack := []*ir.Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] || !reachable[x] {
+					continue
+				}
+				body[x] = true
+				stack = append(stack, preds[x]...)
+			}
+		}
+	}
+	depth := make(map[*ir.Block]int, len(reachable))
+	maxDepth := 0
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		d := 0
+		for _, h := range f.Blocks {
+			if body := bodies[h]; body != nil && body[b] {
+				d++
+			}
+		}
+		depth[b] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	return depth, maxDepth
+}
+
+// dominatedByInSCCCall reports whether some reachable block of f both
+// performs a call to an SCC member and dominates every reachable ret
+// block (vacuously true when no ret is reachable). When the property
+// holds for every member of a cyclic SCC, every terminating invocation
+// of any member would contain a completed in-SCC call — a terminating
+// invocation of smaller call-tree depth — so by induction none
+// terminates: the cycle is unboundedly recursive.
+func dominatedByInSCCCall(f *ir.Function, inSCC map[string]int, idom map[*ir.Block]*ir.Block, reachable map[*ir.Block]bool) bool {
+	var rets []*ir.Block
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		if t := b.Term(); t != nil && t.Op == ir.OpRet {
+			rets = append(rets, b)
+		}
+	}
+	if len(rets) == 0 {
+		return true
+	}
+	for _, b := range f.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		hasCall := false
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall {
+				if _, ok := inSCC[in.Callee]; ok {
+					hasCall = true
+					break
+				}
+			}
+		}
+		if !hasCall {
+			continue
+		}
+		all := true
+		for _, r := range rets {
+			if !dominates(idom, b, r) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

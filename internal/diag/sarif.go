@@ -1,0 +1,168 @@
+package diag
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SARIF rendering (Static Analysis Results Interchange Format, version
+// 2.1.0). The output is deliberately minimal — one run, one driver, one
+// result per diagnostic — but structurally valid, so CI systems and
+// editors that ingest SARIF can consume inlinelint findings directly.
+// Rendering is deterministic: rules are sorted by id, results follow the
+// List.Sort order, and encoding/json keeps struct field order stable.
+
+// SARIFOptions configures the SARIF rendering.
+type SARIFOptions struct {
+	// Tool names the driver; empty defaults to "inlinelint".
+	Tool string
+	// RuleDocs maps analyzer names to their one-line documentation,
+	// emitted as each rule's shortDescription. Analyzers present in the
+	// list but absent from the map get their name as description.
+	RuleDocs map[string]string
+}
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation *sarifPhysical `json:"physicalLocation,omitempty"`
+	LogicalLocations []sarifLogical `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           *sarifRegion  `json:"region,omitempty"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifLogical struct {
+	Name               string `json:"name"`
+	FullyQualifiedName string `json:"fullyQualifiedName,omitempty"`
+	Kind               string `json:"kind"`
+}
+
+// sarifLevel maps a severity onto the SARIF result level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case Info:
+		return "note"
+	case Warning:
+		return "warning"
+	default:
+		return "error"
+	}
+}
+
+// SARIF renders the sorted list as a SARIF 2.1.0 log. An empty list
+// yields a run with an empty (never null) rules and results array.
+func (l List) SARIF(opts SARIFOptions) ([]byte, error) {
+	tool := opts.Tool
+	if tool == "" {
+		tool = "inlinelint"
+	}
+	sorted := append(List(nil), l...)
+	sorted.Sort()
+
+	present := map[string]bool{}
+	for _, d := range sorted {
+		present[d.Analyzer] = true
+	}
+	var ids []string
+	for id := range present {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := []sarifRule{}
+	ruleIndex := map[string]int{}
+	for i, id := range ids {
+		doc := opts.RuleDocs[id]
+		if doc == "" {
+			doc = id
+		}
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
+		ruleIndex[id] = i
+	}
+
+	results := []sarifResult{}
+	for _, d := range sorted {
+		r := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: ruleIndex[d.Analyzer],
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifText{Text: d.Message},
+		}
+		loc := sarifLocation{}
+		if d.Pos.File != "" || d.Pos.IsValid() {
+			phys := &sarifPhysical{ArtifactLocation: sarifArtifact{URI: d.Pos.File}}
+			if d.Pos.IsValid() {
+				phys.Region = &sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col}
+			}
+			loc.PhysicalLocation = phys
+		}
+		if d.Func != "" {
+			logical := sarifLogical{Name: d.Func, Kind: "function"}
+			if d.Block != "" {
+				logical.FullyQualifiedName = d.Func + "." + d.Block
+			}
+			loc.LogicalLocations = []sarifLogical{logical}
+		}
+		if loc.PhysicalLocation != nil || loc.LogicalLocations != nil {
+			r.Locations = []sarifLocation{loc}
+		}
+		results = append(results, r)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: tool, Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,138 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleList() List {
+	return List{
+		{Analyzer: "ip-dead-param", Severity: Warning, Pos: Pos{File: "b.minc"},
+			Func: "f", Block: "entry", Message: "parameter x is dead"},
+		{Analyzer: "pure-call", Severity: Info, Pos: Pos{File: "a.minc", Line: 3, Col: 5},
+			Func: "main", Message: "result unused"},
+		{Analyzer: "use-before-def", Severity: Error, Message: "bad IR"},
+	}
+}
+
+func TestSARIFStructure(t *testing.T) {
+	out, err := sampleList().SARIF(SARIFOptions{RuleDocs: map[string]string{
+		"pure-call": "calls to pure functions whose result is unused",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation *struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+					LogicalLocations []struct {
+						Name               string `json:"name"`
+						FullyQualifiedName string `json:"fullyQualifiedName"`
+						Kind               string `json:"kind"`
+					} `json:"logicalLocations"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if got := log.Runs[0].Tool.Driver.Name; got != "inlinelint" {
+		t.Errorf("default tool name = %q", got)
+	}
+	rules := log.Runs[0].Tool.Driver.Rules
+	if got := []string{rules[0].ID, rules[1].ID, rules[2].ID}; got[0] != "ip-dead-param" || got[1] != "pure-call" || got[2] != "use-before-def" {
+		t.Errorf("rules not sorted by id: %v", got)
+	}
+	if rules[1].ShortDescription.Text != "calls to pure functions whose result is unused" {
+		t.Errorf("RuleDocs not applied: %q", rules[1].ShortDescription.Text)
+	}
+	if rules[0].ShortDescription.Text != "ip-dead-param" {
+		t.Errorf("missing doc must fall back to the id: %q", rules[0].ShortDescription.Text)
+	}
+
+	// List.Sort orders by file first: "" < "a.minc" < "b.minc".
+	rs := log.Runs[0].Results
+	if rs[0].Level != "error" || rs[0].RuleID != "use-before-def" || rs[0].Locations != nil {
+		t.Errorf("position-free diagnostic must sort first with no locations: %+v", rs[0])
+	}
+	if rs[1].RuleID != "pure-call" || rs[1].Level != "note" {
+		t.Errorf("results[1] = %+v, want pure-call/note", rs[1])
+	}
+	if rs[1].RuleIndex != 1 {
+		t.Errorf("pure-call ruleIndex = %d, want 1", rs[1].RuleIndex)
+	}
+	phys := rs[1].Locations[0].PhysicalLocation
+	if phys == nil || phys.ArtifactLocation.URI != "a.minc" || phys.Region == nil ||
+		phys.Region.StartLine != 3 || phys.Region.StartColumn != 5 {
+		t.Errorf("physical location wrong: %+v", rs[1].Locations)
+	}
+	if rs[2].Level != "warning" || rs[2].Locations[0].PhysicalLocation.Region != nil {
+		t.Errorf("line-0 diagnostic must omit the region: %+v", rs[2])
+	}
+	ll := rs[2].Locations[0].LogicalLocations
+	if ll[0].Name != "f" || ll[0].FullyQualifiedName != "f.entry" || ll[0].Kind != "function" {
+		t.Errorf("logical location wrong: %+v", ll)
+	}
+}
+
+func TestSARIFEmptyList(t *testing.T) {
+	out, err := List(nil).SARIF(SARIFOptions{Tool: "mytool"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, `"rules": []`) || !strings.Contains(s, `"results": []`) {
+		t.Errorf("empty list must render empty arrays, not null:\n%s", s)
+	}
+	if !strings.Contains(s, `"name": "mytool"`) {
+		t.Errorf("tool override not applied:\n%s", s)
+	}
+}
+
+func TestSARIFDeterministic(t *testing.T) {
+	a, err := sampleList().SARIF(SARIFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampleList().SARIF(SARIFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("SARIF output differs across identical renders")
+	}
+}

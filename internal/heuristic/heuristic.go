@@ -15,6 +15,7 @@ package heuristic
 import (
 	"sort"
 
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/callgraph"
 	"optinline/internal/ir"
 )
@@ -40,6 +41,22 @@ type Params struct {
 	// AlwaysInlineInstrs: callees at most this many instructions are
 	// always inlined (trivial wrappers).
 	AlwaysInlineInstrs int
+
+	// Summary tie-breakers, applied only by ConfigWithSummaries and only
+	// when summaries are supplied. All default to 0, so DefaultParams
+	// keeps OsConfig bit-identical to its historical output; nonzero
+	// values nudge near-threshold sites using interprocedural facts the
+	// local model cannot see.
+
+	// PureCalleeBonus rewards calls to provably pure callees: an unused
+	// or foldable result lets DCE collapse the inlined body.
+	PureCalleeBonus int
+	// ConstReturnBonus rewards callees whose return lattice is a single
+	// known constant: the call result folds to a literal after inlining.
+	ConstReturnBonus int
+	// DeadParamBonus rewards each callee parameter no instruction uses:
+	// the argument computation dies with the call sequence.
+	DeadParamBonus int
 }
 
 // DefaultParams is the -Os-like tuning used throughout the experiments.
@@ -63,6 +80,15 @@ func OsConfig(m *ir.Module, g *callgraph.Graph) *callgraph.Config {
 
 // Config runs the cost model with explicit parameters.
 func Config(m *ir.Module, g *callgraph.Graph, p Params) *callgraph.Config {
+	return ConfigWithSummaries(m, g, p, nil)
+}
+
+// ConfigWithSummaries runs the cost model with interprocedural summary
+// tie-breakers. A nil ms reproduces Config exactly; with summaries, the
+// per-site cost additionally drops by the Params summary bonuses for
+// pure callees, constant returns, and dead parameters — whole-callgraph
+// facts that flip only sites the local model finds marginal.
+func ConfigWithSummaries(m *ir.Module, g *callgraph.Graph, p Params, ms *interproc.ModuleSummary) *callgraph.Config {
 	cfg := callgraph.NewConfig()
 
 	// Current size estimate per function, updated as inlining decisions
@@ -99,6 +125,21 @@ func Config(m *ir.Module, g *callgraph.Graph, p Params) *callgraph.Config {
 			cost -= e.ConstArgs * p.ConstArgBonus
 			if callers[e.Callee] == 1 && !callee.Exported {
 				cost -= p.SingleCallerBonus
+			}
+			if ms != nil {
+				if s := ms.Func(e.Callee); s != nil {
+					if s.Pure {
+						cost -= p.PureCalleeBonus
+					}
+					if s.Return.State == interproc.ConstKnown {
+						cost -= p.ConstReturnBonus
+					}
+					for _, prm := range s.Params {
+						if prm.Dead {
+							cost -= p.DeadParamBonus
+						}
+					}
+				}
 			}
 			if callee.NumInstrs() <= p.AlwaysInlineInstrs || cost <= p.Threshold {
 				cfg.Set(e.Site, true)

@@ -3,6 +3,7 @@ package heuristic
 import (
 	"testing"
 
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
@@ -210,5 +211,62 @@ func TestDeterministic(t *testing.T) {
 	_, _, cfg2 := setup(t)
 	if !cfg1.Equal(cfg2) {
 		t.Fatal("heuristic not deterministic")
+	}
+}
+
+// marginalSrc has a pure 12-instruction callee called from two sites:
+// cost = 12*4 - (18 + 2*1) = 28, just over the default threshold of 26,
+// and neither the always-inline nor the single-caller bonus applies.
+const marginalSrc = `
+func @pure12(%x) {
+entry:
+  %a1 = mul %x, %x
+  %a2 = add %a1, %x
+  %a3 = mul %a2, %a1
+  %a4 = add %a3, %a2
+  %a5 = mul %a4, %a3
+  %a6 = add %a5, %a4
+  %a7 = mul %a6, %a5
+  %a8 = add %a7, %a6
+  %a9 = mul %a8, %a7
+  %aa = add %a9, %a8
+  %ab = mul %aa, %a9
+  ret %ab
+}
+
+export func @main(%x) {
+entry:
+  %r1 = call @pure12(%x) !site 1
+  %r2 = call @pure12(%r1) !site 2
+  ret %r2
+}
+`
+
+func TestSummaryTieBreakers(t *testing.T) {
+	m, err := ir.Parse("heur", marginalSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := callgraph.Build(m)
+	ms := interproc.Analyze(m, g, nil)
+
+	base := Config(m, g, DefaultParams())
+	if base.Inline(1) || base.Inline(2) {
+		t.Fatal("marginal sites must start above threshold; the fixture drifted")
+	}
+
+	// Nil summaries and zero bonuses must both reproduce Config exactly.
+	if got := ConfigWithSummaries(m, g, DefaultParams(), nil); got.Key() != base.Key() {
+		t.Error("nil summaries changed the configuration")
+	}
+	if got := ConfigWithSummaries(m, g, DefaultParams(), ms); got.Key() != base.Key() {
+		t.Error("zero bonuses changed the configuration")
+	}
+
+	p := DefaultParams()
+	p.PureCalleeBonus = 4
+	tipped := ConfigWithSummaries(m, g, p, ms)
+	if !tipped.Inline(1) || !tipped.Inline(2) {
+		t.Errorf("pure-callee bonus must tip the marginal sites: %v", tipped)
 	}
 }

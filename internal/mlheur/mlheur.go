@@ -14,60 +14,51 @@ import (
 	"fmt"
 	"math"
 
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/callgraph"
 	"optinline/internal/ir"
 )
 
-// NFeatures is the dimensionality of the call-site feature vector.
-const NFeatures = 10
+// NFeatures is the dimensionality of the call-site feature vector —
+// the interproc.SiteFeatures schema (FeatureSchemaVersion documents the
+// vector's meaning; slots 0-9 are the original local features, 10-19
+// the interprocedural summary features).
+const NFeatures = interproc.NumSiteFeatures
+
+// FeatureSchemaVersion is the SiteFeatures schema this package trains
+// against. Persisted weights are meaningless across versions.
+const FeatureSchemaVersion = interproc.FeatureSchemaVersion
 
 // FeatureNames documents each feature slot, in order.
-var FeatureNames = [NFeatures]string{
-	"callee_instrs",
-	"callee_blocks",
-	"num_args",
-	"const_args",
-	"caller_instrs",
-	"callee_in_degree",
-	"callee_out_degree",
-	"single_caller_internal",
-	"callee_exported",
-	"callee_has_branches",
-}
+var FeatureNames = interproc.SiteFeatureNames
 
 // Features is one call site's feature vector.
-type Features [NFeatures]float64
+type Features = interproc.FeatureVector
 
-// Extract computes the features of a candidate edge.
+// Extractor computes feature vectors for the candidate edges of one
+// module. It runs the interprocedural summary analysis once at
+// construction; each Extract call is then a table lookup. A non-nil
+// cache shares summary cores across modules and runs.
+type Extractor struct {
+	ms *interproc.ModuleSummary
+}
+
+// NewExtractor analyzes the module and returns a per-edge extractor.
+func NewExtractor(m *ir.Module, g *callgraph.Graph, cache *interproc.Cache) *Extractor {
+	return &Extractor{ms: interproc.Analyze(m, g, cache)}
+}
+
+// Extract returns the feature vector of a candidate edge.
+func (x *Extractor) Extract(e callgraph.Edge) Features { return x.ms.SiteFeatures(e) }
+
+// Summaries exposes the underlying module summary (shared, read-only).
+func (x *Extractor) Summaries() *interproc.ModuleSummary { return x.ms }
+
+// Extract computes the features of a single candidate edge. It
+// re-analyzes the module on every call; loops over many edges should
+// build one Extractor instead.
 func Extract(m *ir.Module, g *callgraph.Graph, e callgraph.Edge) Features {
-	var x Features
-	callee := m.Func(e.Callee)
-	caller := m.Func(e.Caller)
-	if callee == nil || caller == nil {
-		return x
-	}
-	branches := 0
-	for _, b := range callee.Blocks {
-		if t := b.Term(); t != nil && t.Op == ir.OpCondBr {
-			branches++
-		}
-	}
-	in := g.InDegree(e.Callee)
-	x[0] = float64(callee.NumInstrs())
-	x[1] = float64(len(callee.Blocks))
-	x[2] = float64(e.NumArgs)
-	x[3] = float64(e.ConstArgs)
-	x[4] = float64(caller.NumInstrs())
-	x[5] = float64(in)
-	x[6] = float64(g.OutDegree(e.Callee))
-	if in == 1 && !callee.Exported {
-		x[7] = 1
-	}
-	if callee.Exported {
-		x[8] = 1
-	}
-	x[9] = float64(branches)
-	return x
+	return NewExtractor(m, g, nil).Extract(e)
 }
 
 // Example is one labeled training instance.
@@ -81,13 +72,14 @@ type Example struct {
 // search labels them, but the learned heuristic, like the hand-written one,
 // never inlines recursion).
 func Dataset(m *ir.Module, g *callgraph.Graph, optimal *callgraph.Config) []Example {
+	x := NewExtractor(m, g, nil)
 	var out []Example
 	for _, e := range g.Edges {
 		if e.Recursive {
 			continue
 		}
 		out = append(out, Example{
-			X:      Extract(m, g, e),
+			X:      x.Extract(e),
 			Inline: optimal.Inline(e.Site),
 		})
 	}
@@ -194,12 +186,13 @@ func (mo *Model) Decide(x Features) bool { return mo.Predict(x) >= 0.5 }
 // Config applies the policy to every candidate edge of a module. Recursive
 // edges are never inlined.
 func (mo *Model) Config(m *ir.Module, g *callgraph.Graph) *callgraph.Config {
+	x := NewExtractor(m, g, nil)
 	cfg := callgraph.NewConfig()
 	for _, e := range g.Edges {
 		if e.Recursive {
 			continue
 		}
-		if mo.Decide(Extract(m, g, e)) {
+		if mo.Decide(x.Extract(e)) {
 			cfg.Set(e.Site, true)
 		}
 	}

@@ -22,14 +22,17 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"optinline/internal/analysis/interproc"
 	"optinline/internal/autotune"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
+	"optinline/internal/diag"
 	"optinline/internal/heuristic"
 	"optinline/internal/search"
 	"optinline/internal/source"
@@ -67,6 +70,11 @@ type Config struct {
 	// AllowDelay honors the requests' delayMs field (synthetic latency for
 	// load and drain testing). Off by default.
 	AllowDelay bool
+	// DisableSummaryCache makes every /analyze request recompute its
+	// interprocedural summaries from scratch instead of sharing the
+	// process-wide content-addressed summary cache. The differential
+	// oracle for the cache: responses must be byte-identical either way.
+	DisableSummaryCache bool
 }
 
 func (c Config) normalized() Config {
@@ -171,6 +179,7 @@ type poolElem struct {
 type Server struct {
 	cfg     Config
 	fncache *compile.FnCache
+	ipcache *interproc.Cache // nil when the summary cache is disabled
 	queue   *jobQueue
 	gate    drainGate
 	mux     *http.ServeMux
@@ -217,6 +226,10 @@ func New(cfg Config) *Server {
 		pool:    make(map[string]*compilerEntry),
 		eps:     make(map[string]*endpointCounters),
 	}
+	if !cfg.DisableSummaryCache {
+		s.ipcache = interproc.NewCache()
+	}
+	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /tune", s.handleTune)
@@ -682,6 +695,69 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	ep := s.ep("analyze")
+	ep.count.Add(1)
+	var req AnalyzeRequest
+	if !s.decode(w, r, ep, &req) {
+		return
+	}
+	wr, ok := s.admit(w, r, ep, req.Jobs, req.DelayMs)
+	if !ok {
+		return
+	}
+	defer wr.release()
+
+	target, tok := parseTarget(req.Target)
+	if !tok {
+		s.fail(w, wr.ep, http.StatusBadRequest, "unknown target %q", req.Target)
+		return
+	}
+	if req.Name == "" || req.Source == "" {
+		s.fail(w, wr.ep, http.StatusBadRequest, "name and source are required")
+		return
+	}
+	comp, err := s.compiler(req.Name, req.Source, target)
+	if err != nil {
+		s.fail(w, wr.ep, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	mod, g := comp.Module(), comp.Graph()
+	ms := interproc.Analyze(mod, g, s.ipcache)
+	fnJSON, err := ms.JSON()
+	if err != nil {
+		s.fail(w, wr.ep, http.StatusInternalServerError, "marshal summaries: %v", err)
+		return
+	}
+	findings := interproc.Lints(mod, g, ms)
+	findings.Sort()
+	if findings == nil {
+		findings = diag.List{}
+	}
+
+	edges := append([]callgraph.Edge(nil), g.Edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Site < edges[j].Site })
+	sites := []AnalyzeSite{}
+	for _, e := range edges {
+		fv := ms.SiteFeatures(e)
+		sites = append(sites, AnalyzeSite{
+			Site:     e.Site,
+			Caller:   e.Caller,
+			Callee:   e.Callee,
+			Features: append([]float64(nil), fv[:]...),
+		})
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Name:          req.Name,
+		Target:        targetName(target),
+		SchemaVersion: interproc.FeatureSchemaVersion,
+		FeatureNames:  interproc.SiteFeatureNames[:],
+		Functions:     fnJSON,
+		Findings:      findings,
+		Sites:         sites,
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
@@ -699,6 +775,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.epMu.Unlock()
+
+	if s.ipcache != nil {
+		ist := s.ipcache.Stats()
+		resp.SummaryCache = SummaryCacheCounters{
+			Hits: ist.Hits, Misses: ist.Misses, Entries: ist.Entries,
+		}
+	}
 
 	fst := s.fncache.Stats()
 	resp.FnCache = FnCacheStatsJSON{

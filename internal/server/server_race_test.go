@@ -42,6 +42,9 @@ func buildRaceCorpus(t *testing.T) []raceRequest {
 		addJSON(f.name+" tune", "/tune", TuneRequest{
 			Name: f.name, Source: f.src, Init: "clean", Rounds: 2,
 		})
+		addJSON(f.name+" analyze", "/analyze", AnalyzeRequest{
+			Name: f.name, Source: f.src, Jobs: 2,
+		})
 	}
 	return reqs
 }

@@ -522,3 +522,105 @@ func waitFor(t *testing.T, base string, cond func(StatsResponse) bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestAnalyzeEndpoint pins the /analyze contract: a deterministic body
+// (byte-identical across worker budgets and across warm/cold/disabled
+// summary caches) carrying the feature schema, per-function summaries in
+// module order, sorted findings, and one feature vector per site.
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	f := exampleSources(t)[0]
+
+	var first []byte
+	for _, jobs := range []int{1, 2, 8} {
+		status, body := post(t, ts.URL+"/analyze", AnalyzeRequest{Name: f.name, Source: f.src, Jobs: jobs})
+		if status != http.StatusOK {
+			t.Fatalf("jobs=%d: status %d: %s", jobs, status, body)
+		}
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(body, first) {
+			t.Errorf("jobs=%d response differs from jobs=1", jobs)
+		}
+	}
+
+	// Warm rerun against the same (now populated) summary cache.
+	if _, warm := post(t, ts.URL+"/analyze", AnalyzeRequest{Name: f.name, Source: f.src}); !bytes.Equal(warm, first) {
+		t.Error("warm summary-cache rerun changed the response body")
+	}
+
+	// Scratch oracle: a daemon with the summary cache disabled must
+	// produce the same bytes.
+	_, scratch := newTestServer(t, Config{DisableSummaryCache: true})
+	if _, body := post(t, scratch.URL+"/analyze", AnalyzeRequest{Name: f.name, Source: f.src}); !bytes.Equal(body, first) {
+		t.Error("DisableSummaryCache response differs from the cached daemon's")
+	}
+
+	var resp AnalyzeResponse
+	if err := json.Unmarshal(first, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.SchemaVersion == 0 || len(resp.FeatureNames) == 0 {
+		t.Errorf("schemaVersion=%d featureNames=%d", resp.SchemaVersion, len(resp.FeatureNames))
+	}
+	if resp.Findings == nil {
+		t.Error("findings must be an array, never null")
+	}
+	var funcs []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(resp.Functions, &funcs); err != nil || funcs == nil {
+		t.Fatalf("functions is not a summary array: %v", err)
+	}
+	for i, site := range resp.Sites {
+		if got, want := len(site.Features), len(resp.FeatureNames); got != want {
+			t.Fatalf("site %d: %d features, want %d", site.Site, got, want)
+		}
+		if i > 0 && resp.Sites[i-1].Site >= site.Site {
+			t.Errorf("sites not sorted: %d then %d", resp.Sites[i-1].Site, site.Site)
+		}
+		if site.Caller == "" || site.Callee == "" {
+			t.Errorf("site %d missing caller/callee", site.Site)
+		}
+	}
+
+	// Error paths.
+	if status, _ := post(t, ts.URL+"/analyze", AnalyzeRequest{Name: f.name}); status != http.StatusBadRequest {
+		t.Errorf("missing source: status %d, want 400", status)
+	}
+	if status, _ := post(t, ts.URL+"/analyze", AnalyzeRequest{Name: f.name, Source: f.src, Target: "mips"}); status != http.StatusBadRequest {
+		t.Errorf("bad target: status %d, want 400", status)
+	}
+	if status, _ := post(t, ts.URL+"/analyze", AnalyzeRequest{Name: "x.minc", Source: "func {"}); status != http.StatusUnprocessableEntity {
+		t.Errorf("parse error: status %d, want 422", status)
+	}
+}
+
+// TestAnalyzeStatsCounters: repeated /analyze of one module must hit the
+// summary cache, and /stats reports the counters.
+func TestAnalyzeStatsCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	f := exampleSources(t)[0]
+	for i := 0; i < 3; i++ {
+		if status, body := post(t, ts.URL+"/analyze", AnalyzeRequest{Name: f.name, Source: f.src}); status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.SummaryCache.Entries == 0 || st.SummaryCache.Misses == 0 {
+		t.Errorf("summary cache never filled: %+v", st.SummaryCache)
+	}
+	if st.SummaryCache.Hits == 0 {
+		t.Errorf("warm /analyze reruns produced no summary-cache hits: %+v", st.SummaryCache)
+	}
+	if got := st.Requests["analyze"].Count; got != 3 {
+		t.Errorf("analyze.count = %d, want 3", got)
+	}
+
+	// Disabled cache reports all-zero counters.
+	_, scratch := newTestServer(t, Config{DisableSummaryCache: true})
+	post(t, scratch.URL+"/analyze", AnalyzeRequest{Name: f.name, Source: f.src})
+	if st := getStats(t, scratch.URL); st.SummaryCache != (SummaryCacheCounters{}) {
+		t.Errorf("disabled summary cache reports nonzero counters: %+v", st.SummaryCache)
+	}
+}

@@ -1,11 +1,51 @@
 package server
 
+import (
+	"encoding/json"
+
+	"optinline/internal/diag"
+)
+
 // JSON request/response schemas of the inlined service. Responses to the
 // three work endpoints deliberately contain only *deterministic* fields —
 // pure functions of the request — so that replaying a request yields a
 // byte-identical body no matter how caches are warmed, how many clients
 // run, or how the scheduler interleaves them. Volatile counters (cache
 // hits, evaluation counts, queue depths) live in /stats instead.
+
+// AnalyzeRequest asks for the interprocedural summary analysis of one
+// translation unit: per-function summaries, the cross-function lints, and
+// the per-site feature vectors of the SiteFeatures schema.
+type AnalyzeRequest struct {
+	Name    string `json:"name"`
+	Source  string `json:"source"`
+	Target  string `json:"target,omitempty"` // x86 (default) | wasm; echoed only
+	Jobs    int    `json:"jobs,omitempty"`
+	DelayMs int    `json:"delayMs,omitempty"`
+}
+
+// AnalyzeSite is one candidate call site with its feature vector
+// (featureNames in the response names each slot).
+type AnalyzeSite struct {
+	Site     int       `json:"site"`
+	Caller   string    `json:"caller"`
+	Callee   string    `json:"callee"`
+	Features []float64 `json:"features"`
+}
+
+// AnalyzeResponse reports the analysis. Everything in it is a pure
+// function of the request: functions are in module order, findings and
+// sites are sorted, and the summary cache can only change timing, never
+// bytes.
+type AnalyzeResponse struct {
+	Name          string          `json:"name"`
+	Target        string          `json:"target"`
+	SchemaVersion int             `json:"schemaVersion"`
+	FeatureNames  []string        `json:"featureNames"`
+	Functions     json.RawMessage `json:"functions"`
+	Findings      diag.List       `json:"findings"`
+	Sites         []AnalyzeSite   `json:"sites"`
+}
 
 // CompileRequest asks for one translation unit to be compiled under an
 // inlining strategy. Source is MinC or textual IR, dispatched on Name's
@@ -121,6 +161,10 @@ type StatsResponse struct {
 	// shared by every compiler the daemon ever builds.
 	FnCache FnCacheStatsJSON `json:"fnCache"`
 
+	// SummaryCache is the process-wide interprocedural summary cache
+	// behind /analyze (all zero when the daemon disables it).
+	SummaryCache SummaryCacheCounters `json:"summaryCache"`
+
 	// Compilers tracks the per-module compiler pool (LRU over source hash).
 	Compilers CompilerPoolStats `json:"compilers"`
 
@@ -152,6 +196,13 @@ type FnCacheStatsJSON struct {
 	Evicted  int64 `json:"evicted"`
 	Syncs    int64 `json:"syncs"`
 	Entries  int   `json:"entries"`
+}
+
+// SummaryCacheCounters mirrors interproc.Stats for the wire.
+type SummaryCacheCounters struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int64 `json:"entries"`
 }
 
 // CompilerPoolStats reports the compiler LRU.
