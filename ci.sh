@@ -30,7 +30,7 @@ echo "== inlinelint (examples must be error-clean) =="
 # anywhere else. Warning/info interproc findings are legitimate on the
 # examples (e.g. collatz reads @peak on the zero-trip-loop path), so the
 # gate is the -severity error threshold, not emptiness at every severity.
-lint_out="$(go run ./cmd/inlinelint -severity error -check examples/minc/*.minc testdata/matrixsum.minc)"
+lint_out="$(go run ./cmd/inlinelint -severity error -check examples/minc/*.minc examples/minc/linked/*.minc testdata/matrixsum.minc)"
 if [[ -n "${lint_out}" ]]; then
   echo "${lint_out}"
   echo "inlinelint reported error findings on the example corpus"
@@ -97,6 +97,29 @@ for f in examples/minc/*.minc; do
     exit 1
   fi
 done
+
+echo "== linked-module differential smoke =="
+# Cross-module (LTO-style) mode: link the whole example corpus into one
+# module (every example exports `entry`, so duplicate exports exercise the
+# -link-dup rename path) and require the component-sharded optimal search
+# and the -no-shard merged-compiler oracle to render byte-identical stdout.
+link_files=(examples/minc/*.minc examples/minc/linked/*.minc)
+link_sharded="$(go run ./cmd/inlinesearch -link -link-dup rename "${link_files[@]}" 2>/dev/null)"
+link_merged="$(go run ./cmd/inlinesearch -link -link-dup rename -no-shard "${link_files[@]}" 2>/dev/null)"
+if [[ "${link_sharded}" != "${link_merged}" ]]; then
+  echo "linked search: sharded / -no-shard disagree:"
+  diff <(echo "${link_sharded}") <(echo "${link_merged}") || true
+  exit 1
+fi
+if ! grep -q '^optimal:' <<<"${link_sharded}"; then
+  echo "linked search did not report an optimum:"
+  echo "${link_sharded}"
+  exit 1
+fi
+# Sharded bench smoke: one iteration of the plan-build scaling benchmark
+# (all four linked profiles, including the 10x/30x mega-modules) catches
+# linker or generator regressions without paying search time.
+go test -run '^$' -bench 'LinkedPlanBuildScale' -benchtime=1x ./internal/link >/dev/null
 
 echo "== inlined service smoke =="
 # Boot the daemon on an ephemeral port, replay a scaled corpus against it

@@ -6,7 +6,12 @@
 //	inlinebench [flags]
 //
 //	-exp id       experiment to run: fig1..fig19, tab1..tab4,
-//	              llvm-case, sqlite-case, or "all" (default all)
+//	              llvm-case, sqlite-case, linked-case, or "all"
+//	              (default all); linked-scale is extra-heavy and only
+//	              runs when named explicitly
+//	-no-shard     linked-module experiments: solve components on one merged
+//	              compiler instead of per-component shards (differential
+//	              oracle — stdout is byte-identical)
 //	-list         list experiment IDs and exit
 //	-scale F      workload scale, 1.0 = full corpus (default 1.0)
 //	-rounds N     autotuning rounds (default 4)
@@ -65,6 +70,7 @@ func run() error {
 		noMemo    = flag.Bool("no-memo", false, "disable the per-component memoized compile path (for measuring its effect)")
 		noDelta   = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
 		noPrune   = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
+		noShard   = flag.Bool("no-shard", false, "linked-module experiments: one merged compiler instead of per-component shards (differential oracle)")
 		noFnCache = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
 		cacheDir  = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 		check     = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
@@ -123,6 +129,7 @@ func run() error {
 		DisablePrune:   *noPrune,
 		DisableFnCache: *noFnCache,
 		FnCache:        fncache,
+		DisableShard:   *noShard,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
 

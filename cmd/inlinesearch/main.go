@@ -6,9 +6,18 @@
 // Usage:
 //
 //	inlinesearch [flags] file.minc
+//	inlinesearch -link [flags] a.minc b.minc ...
 //
+//	-link               link all argument files into one module (LTO-style)
+//	                    and run the component-sharded optimal search on it
+//	-no-shard           with -link: solve the same components on one merged
+//	                    compiler instead of per-component sub-modules
+//	                    (differential oracle — stdout is byte-identical)
+//	-link-dup p         with -link: exported symbols defined in several units
+//	                    are an error (default) or are renamed apart (rename)
 //	-target x86|wasm    size model (default x86)
 //	-max-space N        abort if the recursive space exceeds N evaluations
+//	                    (with -link the bound applies per component)
 //	-jobs N             parallel subtree evaluations (default GOMAXPROCS;
 //	                    results are bit-identical for every value)
 //	-workers N          deprecated alias for -jobs
@@ -39,6 +48,8 @@ import (
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
+	"optinline/internal/ir"
+	"optinline/internal/link"
 	"optinline/internal/search"
 	"optinline/internal/source"
 )
@@ -65,6 +76,9 @@ func run() error {
 		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		doLink     = flag.Bool("link", false, "link all argument files into one module and search it component-sharded")
+		noShard    = flag.Bool("no-shard", false, "with -link: single merged compiler instead of per-component shards (oracle)")
+		linkDup    = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -98,18 +112,25 @@ func run() error {
 	if *jobs == 0 {
 		*jobs = runtime.GOMAXPROCS(0)
 	}
-	if flag.NArg() != 1 {
+	if !*doLink && flag.NArg() != 1 {
 		return fmt.Errorf("usage: inlinesearch [flags] file.minc")
 	}
 	target := codegen.TargetX86
 	if *targetName == "wasm" {
 		target = codegen.TargetWASM
 	}
-	mod, err := source.Load(flag.Arg(0))
+	fncache, err := compile.OpenFnCache(*cacheDir)
 	if err != nil {
 		return err
 	}
-	fncache, err := compile.OpenFnCache(*cacheDir)
+	if *doLink {
+		return runLink(linkRun{
+			files: flag.Args(), target: target, maxSpace: *maxSpace, jobs: *jobs,
+			check: *check, noDelta: *noDelta, noPrune: *noPrune, noFnCache: *noFnCache,
+			fncache: fncache, cacheDir: *cacheDir, noShard: *noShard, dup: *linkDup,
+		})
+	}
+	mod, err := source.Load(flag.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -182,4 +203,101 @@ func f(a, b int) float64 {
 		return 0
 	}
 	return float64(a) / float64(b) * 100
+}
+
+// linkRun carries the parsed flags of a -link invocation.
+type linkRun struct {
+	files                              []string
+	target                             codegen.Target
+	maxSpace                           uint64
+	jobs                               int
+	check, noDelta, noPrune, noFnCache bool
+	noShard                            bool
+	dup, cacheDir                      string
+	fncache                            *compile.FnCache
+}
+
+// runLink links the argument files and runs the component-sharded optimal
+// search (or the -no-shard merged oracle). Everything printed on stdout is
+// mode-independent — the CI gate byte-diffs the two modes — while
+// schedule- and mode-dependent counters go to stderr.
+func runLink(p linkRun) error {
+	if len(p.files) == 0 {
+		return fmt.Errorf("usage: inlinesearch -link [flags] a.minc b.minc ...")
+	}
+	var dup link.DupPolicy
+	switch p.dup {
+	case "error":
+		dup = link.DupExportedError
+	case "rename":
+		dup = link.DupExportedRename
+	default:
+		return fmt.Errorf("-link-dup: unknown policy %q (want error or rename)", p.dup)
+	}
+	tus := make([]link.TU, 0, len(p.files))
+	for _, path := range p.files {
+		path := path
+		tus = append(tus, link.LazyTU(path, func() (*ir.Module, error) {
+			return source.Load(path)
+		}))
+	}
+	l, err := link.New(tus, link.Options{DupExported: dup})
+	if err != nil {
+		return err
+	}
+	pl := l.Plan()
+	fmt.Printf("linked %d TUs: %d functions, %d inlinable call sites (%d cross-TU, %d locals renamed, %d calls stay external)\n",
+		len(pl.TUs), len(pl.Funcs), len(pl.Edges), pl.CrossTU, pl.Renamed, pl.ExternalCalls)
+
+	res, ok, err := l.OptimalSearch(link.SearchOptions{
+		ShardOptions: link.ShardOptions{
+			Target:  p.target,
+			Compile: compile.Options{Check: p.check, FnCache: p.fncache},
+			Configure: func(c *compile.Compiler) {
+				if p.noDelta {
+					c.SetDelta(false)
+				}
+				if p.noFnCache {
+					c.SetFnCache(false)
+				}
+			},
+			Workers: p.jobs,
+			NoShard: p.noShard,
+		},
+		MaxSpace: p.maxSpace,
+		NoPrune:  p.noPrune,
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		for _, cs := range res.Components {
+			if cs.Capped {
+				fmt.Fprintf(os.Stderr, "component %d: %d sites, recursive space %d+ evaluations\n",
+					cs.Index, cs.Edges, cs.Space)
+			}
+		}
+		return fmt.Errorf("a component's recursive space exceeds %d evaluations; raise -max-space", p.maxSpace)
+	}
+	fmt.Printf("components: %d, recursive space %d evaluations total\n", len(res.Components), res.SpaceTotal)
+	for _, cs := range res.Components {
+		fmt.Printf("  component %2d: %3d funcs, %3d sites, space %8d, inlined %3d, delta %+d bytes\n",
+			cs.Index, cs.Funcs, cs.Edges, cs.Space, cs.Inlined, cs.SizeDelta)
+	}
+	fmt.Printf("\nno inlining:    %6d bytes\n", res.NoInlineSize)
+	fmt.Printf("optimal:        %6d bytes, inlining %d of %d sites\n",
+		res.Size, res.Config.InlineCount(), len(pl.Edges))
+	fmt.Printf("optimal inline sites: %v\n", res.Config.InlineSites())
+
+	fmt.Fprintf(os.Stderr, "evaluations: %d configurations compiled (config cache %v)\n",
+		res.Evaluations, res.ConfigCache)
+	fmt.Fprintf(os.Stderr, "search pruning: %v\n", res.Prune)
+	fmt.Fprintf(os.Stderr, "function cache: %v\n", res.FuncCache)
+	if p.cacheDir != "" {
+		if err := p.fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "inlinesearch:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", p.fncache.Stats())
+	return nil
 }

@@ -4,7 +4,15 @@
 // Usage:
 //
 //	inlinetune [flags] file.minc
+//	inlinetune -link [flags] a.minc b.minc ...
 //
+//	-link                 link all argument files into one module (LTO-style)
+//	                      and autotune it with per-component lockstep sessions
+//	-no-shard             with -link: run the classic whole-module tuner on
+//	                      one merged compiler (differential oracle — stdout
+//	                      is byte-identical)
+//	-link-dup p           with -link: exported symbols defined in several
+//	                      units are an error (default) or renamed (rename)
 //	-init clean|os|both   starting configuration(s) (default both)
 //	-rounds N             tuning rounds (default 4)
 //	-target x86|wasm      size model (default x86)
@@ -21,6 +29,8 @@
 //	-no-fncache           disable the content-addressed per-function compile
 //	                      cache (differential oracle)
 //	-cache-dir d          persist the per-function content cache in directory d
+//	-cpuprofile f         write a CPU profile to f
+//	-memprofile f         write a heap profile to f at exit
 package main
 
 import (
@@ -28,12 +38,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"optinline/internal/autotune"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
+	"optinline/internal/ir"
+	"optinline/internal/link"
 	"optinline/internal/source"
 )
 
@@ -58,20 +71,54 @@ func run() error {
 		noPrune    = flag.Bool("no-prune", false, "exhaustive recursion instead of branch-and-bound in the exact-component polish (differential oracle)")
 		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
 		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		doLink     = flag.Bool("link", false, "link all argument files into one module and autotune it component-sharded")
+		noShard    = flag.Bool("no-shard", false, "with -link: whole-module tuner on one merged compiler (oracle)")
+		linkDup    = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "inlinetune: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "inlinetune: -memprofile:", err)
+			}
+		}()
+	}
+	if !*doLink && flag.NArg() != 1 {
 		return fmt.Errorf("usage: inlinetune [flags] file.minc")
 	}
 	target := codegen.TargetX86
 	if *targetName == "wasm" {
 		target = codegen.TargetWASM
 	}
-	mod, err := source.Load(flag.Arg(0))
+	fncache, err := compile.OpenFnCache(*cacheDir)
 	if err != nil {
 		return err
 	}
-	fncache, err := compile.OpenFnCache(*cacheDir)
+	if *doLink {
+		return runLinkTune(flag.Args(), target, fncache, *cacheDir, *linkDup, *initMode,
+			*rounds, *workers, *noShard, *noDelta, *noFnCache)
+	}
+	mod, err := source.Load(flag.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -150,4 +197,124 @@ func pct(a, b int) float64 {
 		return 0
 	}
 	return float64(a) / float64(b) * 100
+}
+
+// runLinkTune links the argument files and autotunes the merged module with
+// per-component lockstep sessions (or the -no-shard whole-module oracle).
+// stdout is mode-independent; counters go to stderr.
+func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache,
+	cacheDir, dupPolicy, initMode string, rounds, workers int,
+	noShard, noDelta, noFnCache bool) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: inlinetune -link [flags] a.minc b.minc ...")
+	}
+	var dup link.DupPolicy
+	switch dupPolicy {
+	case "error":
+		dup = link.DupExportedError
+	case "rename":
+		dup = link.DupExportedRename
+	default:
+		return fmt.Errorf("-link-dup: unknown policy %q (want error or rename)", dupPolicy)
+	}
+	tus := make([]link.TU, 0, len(files))
+	for _, path := range files {
+		path := path
+		tus = append(tus, link.LazyTU(path, func() (*ir.Module, error) {
+			return source.Load(path)
+		}))
+	}
+	l, err := link.New(tus, link.Options{DupExported: dup})
+	if err != nil {
+		return err
+	}
+	pl := l.Plan()
+	fmt.Printf("linked %d TUs: %d functions, %d inlinable call sites (%d cross-TU, %d locals renamed), %d components\n",
+		len(pl.TUs), len(pl.Funcs), len(pl.Edges), pl.CrossTU, pl.Renamed, len(pl.Components))
+
+	opts := link.TuneOptions{
+		ShardOptions: link.ShardOptions{
+			Target:  target,
+			Compile: compile.Options{FnCache: fncache},
+			Configure: func(c *compile.Compiler) {
+				if noDelta {
+					c.SetDelta(false)
+				}
+				if noFnCache {
+					c.SetFnCache(false)
+				}
+			},
+			Workers: workers,
+			NoShard: noShard,
+		},
+		Rounds: rounds,
+	}
+	report := func(name string, tr link.TuneResult) {
+		res := tr.Result
+		fmt.Printf("\n%s (init %d bytes):\n", name, res.InitSize)
+		for _, r := range res.Rounds {
+			fmt.Printf("  round %d: %d bytes, %d inlined / %d not, %d toggles\n",
+				r.Round, r.Size, r.Inlined, r.NotInlined, r.Toggles)
+		}
+		fmt.Printf("  best: %d bytes, inlining %d of %d sites\n",
+			res.Size, res.Config.InlineCount(), len(pl.Edges))
+		for _, cs := range tr.Components {
+			fmt.Printf("    component %2d: %3d funcs, %3d sites, inlined %3d\n",
+				cs.Index, cs.Funcs, cs.Edges, cs.Inlined)
+		}
+	}
+	tuneOne := func(init link.TuneInit) (link.TuneResult, error) {
+		o := opts
+		o.Init = init
+		return l.Tune(o)
+	}
+
+	var best link.TuneResult
+	var evals int64
+	switch initMode {
+	case "clean":
+		tr, err := tuneOne(link.InitClean)
+		if err != nil {
+			return err
+		}
+		report("clean slate", tr)
+		best, evals = tr, tr.Evaluations
+	case "os":
+		tr, err := tuneOne(link.InitOs)
+		if err != nil {
+			return err
+		}
+		report("-Os initialized", tr)
+		best, evals = tr, tr.Evaluations
+	case "both":
+		clean, err := tuneOne(link.InitClean)
+		if err != nil {
+			return err
+		}
+		inited, err := tuneOne(link.InitOs)
+		if err != nil {
+			return err
+		}
+		report("clean slate", clean)
+		report("-Os initialized", inited)
+		best = clean
+		if inited.Result.Size < best.Result.Size {
+			best = inited
+		}
+		evals = clean.Evaluations + inited.Evaluations
+	default:
+		return fmt.Errorf("unknown init mode %q", initMode)
+	}
+	fmt.Printf("\nfinal: %d bytes, inlining %d of %d sites\n",
+		best.Result.Size, best.Result.Config.InlineCount(), len(pl.Edges))
+
+	fmt.Fprintf(os.Stderr, "evaluations: %d compilations (config cache %v)\n", evals, best.ConfigCache)
+	fmt.Fprintf(os.Stderr, "function cache: %v\n", best.FuncCache)
+	if cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "inlinetune:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", fncache.Stats())
+	return nil
 }

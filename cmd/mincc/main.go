@@ -6,7 +6,13 @@
 // Usage:
 //
 //	mincc [flags] file.minc
+//	mincc -link [flags] a.minc b.minc ...
 //
+//	-link                          link all argument files into one module
+//	                               (LTO-style) before inlining: cross-file
+//	                               calls become candidates, file-local name
+//	                               collisions are renamed apart
+//	-link-dup error|rename         duplicate exported symbol policy for -link
 //	-inline none|os|tune|optimal   inlining strategy (default os)
 //	-target x86|wasm               size model (default x86)
 //	-S                             print the pseudo-assembly listing
@@ -39,6 +45,8 @@ import (
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
 	"optinline/internal/interp"
+	"optinline/internal/ir"
+	"optinline/internal/link"
 	"optinline/internal/outline"
 	"optinline/internal/search"
 	"optinline/internal/source"
@@ -78,11 +86,17 @@ func run() error {
 		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
 		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 		cacheStats = flag.Bool("cache-stats", false, "print content-cache counters to stderr")
+		doLink     = flag.Bool("link", false, "link all argument files into one module before inlining")
+		linkDup    = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
 		args       intList
 	)
 	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *doLink {
+		if flag.NArg() == 0 {
+			return fmt.Errorf("usage: mincc -link [flags] a.minc b.minc ...")
+		}
+	} else if flag.NArg() != 1 {
 		return fmt.Errorf("usage: mincc [flags] file.minc")
 	}
 	target := codegen.TargetX86
@@ -94,9 +108,33 @@ func run() error {
 		return fmt.Errorf("unknown target %q", *targetName)
 	}
 
-	mod, err := source.Load(flag.Arg(0))
-	if err != nil {
-		return err
+	var mod *ir.Module
+	if *doLink {
+		var dup link.DupPolicy
+		switch *linkDup {
+		case "error":
+			dup = link.DupExportedError
+		case "rename":
+			dup = link.DupExportedRename
+		default:
+			return fmt.Errorf("-link-dup: unknown policy %q (want error or rename)", *linkDup)
+		}
+		tus := make([]link.TU, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			path := path
+			tus = append(tus, link.LazyTU(path, func() (*ir.Module, error) {
+				return source.Load(path)
+			}))
+		}
+		var err error
+		if mod, err = link.Link(tus, link.Options{DupExported: dup}); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if mod, err = source.Load(flag.Arg(0)); err != nil {
+			return err
+		}
 	}
 	fncache, err := compile.OpenFnCache(*cacheDir)
 	if err != nil {
@@ -148,8 +186,12 @@ func run() error {
 		}
 	}
 	size := codegen.ModuleSize(built, target)
+	label := flag.Arg(0)
+	if *doLink {
+		label = fmt.Sprintf("linked(%d files)", flag.NArg())
+	}
 	fmt.Printf("%s: %d inlinable calls, %d inlined, .text %d bytes (%s, -inline %s)\n",
-		flag.Arg(0), len(g.Edges), cfg.InlineCount(), size, target, *inlineMode)
+		label, len(g.Edges), cfg.InlineCount(), size, target, *inlineMode)
 	if *cacheDir != "" {
 		if err := fncache.Save(); err != nil {
 			fmt.Fprintln(os.Stderr, "mincc:", err)

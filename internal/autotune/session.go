@@ -1,0 +1,84 @@
+package autotune
+
+import (
+	"optinline/internal/callgraph"
+	"optinline/internal/compile"
+)
+
+// Session is a tuning session stepped one round at a time by the caller.
+// It runs exactly the rounds Tune runs — same probes, same tie rules, same
+// delta-engine rebasing — but leaves the loop policy (how many rounds,
+// when to stop, what "best" means) outside. The cross-module sharded tuner
+// (internal/link) is built on it: one Session per call-graph component,
+// all stepped in lockstep global rounds, so the merged per-round traces
+// reproduce a whole-module Tune exactly.
+type Session struct {
+	c       *compile.Compiler
+	sites   []int
+	workers int
+
+	sized *compile.Sized
+	size  int
+	round int
+	done  bool // a round kept no toggles; further rounds are no-ops
+}
+
+// NewSession prices init (nil means clean slate) and returns a session
+// positioned before round 1.
+func NewSession(c *compile.Compiler, init *callgraph.Config, workers int) *Session {
+	base := callgraph.NewConfig()
+	if init != nil {
+		base = init.Clone()
+	}
+	sized := c.Sized(base)
+	return &Session{
+		c:       c,
+		sites:   c.Graph().Sites(),
+		workers: workers,
+		sized:   sized,
+		size:    sized.Size(),
+	}
+}
+
+// Step runs one tuning round and returns its trace. Once a round keeps no
+// toggles the session is converged: the configuration is a fixpoint of the
+// round operator (each probe depends only on the unchanged base), so Step
+// becomes a free no-op that replays the converged state — callers in a
+// lockstep loop may keep calling it or skip the session, identically.
+func (s *Session) Step() RoundTrace {
+	s.round++
+	if !s.done {
+		kept := tuneRound(s.c, s.sized, s.size, s.sites, s.workers)
+		s.sized = s.c.Rebase(s.sized, kept)
+		s.size = s.sized.Size()
+		if len(kept) == 0 {
+			s.done = true
+		}
+		cfg := s.sized.Config()
+		return RoundTrace{
+			Round:      s.round,
+			Size:       s.size,
+			Inlined:    cfg.InlineCount(),
+			NotInlined: len(s.sites) - cfg.InlineCount(),
+			Toggles:    len(kept),
+		}
+	}
+	cfg := s.sized.Config()
+	return RoundTrace{
+		Round:      s.round,
+		Size:       s.size,
+		Inlined:    cfg.InlineCount(),
+		NotInlined: len(s.sites) - cfg.InlineCount(),
+		Toggles:    0,
+	}
+}
+
+// Converged reports whether a past round kept no toggles.
+func (s *Session) Converged() bool { return s.done }
+
+// Config returns the current round's configuration (shared; clone before
+// mutating).
+func (s *Session) Config() *callgraph.Config { return s.sized.Config() }
+
+// Size returns the current round's size.
+func (s *Session) Size() int { return s.size }

@@ -60,6 +60,11 @@ type Config struct {
 	// persist across runs. Nil creates a fresh in-memory cache, still
 	// shared corpus-wide so duplicated helpers compile once per run.
 	FnCache *compile.FnCache
+	// DisableShard makes the linked-module experiments solve their
+	// components on one merged compiler (link.ShardOptions.NoShard) instead
+	// of per-component sub-modules (inlinebench -no-shard). Differential
+	// oracle: output must be byte-identical either way.
+	DisableShard bool
 }
 
 func (c Config) normalized() Config {

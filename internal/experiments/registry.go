@@ -14,6 +14,7 @@ func IDs() []string {
 		"fig15", "fig16", "fig17", "tab4", "fig18", "fig19",
 		"llvm-case", "sqlite-case",
 		"mlgo-case", "outline-case", "perf-case",
+		"linked-case",
 	}
 }
 
@@ -68,6 +69,11 @@ func (h *Harness) Run(id string) (Result, error) {
 		return h.OutlineCase(), nil
 	case "perf-case":
 		return h.PerfCase(), nil
+	case "linked-case":
+		return h.LinkedCase(), nil
+	case "linked-scale":
+		// Heavy (mega-module tuning); deliberately not in IDs()/RunAll.
+		return h.LinkedScale(), nil
 	}
 	known := IDs()
 	sort.Strings(known)

@@ -1,0 +1,162 @@
+package link
+
+import (
+	"runtime"
+	"testing"
+
+	"optinline/internal/codegen"
+	"optinline/internal/compile"
+	"optinline/internal/workload"
+)
+
+// benchLinker builds a fresh linker over the named linked profile.
+func benchLinker(b *testing.B, profile string) *Linker {
+	b.Helper()
+	lp, ok := workload.LinkedProfileByName(profile)
+	if !ok {
+		b.Fatalf("profile %s missing", profile)
+	}
+	l, err := New(CorpusTUs(workload.GenerateLinked(lp)), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkLinkedSearchShardedVsNoShard times the full exact search over
+// the linked-s mega-module in both modes: per-component shards (each
+// component gets its own compiler and the results merge) versus the
+// -no-shard oracle (one compiler over the materialized merged module,
+// components still solved independently but against the whole-module
+// pruning engine). Results are byte-identical by test; this measures the
+// wall-clock and cache-pressure difference. On a 1-CPU host the sharded
+// win is locality (smaller modules to clone and compile), not parallelism.
+func BenchmarkLinkedSearchShardedVsNoShard(b *testing.B) {
+	l := benchLinker(b, "linked-s")
+	for _, mode := range []struct {
+		name    string
+		noShard bool
+	}{{"sharded", false}, {"no-shard", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, ok, err := l.OptimalSearch(SearchOptions{ShardOptions: ShardOptions{
+					Target:  codegen.TargetX86,
+					Compile: compile.Options{FnCache: compile.NewFnCache()},
+					NoShard: mode.noShard,
+				}})
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+				if res.Size == 0 {
+					b.Fatal("degenerate optimum")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinkedTuneShardedVsNoShard times a fixed-round autotuning
+// session over the linked-m module in both modes. Traces are identical by
+// test (TestTuneShardedMatchesNoShard); this measures session cost.
+func BenchmarkLinkedTuneShardedVsNoShard(b *testing.B) {
+	l := benchLinker(b, "linked-m")
+	for _, mode := range []struct {
+		name    string
+		noShard bool
+	}{{"sharded", false}, {"no-shard", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := l.Tune(TuneOptions{
+					ShardOptions: ShardOptions{
+						Target:  codegen.TargetX86,
+						Compile: compile.Options{FnCache: compile.NewFnCache()},
+						NoShard: mode.noShard,
+					},
+					Rounds: 2,
+					Init:   InitOs,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Result.FinalSize == 0 {
+					b.Fatal("degenerate tune")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLinkedPlanBuildScale builds the link plan (symbol resolution,
+// renaming, cross-TU binding, and the streamed summary-based call graph)
+// for every linked profile and reports, per profile, the live heap the
+// plan retains beyond the input TUs versus what materializing the merged
+// module costs. The plan's retained bytes per call-graph edge should stay
+// roughly flat from linked-s to linked-x30 while the merged module grows
+// with total code size — that gap is the point of the streamed build.
+func BenchmarkLinkedPlanBuildScale(b *testing.B) {
+	for _, lp := range workload.LinkedProfiles() {
+		b.Run(lp.Name, func(b *testing.B) {
+			tus := CorpusTUs(workload.GenerateLinked(lp))
+			var planRetained, linkRetained uint64
+			var edges int
+			for i := 0; i < b.N; i++ {
+				base := liveHeap()
+				l, err := New(tus, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				afterPlan := liveHeap()
+				merged, err := l.Link()
+				if err != nil {
+					b.Fatal(err)
+				}
+				afterLink := liveHeap()
+				edges = len(l.Plan().Edges)
+				planRetained = heapDelta(base, afterPlan)
+				linkRetained = heapDelta(afterPlan, afterLink)
+				runtime.KeepAlive(merged)
+			}
+			b.ReportMetric(float64(edges), "edges")
+			b.ReportMetric(float64(planRetained), "plan-B")
+			b.ReportMetric(float64(linkRetained), "merge-B")
+			if edges > 0 {
+				b.ReportMetric(float64(planRetained)/float64(edges), "plan-B/edge")
+			}
+		})
+	}
+}
+
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func heapDelta(before, after uint64) uint64 {
+	if after < before {
+		return 0
+	}
+	return after - before
+}
+
+// BenchmarkLinkedScaleStats is not a timing benchmark: one iteration
+// prints the scale proof for the mega-profiles (total inlinable sites vs
+// the 600-edge sqlite-amalgamation unit, the largest pre-existing corpus
+// module). Kept as a benchmark so it rides the -bench smoke in ci.sh.
+func BenchmarkLinkedScaleStats(b *testing.B) {
+	for _, name := range []string{"linked-x10", "linked-x30"} {
+		b.Run(name, func(b *testing.B) {
+			var l *Linker
+			for i := 0; i < b.N; i++ {
+				l = benchLinker(b, name)
+			}
+			p := l.Plan()
+			b.ReportMetric(float64(len(p.Funcs)), "funcs")
+			b.ReportMetric(float64(len(p.Edges)), "sites")
+			b.ReportMetric(float64(len(p.Edges))/600.0, "x-sqlite")
+			b.Logf("%s: %d TUs, %d funcs, %d sites (%d cross-TU)",
+				name, len(p.TUs), len(p.Funcs), len(p.Edges), p.CrossTU)
+		})
+	}
+}

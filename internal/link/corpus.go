@@ -1,0 +1,17 @@
+package link
+
+import "optinline/internal/workload"
+
+// CorpusTUs wraps a generated multi-unit benchmark (typically
+// workload.GenerateLinked) as linker inputs, marking the generator's
+// scratch global file-local in every unit so linking exercises the
+// global-rename path the way a C "static" would.
+func CorpusTUs(b workload.Benchmark) []TU {
+	tus := make([]TU, 0, len(b.Files))
+	for _, f := range b.Files {
+		tu := ModuleTU(f.Name, f.Module)
+		tu.LocalGlobals = []string{workload.LinkedScratchGlobal}
+		tus = append(tus, tu)
+	}
+	return tus
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package link
+
+// raceEnabled reports whether the race detector is compiled in. The
+// full-size linked-s differential (three complete exact searches) is too
+// slow under the detector's ~10x overhead; the tiny-profile oracles cover
+// the same code paths there.
+const raceEnabled = false

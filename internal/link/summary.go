@@ -1,0 +1,146 @@
+package link
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"optinline/internal/ir"
+)
+
+// fnSummary is everything the link plan needs to know about one function
+// without holding its body: its identity, linkage, and the ordered list of
+// call targets (one entry per OpCall in block/instruction walk order — the
+// same order AssignSites numbers call sites in, which is what lets the plan
+// renumber sites without materializing the merged module).
+type fnSummary struct {
+	name     string
+	exported bool
+	fp       uint64   // ir.Function.Fingerprint (own-name-free)
+	calls    []string // callee name per OpCall, walk order
+	globals  []string // distinct global names referenced, first-use order
+}
+
+// tuSummary is the link-relevant summary of one translation unit.
+type tuSummary struct {
+	modName string
+	fp      uint64 // ir.Module.Fingerprint (site- and name-sensitive)
+	globals []string
+	funcs   []fnSummary
+	byName  map[string]int // function name -> index in funcs
+}
+
+// SummaryCache caches per-TU link summaries by module content and shares
+// per-function call lists by function content, following the pattern of the
+// interprocedural summary cache (internal/analysis/interproc): cache entries
+// are keyed by ir.Fingerprint content keys, so structurally identical inputs
+// — the same TU linked again, or structural twin functions anywhere in a
+// corpus — summarize once. Summarization is a pure function of the module,
+// so concurrent duplicate computation is benign; the cache trades the
+// single-flight machinery of the compile caches for simplicity because a
+// summary costs one walk of the IR, not a compilation.
+type SummaryCache struct {
+	mu   sync.Mutex
+	mods map[uint64]*tuSummary
+	fns  map[uint64]fnShape // Function.Fingerprint -> shared shape
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewSummaryCache returns an empty cache.
+func NewSummaryCache() *SummaryCache {
+	return &SummaryCache{
+		mods: make(map[uint64]*tuSummary),
+		fns:  make(map[uint64]fnShape),
+	}
+}
+
+// defaultSummaries is the package-wide cache used when Options.Summaries is
+// nil, so repeated links of the same TUs (sharded vs -no-shard oracle runs,
+// benchmarks) summarize each unit once per process.
+var defaultSummaries = NewSummaryCache()
+
+// Hits and Misses report module-level cache traffic.
+func (c *SummaryCache) Hits() int64   { return c.hits.Load() }
+func (c *SummaryCache) Misses() int64 { return c.misses.Load() }
+
+// summarize returns the content-cached summary of m.
+func (c *SummaryCache) summarize(m *ir.Module) *tuSummary {
+	key := m.Fingerprint()
+	c.mu.Lock()
+	if s, ok := c.mods[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return s
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	s := c.build(m, key)
+	c.mu.Lock()
+	c.mods[key] = s
+	c.mu.Unlock()
+	return s
+}
+
+// fnShape is the content-shared part of a function summary: equal
+// Function.Fingerprint values imply equal opcode structure including callee
+// and global name sequences, so structural twins share one shape.
+type fnShape struct {
+	calls   []string
+	globals []string
+}
+
+// build walks the module once. Per-function call and global lists are
+// shared through the function-level content map: Function.Fingerprint
+// streams callee and global names along with the opcode structure, so equal
+// fingerprints imply equal shapes.
+func (c *SummaryCache) build(m *ir.Module, key uint64) *tuSummary {
+	s := &tuSummary{
+		modName: m.Name,
+		fp:      key,
+		globals: append([]string(nil), m.Globals...),
+		funcs:   make([]fnSummary, 0, len(m.Funcs)),
+		byName:  make(map[string]int, len(m.Funcs)),
+	}
+	for _, f := range m.Funcs {
+		ffp := f.Fingerprint()
+		c.mu.Lock()
+		shape, cached := c.fns[ffp]
+		c.mu.Unlock()
+		if !cached {
+			shape.calls, shape.globals = walkFunc(f)
+			c.mu.Lock()
+			c.fns[ffp] = shape
+			c.mu.Unlock()
+		}
+		s.byName[f.Name] = len(s.funcs)
+		s.funcs = append(s.funcs, fnSummary{
+			name:     f.Name,
+			exported: f.Exported,
+			fp:       ffp,
+			calls:    shape.calls,
+			globals:  shape.globals,
+		})
+	}
+	return s
+}
+
+// walkFunc extracts the ordered callee list and the distinct referenced
+// globals of one function.
+func walkFunc(f *ir.Function) (calls, globals []string) {
+	seenG := map[string]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				calls = append(calls, in.Callee)
+			case ir.OpLoadG, ir.OpStoreG:
+				if !seenG[in.Global] {
+					seenG[in.Global] = true
+					globals = append(globals, in.Global)
+				}
+			}
+		}
+	}
+	return calls, globals
+}

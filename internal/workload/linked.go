@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"optinline/internal/ir"
+)
+
+// LinkedProfile describes a multi-translation-unit corpus meant to be
+// linked into one mega-module — the stand-in for the paper's amalgamation
+// scenario (§5.2.3), where merging units turns cross-file calls into
+// inlining candidates. Units are generated independently (one seeded rng
+// per TU, derived from the profile name), so a profile's output is a pure
+// function of its fields and immune to TU enumeration order.
+//
+// Structure per unit i: one exported root tu%03d_main, a few exported
+// entry points tu%03d_pub%02d (count is a per-unit hash, computable by
+// other units without generating this one), and a population of file-local
+// fn%03d functions whose names deliberately collide across units — the
+// linker's rename path at scale. Units are grouped into clusters of
+// Cluster consecutive units; each unit places ExtCalls calls to pubs of
+// higher units in its cluster, so a cluster links into one connected
+// call-graph component and a profile with T units yields ~T/Cluster
+// independently searchable components. Every unit stores to a file-local
+// "scratch" global (see LinkedTUs) while sharing "state"/"counter".
+type LinkedProfile struct {
+	Name       string
+	TUs        int
+	EdgesPerTU int // approximate local candidate edges per unit
+	Cluster    int // units per cross-TU cluster; <= 1 disables cross-TU calls
+	ExtCalls   int // cross-TU calls attempted per unit
+	Shape      Profile
+}
+
+// linkedShape is the body-shape tuning shared by the linked profiles:
+// wrapper/chain-heavy with few hubs, so components stay tree-ish and their
+// recursive search spaces grow slowly with size.
+func linkedShape() Profile {
+	return Profile{
+		ConstArgProb: 0.3,
+		HubProb:      0.05,
+		BigBodyProb:  0.1,
+		LoopProb:     0.15,
+		RecProb:      0.05,
+		BranchProb:   0.3,
+	}
+}
+
+// LinkedProfiles returns the linked corpus family. linked-s and linked-m
+// keep components small enough for the exact search (a component's
+// recursive space is exponential-ish in its edge count, sharding
+// parallelizes across components but cannot shrink one); linked-x10 and
+// linked-x30 are 10× and 30× the largest pre-existing unit (the 600-edge
+// SQLite amalgamation) — autotuner scale, where cost is linear in edges.
+func LinkedProfiles() []LinkedProfile {
+	return []LinkedProfile{
+		{Name: "linked-s", TUs: 6, EdgesPerTU: 8, Cluster: 2, ExtCalls: 3, Shape: linkedShape()},
+		{Name: "linked-m", TUs: 16, EdgesPerTU: 10, Cluster: 2, ExtCalls: 3, Shape: linkedShape()},
+		{Name: "linked-x10", TUs: 40, EdgesPerTU: 160, Cluster: 4, ExtCalls: 6, Shape: linkedShape()},
+		{Name: "linked-x30", TUs: 60, EdgesPerTU: 310, Cluster: 5, ExtCalls: 8, Shape: linkedShape()},
+	}
+}
+
+// LinkedProfileByName returns the named linked profile.
+func LinkedProfileByName(name string) (LinkedProfile, bool) {
+	for _, lp := range LinkedProfiles() {
+		if lp.Name == name {
+			return lp, true
+		}
+	}
+	return LinkedProfile{}, false
+}
+
+// LinkedScratchGlobal is the global every generated unit treats as
+// file-local ("static"): the linker renames each unit's copy apart.
+const LinkedScratchGlobal = "scratch"
+
+// GenerateLinked produces the profile's translation units.
+func GenerateLinked(lp LinkedProfile) Benchmark {
+	b := Benchmark{Name: lp.Name}
+	for i := 0; i < lp.TUs; i++ {
+		name := fmt.Sprintf("%s/tu%03d", lp.Name, i)
+		b.Files = append(b.Files, File{Name: name, Module: genLinkedTU(lp, i)})
+	}
+	return b
+}
+
+// linkedPubs returns unit i's exported-entry-point count: a pure hash of
+// (profile, i), so any unit can name another's pubs without generating it.
+func linkedPubs(profile string, i int) int {
+	return 1 + int(seedFor(profile+"/pubs", i)%3)
+}
+
+func linkedPubName(i, p int) string { return fmt.Sprintf("tu%03d_pub%02d", i, p) }
+func linkedRootName(i int) string   { return fmt.Sprintf("tu%03d_main", i) }
+func linkedTUName(lp LinkedProfile, i int) string {
+	return fmt.Sprintf("%s/tu%03d", lp.Name, i)
+}
+
+// genLinkedTU builds unit i. Spec layout: index 0 is the root, 1..npubs the
+// exported pubs, the rest file-local functions; local calls target a
+// strictly higher index (as in genModule), and cross-TU calls target pubs
+// of strictly higher cluster members, so the linked call graph stays
+// acyclic across units and every generated program still terminates.
+func genLinkedTU(lp LinkedProfile, i int) *ir.Module {
+	p := lp.Shape
+	rng := rand.New(rand.NewSource(seedFor(lp.Name, i)))
+	m := ir.NewModule(linkedTUName(lp, i))
+	m.AddGlobal("state")
+	m.AddGlobal("counter")
+	m.AddGlobal(LinkedScratchGlobal)
+
+	target := maxi(lp.EdgesPerTU, 1)
+	npubs := linkedPubs(lp.Name, i)
+	nlocal := maxi(3, target*2/3+2)
+	if nlocal > target+4 {
+		nlocal = target + 4
+	}
+	n := 1 + npubs + nlocal
+	specs := make([]funcSpec, n)
+	specs[0] = funcSpec{name: linkedRootName(i), nparams: 1, exported: true}
+	// The first pub is a full entry point touching the unit's scratch
+	// global; later pubs are thin exported wrappers — the API shims whose
+	// cross-TU calls only become profitable to inline after linking.
+	for pu := 0; pu < npubs; pu++ {
+		specs[1+pu] = funcSpec{
+			name:     linkedPubName(i, pu),
+			nparams:  1,
+			exported: true,
+		}
+		if pu == 0 {
+			specs[1+pu].scratch = true
+		} else {
+			specs[1+pu].wrapper = true
+		}
+	}
+	for k := 0; k < nlocal; k++ {
+		idx := 1 + npubs + k
+		specs[idx] = funcSpec{
+			name:    fmt.Sprintf("fn%03d", k),
+			nparams: 1 + rng.Intn(2),
+			big:     rng.Float64() < p.BigBodyProb,
+			loop:    rng.Float64() < p.LoopProb,
+			rec:     rng.Float64() < p.RecProb,
+			branch:  rng.Float64() < p.BranchProb,
+		}
+		if !specs[idx].big && rng.Float64() < 0.3 {
+			specs[idx].wrapper = true
+			specs[idx].loop, specs[idx].rec, specs[idx].branch = false, false, false
+		}
+	}
+
+	// Hubs among the locals, as in genModule.
+	nhubs := 1 + n/8
+	hubs := make([]int, 0, nhubs)
+	for h := 0; h < nhubs; h++ {
+		hubs = append(hubs, n/2+rng.Intn(n-n/2))
+	}
+
+	// The root always calls every pub (local candidate edges into the
+	// unit's API), then random local edges fill the budget.
+	for pu := 0; pu < npubs; pu++ {
+		specs[0].callees = append(specs[0].callees, 1+pu)
+	}
+	edges := npubs
+	for fi := 0; fi < n-1 && edges < target; fi++ {
+		ncalls := 1 + rng.Intn(3)
+		if specs[fi].big {
+			ncalls = rng.Intn(2)
+		}
+		if specs[fi].wrapper {
+			ncalls = 1
+		}
+		for c := 0; c < ncalls && edges < target; c++ {
+			var callee int
+			if rng.Float64() < p.HubProb {
+				callee = hubs[rng.Intn(len(hubs))]
+			} else {
+				callee = fi + 1 + rng.Intn(mini(4, n-fi-1))
+			}
+			if callee <= fi {
+				callee = fi + 1
+			}
+			specs[fi].callees = append(specs[fi].callees, callee)
+			edges++
+		}
+	}
+
+	// Shared straightline snippets, as in genModule.
+	var snippets [][]snipOp
+	nsnips := 1 + n/12
+	for sn := 0; sn < nsnips; sn++ {
+		length := 8 + rng.Intn(5)
+		ops := make([]snipOp, length)
+		for oi := range ops {
+			ops[oi] = snipOp{
+				op:       []ir.BinOp{ir.Add, ir.Mul, ir.Xor, ir.Sub}[rng.Intn(4)],
+				c:        int64(1 + rng.Intn(30)),
+				useParam: rng.Float64() < 0.7,
+			}
+		}
+		snippets = append(snippets, ops)
+	}
+	for si := range specs {
+		if !specs[si].wrapper && rng.Float64() < 0.35 {
+			specs[si].snippet = 1 + rng.Intn(len(snippets))
+		}
+	}
+
+	// Cross-TU calls: pubs of strictly higher units in this unit's cluster.
+	// Attached to non-wrapper functions (wrappers return before the
+	// emission point); the last cluster member places none.
+	if lp.Cluster > 1 && lp.ExtCalls > 0 {
+		lo := (i / lp.Cluster) * lp.Cluster
+		hi := mini(lo+lp.Cluster, lp.TUs)
+		if i+1 < hi {
+			for a := 0; a < lp.ExtCalls; a++ {
+				j := i + 1 + rng.Intn(hi-i-1)
+				pub := rng.Intn(linkedPubs(lp.Name, j))
+				si := rng.Intn(n)
+				for specs[si].wrapper {
+					si = (si + 1) % n
+				}
+				specs[si].extCallees = append(specs[si].extCallees, extCall{
+					name:    linkedPubName(j, pub),
+					nparams: 1,
+				})
+			}
+		}
+	}
+
+	for idx := n - 1; idx >= 0; idx-- {
+		m.AddFunc(genFunction(rng, specs, idx, p, snippets))
+	}
+	m.AssignSites()
+	return m
+}

@@ -208,6 +208,20 @@ type funcSpec struct {
 	branch   bool
 	snippet  int // 1-based index of an embedded shared snippet; 0 = none
 	callees  []int
+
+	// Linked-corpus extensions (linked.go). Both are inert when unset and
+	// consume no rng draws, so every pre-existing profile keeps generating
+	// byte-identical modules.
+	scratch    bool      // store to the file-local "scratch" global
+	extCallees []extCall // calls into other translation units, emitted last
+}
+
+// extCall is a call whose callee lives in another translation unit: within
+// this module it is an undefined reference that only becomes a candidate
+// edge after linking.
+type extCall struct {
+	name    string
+	nparams int
 }
 
 // snipOp is one step of a shared straightline snippet: v = v <op> x when
@@ -361,6 +375,28 @@ func genFunction(rng *rand.Rand, specs []funcSpec, i int, p Profile, snippets []
 		}
 		r := b.Call(callee.name, args...)
 		v = b.Bin(ir.Add, v, r)
+	}
+
+	// Cross-TU calls (linked corpora only): undefined references here,
+	// candidate edges after linking. Guarded so non-linked profiles draw no
+	// extra randomness.
+	for _, ec := range sp.extCallees {
+		args := make([]*ir.Value, ec.nparams)
+		for a := range args {
+			if rng.Float64() < p.ConstArgProb {
+				args[a] = b.Const(int64(rng.Intn(6)))
+			} else {
+				args[a] = v
+			}
+		}
+		r := b.Call(ec.name, args...)
+		v = b.Bin(ir.Add, v, r)
+	}
+
+	// File-local global traffic (linked corpora only): every TU stores to
+	// its own "scratch", forcing the linker's global-rename path.
+	if sp.scratch {
+		b.StoreG("scratch", v)
 	}
 
 	// Occasional observable side effect.
