@@ -487,6 +487,107 @@ func BenchmarkAutotuneRoundDeltaVsFull(b *testing.B) {
 	}
 }
 
+// BenchmarkCycleRepriceVsReinterp measures what making runtime a
+// first-class objective costs per probe: pricing single-toggle
+// configurations of a sqlite-profile unit (the largest generated unit that
+// the interpreter finishes within fuel) three ways. "delta" builds a cycle
+// pricer over one baseline profile and reprices each toggle incrementally
+// (dirty-closure walk + i-cache replay); "oracle" prices each toggle with
+// the whole-module model evaluation (-no-cycledelta); "reinterp" is the
+// naive alternative the pricer exists to avoid — rebuild the module and
+// re-run the interpreter for every probe. The one-off profile collection
+// runs outside the timed loop in every mode, and delta/oracle agree with
+// each other bit-for-bit; reinterp additionally re-executes loops the
+// model prices statically, so it is the semantic ground truth, not a
+// byte-identical oracle. Recorded in BENCH_search.json.
+func BenchmarkCycleRepriceVsReinterp(b *testing.B) {
+	p := workload.Profile{
+		Name: "sqlite", Files: 1, TotalEdges: 600,
+		ConstArgProb: 0.4, HubProb: 0.3, BigBodyProb: 0.25,
+		LoopProb: 0.3, RecProb: 0.08, BranchProb: 0.5, MultiRootPct: 0.12,
+	}
+	f := workload.Generate(p).Files[0]
+	comp := compile.New(f.Module, codegen.TargetX86)
+	built, err := comp.Build(callgraph.NewConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, prof, err := interp.Collect(built, "entry", []int64{7}, interp.Options{Fuel: 20_000_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := comp.Graph().Edges
+	var sites []int
+	for i := 0; i < len(edges) && len(sites) < 16; i += len(edges) / 16 {
+		sites = append(sites, edges[i].Site)
+	}
+	b.Logf("unit: %d functions, %d candidate edges, %d profiled frame events, %d probes",
+		len(comp.Module().Funcs), len(edges), len(prof.Events), len(sites))
+
+	newPricer := func(delta bool) *compile.CyclePricer {
+		pr, err := comp.NewCyclePricer(prof, compile.CycleOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr.SetCycleDelta(delta)
+		return pr
+	}
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pr := newPricer(true)
+			base := pr.Priced(callgraph.NewConfig())
+			var sum int64
+			for _, s := range sites {
+				sum += pr.CyclesDelta(base, []int{s})
+			}
+			if sum <= 0 {
+				b.Fatal("no cycles")
+			}
+		}
+	})
+	b.Run("oracle", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pr := newPricer(false)
+			var sum int64
+			for _, s := range sites {
+				cfg := callgraph.NewConfig()
+				cfg.Set(s, true)
+				sum += pr.Cycles(cfg)
+			}
+			if sum <= 0 {
+				b.Fatal("no cycles")
+			}
+		}
+	})
+	b.Run("reinterp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sum int64
+			for _, s := range sites {
+				cfg := callgraph.NewConfig()
+				cfg.Set(s, true)
+				bm, err := comp.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := interp.Run(bm, "entry", []int64{7}, interp.Options{
+					Fuel:   20_000_000,
+					SizeOf: codegen.SizeOf(bm, codegen.TargetX86),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += res.Cycles
+			}
+			if sum <= 0 {
+				b.Fatal("no cycles")
+			}
+		}
+	})
+}
+
 // BenchmarkConfigKeyBitset measures the configuration-identity operations
 // the evaluation hot paths lean on: the compile cache's binary CacheKey,
 // the Hash + Equal pair, a cached Key, and a cold Key after invalidation.

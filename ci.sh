@@ -60,7 +60,8 @@ echo "== delta-engine bench smoke =="
 # One iteration each: catches compile errors or assertion failures in the
 # delta-vs-full, config-identity, and pruned-vs-exhaustive benchmarks
 # without paying bench time.
-go test -run '^$' -bench 'DeltaVsFull|ConfigKey|OptimalPrunedVsExhaustive|FnCacheColdVsWarm' -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'DeltaVsFull|ConfigKey|OptimalPrunedVsExhaustive|FnCacheColdVsWarm|CycleRepriceVsReinterp' -benchtime=1x . >/dev/null
+go test -run '^$' -bench 'ICacheNaive|ICacheIndexed' -benchtime=1x ./internal/interp >/dev/null
 
 echo "== fn content cache differential smoke =="
 # The content-addressed per-function cache and the -no-fncache legacy-key
@@ -97,6 +98,35 @@ for f in examples/minc/*.minc; do
     exit 1
   fi
 done
+
+echo "== cycle-delta differential smoke =="
+# The incremental cycle pricer and the -no-cycledelta whole-module oracle
+# must render byte-identical stdout for cycle-aware tuning on every
+# example, and the pareto sweep must print a frontier. The same identity
+# must hold for the pareto experiment over a scaled corpus, where the
+# repricer sees thousands of probes.
+for f in examples/minc/*.minc; do
+  cdelta="$(go run ./cmd/inlinetune -objective weighted "$f" 2>/dev/null)"
+  coracle="$(go run ./cmd/inlinetune -objective weighted -no-cycledelta "$f" 2>/dev/null)"
+  if [[ "${cdelta}" != "${coracle}" ]]; then
+    echo "cycle delta / -no-cycledelta disagree on ${f}:"
+    diff <(echo "${cdelta}") <(echo "${coracle}") || true
+    exit 1
+  fi
+done
+pareto_out="$(go run ./cmd/inlinetune -objective pareto examples/minc/collatz.minc 2>/dev/null)"
+if ! grep -q 'lambda' <<<"${pareto_out}"; then
+  echo "pareto sweep printed no frontier:"
+  echo "${pareto_out}"
+  exit 1
+fi
+pexp_delta="$(go run ./cmd/inlinebench -exp pareto -scale 0.1 2>/dev/null)"
+pexp_oracle="$(go run ./cmd/inlinebench -exp pareto -scale 0.1 -no-cycledelta -jobs 2 2>/dev/null)"
+if [[ "${pexp_delta}" != "${pexp_oracle}" ]]; then
+  echo "pareto experiment: cycle delta / -no-cycledelta disagree:"
+  diff <(echo "${pexp_delta}") <(echo "${pexp_oracle}") || true
+  exit 1
+fi
 
 echo "== linked-module differential smoke =="
 # Cross-module (LTO-style) mode: link the whole example corpus into one

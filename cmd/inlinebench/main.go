@@ -28,6 +28,9 @@
 //	              (differential oracle — stdout is byte-identical)
 //	-no-fncache   disable the content-addressed per-function compile cache,
 //	              falling back to per-module memo keys (differential oracle)
+//	-no-cycledelta cycle pricers (the pareto experiment) evaluate whole
+//	              configurations instead of repricing incrementally
+//	              (differential oracle — stdout is byte-identical)
 //	-cache-dir d  persist the content cache in directory d: entries from a
 //	              previous run are reused, and this run's are saved back
 //	-cpuprofile f write a CPU profile to f
@@ -72,6 +75,7 @@ func run() error {
 		noPrune   = flag.Bool("no-prune", false, "disable the branch-and-bound search layer (differential oracle)")
 		noShard   = flag.Bool("no-shard", false, "linked-module experiments: one merged compiler instead of per-component shards (differential oracle)")
 		noFnCache = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		noCycleDelta = flag.Bool("no-cycledelta", false, "cycle pricers evaluate whole configurations instead of repricing incrementally (differential oracle)")
 		cacheDir  = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 		check     = flag.Bool("check", false, "checked compilation: verify IR invariants after every inline step and opt pass (slow)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -128,8 +132,9 @@ func run() error {
 		Checked:        *check,
 		DisablePrune:   *noPrune,
 		DisableFnCache: *noFnCache,
-		FnCache:        fncache,
-		DisableShard:   *noShard,
+		FnCache:           fncache,
+		DisableShard:      *noShard,
+		DisableCycleDelta: *noCycleDelta,
 	})
 	fmt.Fprintf(os.Stderr, "corpus generated in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -161,6 +166,7 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", h.FnCacheStats())
 	fmt.Fprintf(os.Stderr, "delta engine:    %v\n", h.DeltaStats())
 	fmt.Fprintf(os.Stderr, "search pruning:  %v\n", h.PruneStats())
+	fmt.Fprintf(os.Stderr, "cycle pricer:    %v\n", h.CycleStats())
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 	if *check {
 		if fails := h.CheckFailures(); len(fails) > 0 {

@@ -30,6 +30,15 @@
 // GET /stats, GET /healthz. On SIGTERM or SIGINT the daemon drains in two
 // phases: /healthz and new work answer 503 while in-flight requests
 // finish, then the listener shuts down and the cache store is synced.
+//
+// /tune accepts an "objective" field (size, weighted, cycles): cycle-aware
+// objectives profile entry(args...) on the no-inline baseline once — the
+// profile and its incremental cycle pricer are pooled across requests —
+// and report initCycles/bestCycles plus per-round cycles alongside the
+// size trace. "noCycleDelta": true prices every probe with the
+// whole-module oracle instead; the response is byte-identical either way.
+// GET /stats exposes the pricer pool (profiles cached, repricings,
+// whole-module fallbacks, replay events) under "cyclePricers".
 package main
 
 import (

@@ -28,6 +28,19 @@
 //	                      recursion instead of branch-and-bound (oracle)
 //	-no-fncache           disable the content-addressed per-function compile
 //	                      cache (differential oracle)
+//	-objective o          tuned objective: size (default), weighted
+//	                      (bytes + lambda*cycles), cycles, or pareto (a
+//	                      lambda sweep printing the size/speed frontier);
+//	                      cycle objectives profile the no-inline baseline
+//	                      once and reprice every probe incrementally
+//	-lambda F             cycle weight for -objective weighted (default 0.1)
+//	-lambdas l1,l2,...    interior weights for -objective pareto
+//	-entry f, -args a,b   profiled root and arguments (default entry(7))
+//	-fuel N               profiling interpretation fuel
+//	-cache-bytes N        modelled i-cache capacity (0 = default)
+//	-no-cycledelta        cycle pricer evaluates whole configurations
+//	                      instead of repricing incrementally (differential
+//	                      oracle — stdout is byte-identical)
 //	-cache-dir d          persist the per-function content cache in directory d
 //	-cpuprofile f         write a CPU profile to f
 //	-memprofile f         write a heap profile to f at exit
@@ -36,15 +49,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"optinline/internal/autotune"
 	"optinline/internal/callgraph"
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
+	"optinline/internal/interp"
 	"optinline/internal/ir"
 	"optinline/internal/link"
 	"optinline/internal/source"
@@ -70,6 +87,14 @@ func run() error {
 		exactComps = flag.Uint64("exact-components", 0, "re-solve components whose recursive space fits N evaluations exactly after the rounds (0 = off)")
 		noPrune    = flag.Bool("no-prune", false, "exhaustive recursion instead of branch-and-bound in the exact-component polish (differential oracle)")
 		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		objective  = flag.String("objective", "size", "tuned objective: size|weighted|cycles|pareto")
+		lambda     = flag.Float64("lambda", 0.1, "cycle weight for -objective weighted")
+		lambdas    = flag.String("lambdas", "0.01,0.1,1", "interior weights for -objective pareto (comma-separated)")
+		entryName  = flag.String("entry", "entry", "profiled root function for cycle objectives")
+		entryArgs  = flag.String("args", "7", "profiled root arguments (comma-separated integers)")
+		fuel       = flag.Int64("fuel", 20_000_000, "profiling interpretation fuel")
+		cacheBytes = flag.Int("cache-bytes", 0, "modelled i-cache capacity in bytes (0 = interpreter default)")
+		noCycleDelta = flag.Bool("no-cycledelta", false, "cycle pricer evaluates whole configurations instead of repricing incrementally (differential oracle)")
 		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -110,13 +135,24 @@ func run() error {
 	if *targetName == "wasm" {
 		target = codegen.TargetWASM
 	}
+	cf, err := parseCycleFlags(*objective, *lambda, *lambdas, *entryName, *entryArgs,
+		*fuel, *cacheBytes, *noCycleDelta)
+	if err != nil {
+		return err
+	}
+	if cf.objective != "size" && (*groups || *incr || *exactComps > 0) {
+		return fmt.Errorf("-objective %s does not combine with -groups, -incremental, or -exact-components", cf.objective)
+	}
 	fncache, err := compile.OpenFnCache(*cacheDir)
 	if err != nil {
 		return err
 	}
 	if *doLink {
+		if cf.objective == "pareto" {
+			return fmt.Errorf("-objective pareto does not combine with -link")
+		}
 		return runLinkTune(flag.Args(), target, fncache, *cacheDir, *linkDup, *initMode,
-			*rounds, *workers, *noShard, *noDelta, *noFnCache)
+			*rounds, *workers, *noShard, *noDelta, *noFnCache, cf)
 	}
 	mod, err := source.Load(flag.Arg(0))
 	if err != nil {
@@ -135,6 +171,9 @@ func run() error {
 	noInline := comp.Size(callgraph.NewConfig())
 	fmt.Printf("%s: %d inlinable calls; no-inline %d bytes, -Os %d bytes\n",
 		flag.Arg(0), len(g.Edges), noInline, osSize)
+	if cf.objective != "size" {
+		return runCycleTune(comp, osCfg, cf, *initMode, *rounds, *workers)
+	}
 
 	opts := autotune.Options{Rounds: *rounds, Workers: *workers}
 	tune := func(init *callgraph.Config) autotune.Result {
@@ -199,12 +238,171 @@ func pct(a, b int) float64 {
 	return float64(a) / float64(b) * 100
 }
 
+// cycleFlags bundles the cycle-objective knobs shared by the single-file
+// and -link paths.
+type cycleFlags struct {
+	objective    string // size|weighted|cycles|pareto
+	lambda       float64
+	lambdas      []float64
+	entry        string
+	args         []int64
+	fuel         int64
+	cacheBytes   int
+	noCycleDelta bool
+}
+
+func parseCycleFlags(objective string, lambda float64, lambdas, entry, args string,
+	fuel int64, cacheBytes int, noCycleDelta bool) (cycleFlags, error) {
+	cf := cycleFlags{
+		objective: objective, lambda: lambda, entry: entry,
+		fuel: fuel, cacheBytes: cacheBytes, noCycleDelta: noCycleDelta,
+	}
+	switch objective {
+	case "size", "weighted", "cycles", "pareto":
+	default:
+		return cf, fmt.Errorf("-objective: unknown objective %q (want size, weighted, cycles, or pareto)", objective)
+	}
+	for _, f := range strings.Split(lambdas, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			return cf, fmt.Errorf("-lambdas: bad weight %q", f)
+		}
+		cf.lambdas = append(cf.lambdas, v)
+	}
+	for _, a := range strings.Split(args, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return cf, fmt.Errorf("-args: bad argument %q", a)
+		}
+		cf.args = append(cf.args, v)
+	}
+	return cf, nil
+}
+
+// pricerFor profiles the no-inline baseline and wraps it in a cycle pricer.
+func pricerFor(comp *compile.Compiler, cf cycleFlags) (*compile.CyclePricer, *interp.Profile, error) {
+	built, err := comp.Build(callgraph.NewConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	_, prof, err := interp.Collect(built, cf.entry, cf.args, interp.Options{Fuel: cf.fuel})
+	if err != nil {
+		return nil, nil, fmt.Errorf("profiling %s%v: %w", cf.entry, cf.args, err)
+	}
+	pricer, err := comp.NewCyclePricer(prof, compile.CycleOptions{CacheBytes: cf.cacheBytes})
+	if err != nil {
+		return nil, nil, err
+	}
+	if cf.noCycleDelta {
+		pricer.SetCycleDelta(false)
+	}
+	return pricer, prof, nil
+}
+
+// runCycleTune tunes one translation unit for a cycle-aware objective.
+// stdout is byte-identical with and without -no-cycledelta.
+func runCycleTune(comp *compile.Compiler, osCfg *callgraph.Config, cf cycleFlags,
+	initMode string, rounds, workers int) error {
+	pricer, prof, err := pricerFor(comp, cf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profiled %s%v: %d frames, %d cycles at no-inline (i-cache %d bytes)\n",
+		cf.entry, cf.args, prof.TotalFrames(), prof.Res.Cycles, pricer.CacheBytes())
+	opts := autotune.Options{Rounds: rounds, Workers: workers}
+
+	if cf.objective == "pareto" {
+		pts := autotune.Pareto(comp, pricer, nil, cf.lambdas, opts)
+		fmt.Printf("\npareto frontier (%d points):\n", len(pts))
+		for _, p := range pts {
+			fmt.Printf("  lambda %8s: %6d bytes, %10d cycles, inlining %d of %d sites\n",
+				lambdaLabel(p.Lambda), p.Size, p.Cycles, p.Config.InlineCount(), len(comp.Graph().Sites()))
+		}
+		fmt.Fprintf(os.Stderr, "cycle pricer: %v\n", pricer.Stats())
+		return nil
+	}
+
+	cost := func(r autotune.Result) float64 {
+		if cf.objective == "cycles" {
+			return float64(r.Cycles)
+		}
+		return float64(r.Size) + cf.lambda*float64(r.Cycles)
+	}
+	tune := func(init *callgraph.Config) autotune.Result {
+		if cf.objective == "cycles" {
+			return autotune.TuneCycles(comp, pricer, init, opts)
+		}
+		return autotune.TuneWeighted(comp, pricer, cf.lambda, init, opts)
+	}
+	report := func(name string, res autotune.Result) {
+		fmt.Printf("\n%s, objective %s (init %d bytes, %d cycles):\n",
+			name, objectiveLabel(cf), res.InitSize, res.InitCycles)
+		for _, r := range res.Rounds {
+			fmt.Printf("  round %d: %d bytes, %d cycles, %d inlined / %d not, %d toggles\n",
+				r.Round, r.Size, r.Cycles, r.Inlined, r.NotInlined, r.Toggles)
+		}
+		fmt.Printf("  best: %d bytes, %d cycles, inlining %v\n",
+			res.Size, res.Cycles, res.Config.InlineSites())
+	}
+
+	var best autotune.Result
+	switch initMode {
+	case "clean":
+		best = tune(nil)
+		report("clean slate", best)
+	case "os":
+		best = tune(osCfg)
+		report("-Os initialized", best)
+	case "both":
+		clean := tune(nil)
+		inited := tune(osCfg)
+		report("clean slate", clean)
+		report("-Os initialized", inited)
+		best = clean
+		if cost(inited) < cost(best) {
+			best = inited
+		}
+	default:
+		return fmt.Errorf("unknown init mode %q", initMode)
+	}
+	fmt.Printf("\nfinal: %d bytes, %d cycles, %d compilations\n",
+		best.Size, best.Cycles, comp.Evaluations())
+	fmt.Fprintf(os.Stderr, "cycle pricer: %v\n", pricer.Stats())
+	return nil
+}
+
+func lambdaLabel(l float64) string {
+	switch {
+	case l == 0:
+		return "size"
+	case math.IsInf(l, 1):
+		return "cycles"
+	default:
+		return fmt.Sprintf("%g", l)
+	}
+}
+
+func objectiveLabel(cf cycleFlags) string {
+	if cf.objective == "weighted" {
+		return fmt.Sprintf("bytes + %g*cycles", cf.lambda)
+	}
+	return cf.objective
+}
+
 // runLinkTune links the argument files and autotunes the merged module with
 // per-component lockstep sessions (or the -no-shard whole-module oracle).
 // stdout is mode-independent; counters go to stderr.
 func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache,
 	cacheDir, dupPolicy, initMode string, rounds, workers int,
-	noShard, noDelta, noFnCache bool) error {
+	noShard, noDelta, noFnCache bool, cf cycleFlags) error {
 	if len(files) == 0 {
 		return fmt.Errorf("usage: inlinetune -link [flags] a.minc b.minc ...")
 	}
@@ -249,15 +447,41 @@ func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache
 		},
 		Rounds: rounds,
 	}
+	cycleAware := cf.objective != "size"
+	if cycleAware {
+		switch cf.objective {
+		case "weighted":
+			opts.Objective = link.ObjectiveWeighted
+		case "cycles":
+			opts.Objective = link.ObjectiveCycles
+		}
+		opts.Lambda = cf.lambda
+		opts.Entry = cf.entry
+		opts.Args = cf.args
+		opts.Fuel = cf.fuel
+		opts.CacheBytes = cf.cacheBytes
+		opts.NoCycleDelta = cf.noCycleDelta
+	}
 	report := func(name string, tr link.TuneResult) {
 		res := tr.Result
-		fmt.Printf("\n%s (init %d bytes):\n", name, res.InitSize)
-		for _, r := range res.Rounds {
-			fmt.Printf("  round %d: %d bytes, %d inlined / %d not, %d toggles\n",
-				r.Round, r.Size, r.Inlined, r.NotInlined, r.Toggles)
+		if cycleAware {
+			fmt.Printf("\n%s, objective %s (init %d bytes, %d cycles):\n",
+				name, objectiveLabel(cf), res.InitSize, res.InitCycles)
+			for _, r := range res.Rounds {
+				fmt.Printf("  round %d: %d bytes, %d cycles, %d inlined / %d not, %d toggles\n",
+					r.Round, r.Size, r.Cycles, r.Inlined, r.NotInlined, r.Toggles)
+			}
+			fmt.Printf("  best: %d bytes, %d cycles, inlining %d of %d sites\n",
+				res.Size, res.Cycles, res.Config.InlineCount(), len(pl.Edges))
+		} else {
+			fmt.Printf("\n%s (init %d bytes):\n", name, res.InitSize)
+			for _, r := range res.Rounds {
+				fmt.Printf("  round %d: %d bytes, %d inlined / %d not, %d toggles\n",
+					r.Round, r.Size, r.Inlined, r.NotInlined, r.Toggles)
+			}
+			fmt.Printf("  best: %d bytes, inlining %d of %d sites\n",
+				res.Size, res.Config.InlineCount(), len(pl.Edges))
 		}
-		fmt.Printf("  best: %d bytes, inlining %d of %d sites\n",
-			res.Size, res.Config.InlineCount(), len(pl.Edges))
 		for _, cs := range tr.Components {
 			fmt.Printf("    component %2d: %3d funcs, %3d sites, inlined %3d\n",
 				cs.Index, cs.Funcs, cs.Edges, cs.Inlined)
@@ -298,15 +522,30 @@ func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache
 		report("clean slate", clean)
 		report("-Os initialized", inited)
 		best = clean
-		if inited.Result.Size < best.Result.Size {
+		linkCost := func(tr link.TuneResult) float64 {
+			switch cf.objective {
+			case "cycles":
+				return float64(tr.Result.Cycles)
+			case "weighted":
+				return float64(tr.Result.Size) + cf.lambda*float64(tr.Result.Cycles)
+			}
+			return float64(tr.Result.Size)
+		}
+		if linkCost(inited) < linkCost(best) {
 			best = inited
 		}
 		evals = clean.Evaluations + inited.Evaluations
 	default:
 		return fmt.Errorf("unknown init mode %q", initMode)
 	}
-	fmt.Printf("\nfinal: %d bytes, inlining %d of %d sites\n",
-		best.Result.Size, best.Result.Config.InlineCount(), len(pl.Edges))
+	if cycleAware {
+		fmt.Printf("\nfinal: %d bytes, %d cycles, inlining %d of %d sites\n",
+			best.Result.Size, best.Result.Cycles, best.Result.Config.InlineCount(), len(pl.Edges))
+		fmt.Fprintf(os.Stderr, "cycle pricer: %v\n", best.Cycle)
+	} else {
+		fmt.Printf("\nfinal: %d bytes, inlining %d of %d sites\n",
+			best.Result.Size, best.Result.Config.InlineCount(), len(pl.Edges))
+	}
 
 	fmt.Fprintf(os.Stderr, "evaluations: %d compilations (config cache %v)\n", evals, best.ConfigCache)
 	fmt.Fprintf(os.Stderr, "function cache: %v\n", best.FuncCache)

@@ -31,12 +31,16 @@
 //	-cache-dir d                   persist the per-function content cache in
 //	                               directory d across runs
 //	-cache-stats                   print content-cache counters to stderr
+//	-cpuprofile f                  write a CPU profile to f
+//	-memprofile f                  write a heap profile to f at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"optinline/internal/autotune"
@@ -88,10 +92,37 @@ func run() error {
 		cacheStats = flag.Bool("cache-stats", false, "print content-cache counters to stderr")
 		doLink     = flag.Bool("link", false, "link all argument files into one module before inlining")
 		linkDup    = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		args       intList
 	)
 	flag.Var(&args, "arg", "integer argument for -run (repeatable)")
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mincc: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mincc: -memprofile:", err)
+			}
+		}()
+	}
 	if *doLink {
 		if flag.NArg() == 0 {
 			return fmt.Errorf("usage: mincc -link [flags] a.minc b.minc ...")

@@ -28,8 +28,9 @@ type Options struct {
 // RoundTrace records one round's outcome (paper Table 4).
 type RoundTrace struct {
 	Round      int
-	Size       int // size of the configuration produced by this round
-	Inlined    int // inline-labeled candidate edges after the round
+	Size       int   // size of the configuration produced by this round
+	Cycles     int64 // modelled cycles of that configuration; 0 for size-only sessions
+	Inlined    int   // inline-labeled candidate edges after the round
 	NotInlined int
 	Toggles    int // edges whose label this round changed
 }
@@ -40,13 +41,19 @@ type Result struct {
 	// rounds do not always improve; the paper recommends keeping the best).
 	Config *callgraph.Config
 	Size   int
-	// InitSize is the size of the initial configuration.
-	InitSize int
+	// Cycles is Config's modelled cycle count when the session tuned with a
+	// cycle objective (weighted or cycles-only); 0 for size-only sessions.
+	Cycles int64
+	// InitSize is the size of the initial configuration (for objective
+	// sessions: its cost); InitCycles its cycles, when priced.
+	InitSize   int
+	InitCycles int64
 	// Final is the configuration produced by the last executed round; it
 	// may be worse than Config.
-	Final     *callgraph.Config
-	FinalSize int
-	Rounds    []RoundTrace
+	Final       *callgraph.Config
+	FinalSize   int
+	FinalCycles int64
+	Rounds      []RoundTrace
 	// Evaluations is the compiler's real-compilation counter at the end.
 	Evaluations int64
 }

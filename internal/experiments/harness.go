@@ -14,6 +14,7 @@ import (
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
+	"optinline/internal/interp"
 	"optinline/internal/search"
 	"optinline/internal/stats"
 	"optinline/internal/workload"
@@ -65,6 +66,11 @@ type Config struct {
 	// of per-component sub-modules (inlinebench -no-shard). Differential
 	// oracle: output must be byte-identical either way.
 	DisableShard bool
+	// DisableCycleDelta makes every cycle pricer evaluate configurations
+	// with the whole-module oracle instead of incremental repricing
+	// (inlinebench -no-cycledelta). Differential oracle: output must be
+	// byte-identical either way.
+	DisableCycleDelta bool
 }
 
 func (c Config) normalized() Config {
@@ -109,6 +115,11 @@ type fileData struct {
 	optOnce sync.Once
 	opt     search.Result
 	optOK   bool
+
+	profOnce sync.Once
+	prof     *interp.Profile // baseline profile; nil if not interpretable
+	priceMu  sync.Mutex
+	pricers  map[int]*compile.CyclePricer // by i-cache capacity
 }
 
 // tuned runs (and caches) the two round-based tuning sessions.
@@ -119,6 +130,48 @@ func (fd *fileData) tuned(cfg Config) (clean, init autotune.Result) {
 		fd.init = autotune.Tune(fd.comp, fd.heurCfg, opts)
 	})
 	return fd.clean, fd.init
+}
+
+// profile interprets the no-inline baseline once (cached), returning nil
+// for files without an entry root or whose dynamic call tree exceeds the
+// fuel budget — the same skip rule as the Figure 19 measurement.
+func (fd *fileData) profile() *interp.Profile {
+	fd.profOnce.Do(func() {
+		m, err := fd.comp.Build(callgraph.NewConfig())
+		if err != nil || m.Func("entry") == nil {
+			return
+		}
+		_, p, err := interp.Collect(m, "entry", []int64{7}, interp.Options{Fuel: 20_000_000})
+		if err != nil {
+			return
+		}
+		fd.prof = p
+		fd.pricers = make(map[int]*compile.CyclePricer)
+	})
+	return fd.prof
+}
+
+// cyclePricer returns (and caches) a cycle pricer over the baseline profile
+// at the given i-cache capacity. The profile's frame sequence is geometry-
+// independent, so one interpretation backs every capacity.
+func (fd *fileData) cyclePricer(cfg Config, cacheBytes int) *compile.CyclePricer {
+	if fd.profile() == nil {
+		return nil
+	}
+	fd.priceMu.Lock()
+	defer fd.priceMu.Unlock()
+	if p, ok := fd.pricers[cacheBytes]; ok {
+		return p
+	}
+	p, err := fd.comp.NewCyclePricer(fd.prof, compile.CycleOptions{CacheBytes: cacheBytes})
+	if err != nil {
+		return nil
+	}
+	if cfg.DisableCycleDelta {
+		p.SetCycleDelta(false)
+	}
+	fd.pricers[cacheBytes] = p
+	return p
 }
 
 // optimal runs (and caches) the exhaustive search, bounded by the cap.
@@ -284,6 +337,20 @@ func (h *Harness) PruneStats() search.PruneStats {
 		if fd.optOK {
 			total = total.Add(fd.opt.Prune)
 		}
+	}
+	return total
+}
+
+// CycleStats aggregates the cycle-pricer counters over every pricer the
+// experiments created.
+func (h *Harness) CycleStats() compile.CyclePricerStats {
+	var total compile.CyclePricerStats
+	for _, fd := range h.files {
+		fd.priceMu.Lock()
+		for _, p := range fd.pricers {
+			total = total.Add(p.Stats())
+		}
+		fd.priceMu.Unlock()
 	}
 	return total
 }

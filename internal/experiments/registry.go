@@ -14,7 +14,7 @@ func IDs() []string {
 		"fig15", "fig16", "fig17", "tab4", "fig18", "fig19",
 		"llvm-case", "sqlite-case",
 		"mlgo-case", "outline-case", "perf-case",
-		"linked-case",
+		"linked-case", "pareto",
 	}
 }
 
@@ -71,6 +71,8 @@ func (h *Harness) Run(id string) (Result, error) {
 		return h.PerfCase(), nil
 	case "linked-case":
 		return h.LinkedCase(), nil
+	case "pareto":
+		return h.Pareto(), nil
 	case "linked-scale":
 		// Heavy (mega-module tuning); deliberately not in IDs()/RunAll.
 		return h.LinkedScale(), nil

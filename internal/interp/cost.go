@@ -13,6 +13,13 @@ const (
 	costCacheBytesPerCycle = 8 // one extra cycle per 8 bytes fetched
 )
 
+// Exported views of the cost model for the compile-side cycle pricer, which
+// re-prices a configuration's cycles from a profile without re-interpreting.
+const (
+	CostCallOverhead = costCallOverhead
+	CostPerArg       = costPerArg
+)
+
 // costOf returns the base cycle cost of one instruction execution.
 func costOf(in *ir.Instr) int64 {
 	switch in.Op {
@@ -43,49 +50,145 @@ func costOf(in *ir.Instr) int64 {
 	return 1
 }
 
-// icache is a tiny fully-associative LRU cache of functions keyed by name.
+// CostOf is costOf for callers outside the package: the cycle pricer walks
+// post-inline IR and charges each instruction exactly as a run would.
+func CostOf(in *ir.Instr) int64 { return costOf(in) }
+
+// MissPenalty is the cycle cost of one i-cache miss on a function of the
+// given code size. The size is deliberately not clamped: the machine charges
+// the raw SizeOf value, so a replay must too.
+func MissPenalty(size int) int64 {
+	return costCacheMissBase + int64(size)/costCacheBytesPerCycle
+}
+
+// CacheSim models the fully-associative LRU i-cache over dense function
+// indices. It is the allocation-free core shared by the interpreter (which
+// maps function names to indices) and the cycle pricer (which replays
+// profiled entry sequences hot). Every operation is O(1): residency is an
+// epoch stamp per node, recency an intrusive doubly-linked list threaded
+// through the node slice, and Reset a single epoch bump.
+type CacheSim struct {
+	capBytes int
+	used     int
+	epoch    uint32
+	nodes    []simNode
+	head     int32 // least recently used; -1 when empty
+	tail     int32 // most recently used; -1 when empty
+}
+
+type simNode struct {
+	size  int32
+	prev  int32
+	next  int32
+	epoch uint32 // resident iff equal to CacheSim.epoch (0 = never)
+}
+
+// NewCacheSim returns a simulator with the given byte capacity.
+func NewCacheSim(capacity int) *CacheSim {
+	return &CacheSim{capBytes: capacity, epoch: 1, head: -1, tail: -1}
+}
+
+// Grow ensures indices [0, n) are addressable.
+func (c *CacheSim) Grow(n int) {
+	if n > cap(c.nodes) {
+		grown := make([]simNode, n)
+		copy(grown, c.nodes)
+		c.nodes = grown
+		return
+	}
+	for len(c.nodes) < n {
+		c.nodes = c.nodes[:len(c.nodes)+1]
+		c.nodes[len(c.nodes)-1] = simNode{}
+	}
+}
+
+// Reset empties the cache in O(1); node storage is reused.
+func (c *CacheSim) Reset() {
+	c.epoch++
+	c.used = 0
+	c.head, c.tail = -1, -1
+}
+
+func (c *CacheSim) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *CacheSim) pushMRU(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = c.tail, -1
+	if c.tail >= 0 {
+		c.nodes[c.tail].next = i
+	} else {
+		c.head = i
+	}
+	c.tail = i
+}
+
+// Access records execution entering function i with the given code size and
+// reports whether it missed. The behaviour matches the historical list-based
+// model bit for bit: sizes <= 0 occupy one byte, functions larger than the
+// capacity never become resident, eviction is strict LRU, and a hit keeps
+// the size the entry was inserted with.
+func (c *CacheSim) Access(i int32, size int) (miss bool) {
+	if size <= 0 {
+		size = 1
+	}
+	n := &c.nodes[i]
+	if n.epoch == c.epoch {
+		if c.tail != i {
+			c.unlink(i)
+			c.pushMRU(i)
+		}
+		return false
+	}
+	if size > c.capBytes {
+		return true // never resident
+	}
+	for c.used+size > c.capBytes && c.head >= 0 {
+		victim := c.head
+		c.unlink(victim)
+		c.nodes[victim].epoch = 0
+		c.used -= int(c.nodes[victim].size)
+	}
+	n.size = int32(size)
+	n.epoch = c.epoch
+	c.used += size
+	c.pushMRU(i)
+	return true
+}
+
+// icache is the interpreter-facing view: a CacheSim keyed by function name,
+// assigning dense indices on first touch.
 type icache struct {
-	cap   int
-	used  int
-	order []string // LRU order, most recent last
-	size  map[string]int
+	sim CacheSim
+	ids map[string]int32
 }
 
 func newICache(capacity int) *icache {
-	return &icache{cap: capacity, size: make(map[string]int)}
+	return &icache{
+		sim: CacheSim{capBytes: capacity, epoch: 1, head: -1, tail: -1},
+		ids: make(map[string]int32),
+	}
 }
 
 // access records execution entering the named function and reports whether
 // it missed. Functions larger than the capacity always miss.
 func (c *icache) access(name string, size int) (miss bool) {
-	if size <= 0 {
-		size = 1
+	id, ok := c.ids[name]
+	if !ok {
+		id = int32(len(c.ids))
+		c.ids[name] = id
+		c.sim.Grow(int(id) + 1)
 	}
-	if _, ok := c.size[name]; ok {
-		c.promote(name)
-		return false
-	}
-	if size > c.cap {
-		return true // never resident
-	}
-	for c.used+size > c.cap && len(c.order) > 0 {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		c.used -= c.size[victim]
-		delete(c.size, victim)
-	}
-	c.size[name] = size
-	c.used += size
-	c.order = append(c.order, name)
-	return true
-}
-
-func (c *icache) promote(name string) {
-	for i, n := range c.order {
-		if n == name {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			c.order = append(c.order, name)
-			return
-		}
-	}
+	return c.sim.Access(id, size)
 }

@@ -1,0 +1,106 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// naiveICache is the pre-rewrite i-cache: a []string LRU order that is
+// linearly scanned and re-sliced on every hit, O(n) per access. It is kept
+// here as the differential reference and the "before" side of the
+// BenchmarkICache comparison.
+type naiveICache struct {
+	capBytes int
+	used     int
+	order    []string // LRU order, most recent last
+	size     map[string]int
+}
+
+func newNaiveICache(capacity int) *naiveICache {
+	return &naiveICache{capBytes: capacity, size: make(map[string]int)}
+}
+
+func (c *naiveICache) access(name string, size int) (miss bool) {
+	if size <= 0 {
+		size = 1
+	}
+	if _, ok := c.size[name]; ok {
+		c.promote(name)
+		return false
+	}
+	if size > c.capBytes {
+		return true
+	}
+	for c.used+size > c.capBytes && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		c.used -= c.size[victim]
+		delete(c.size, victim)
+	}
+	c.size[name] = size
+	c.used += size
+	c.order = append(c.order, name)
+	return true
+}
+
+func (c *naiveICache) promote(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.order = append(c.order, name)
+			return
+		}
+	}
+}
+
+var benchNames []string
+
+func nameOf(id int32) string {
+	for int(id) >= len(benchNames) {
+		benchNames = append(benchNames, fmt.Sprintf("fn%04d", len(benchNames)))
+	}
+	return benchNames[id]
+}
+
+// benchSequence returns a pseudo-random access trace over n functions whose
+// working set fits the cache, so most accesses are hits deep in the LRU
+// list — the regime where the old implementation pays O(n) per access and
+// the pricer's replay loop lives.
+func benchSequence(n, steps int) []int32 {
+	seq := make([]int32, steps)
+	state := uint64(98765)
+	for i := range seq {
+		state = state*6364136223846793005 + 1442695040888963407
+		seq[i] = int32((state >> 33) % uint64(n))
+	}
+	return seq
+}
+
+func BenchmarkICacheNaive(b *testing.B) {
+	const n = 256
+	seq := benchSequence(n, 4096)
+	for i := int32(0); i < n; i++ {
+		nameOf(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := newNaiveICache(n * 8) // every 8-byte entry resident
+		for _, id := range seq {
+			c.access(benchNames[id], 8)
+		}
+	}
+}
+
+func BenchmarkICacheIndexed(b *testing.B) {
+	const n = 256
+	seq := benchSequence(n, 4096)
+	sim := NewCacheSim(n * 8)
+	sim.Grow(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Reset()
+		for _, id := range seq {
+			sim.Access(id, 8)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package interp
+
+import (
+	"testing"
+
+	"optinline/internal/ir"
+)
+
+// TestCostModelGolden pins every per-op cost and every model constant.
+// The cycle pricer, the persisted experiment outputs, and BENCH numbers all
+// assume these exact values: changing one is a deliberate act that must
+// update this table in the same commit.
+func TestCostModelGolden(t *testing.T) {
+	if costCallOverhead != 9 || costPerArg != 1 {
+		t.Fatalf("call overhead constants changed: %d/%d", costCallOverhead, costPerArg)
+	}
+	if costCacheMissBase != 30 || costCacheBytesPerCycle != 8 {
+		t.Fatalf("cache miss constants changed: %d/%d", costCacheMissBase, costCacheBytesPerCycle)
+	}
+	if CostCallOverhead != costCallOverhead || CostPerArg != costPerArg {
+		t.Fatal("exported constants drifted from the internal ones")
+	}
+	cases := []struct {
+		name string
+		in   ir.Instr
+		want int64
+	}{
+		{"const", ir.Instr{Op: ir.OpConst}, 1},
+		{"un", ir.Instr{Op: ir.OpUn}, 1},
+		{"add", ir.Instr{Op: ir.OpBin, BinOp: ir.Add}, 1},
+		{"sub", ir.Instr{Op: ir.OpBin, BinOp: ir.Sub}, 1},
+		{"mul", ir.Instr{Op: ir.OpBin, BinOp: ir.Mul}, 3},
+		{"div", ir.Instr{Op: ir.OpBin, BinOp: ir.Div}, 12},
+		{"mod", ir.Instr{Op: ir.OpBin, BinOp: ir.Mod}, 12},
+		{"shl", ir.Instr{Op: ir.OpBin, BinOp: ir.Shl}, 1},
+		{"cmp", ir.Instr{Op: ir.OpBin, BinOp: ir.Lt}, 1},
+		{"call", ir.Instr{Op: ir.OpCall}, 2},
+		{"loadg", ir.Instr{Op: ir.OpLoadG}, 3},
+		{"storeg", ir.Instr{Op: ir.OpStoreG}, 3},
+		{"output", ir.Instr{Op: ir.OpOutput}, 4},
+		{"br", ir.Instr{Op: ir.OpBr}, 1},
+		{"condbr", ir.Instr{Op: ir.OpCondBr}, 2},
+		{"ret", ir.Instr{Op: ir.OpRet}, 2},
+	}
+	for _, c := range cases {
+		in := c.in
+		if got := CostOf(&in); got != c.want {
+			t.Errorf("costOf(%s) = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if MissPenalty(80) != 30+80/8 {
+		t.Fatalf("MissPenalty(80) = %d", MissPenalty(80))
+	}
+	if MissPenalty(0) != 30 {
+		t.Fatalf("MissPenalty must charge the raw (unclamped) size: %d", MissPenalty(0))
+	}
+}
+
+// TestCycleDeterminism: the same program and inputs must yield the identical
+// cycle count on every run, with and without the i-cache model.
+func TestCycleDeterminism(t *testing.T) {
+	m := parseProg(t)
+	sizeOf := func(n string) int { return map[string]int{"main": 100, "addsq": 60, "square": 40}[n] }
+	var plain, cached []Result
+	for i := 0; i < 3; i++ {
+		p, err := Run(m, "main", []int64{9}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Run(m, "main", []int64{9}, Options{SizeOf: sizeOf, CacheBytes: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain = append(plain, p)
+		cached = append(cached, c)
+	}
+	for i := 1; i < 3; i++ {
+		if plain[i].Cycles != plain[0].Cycles || plain[i].Steps != plain[0].Steps ||
+			plain[i].Observable() != plain[0].Observable() {
+			t.Fatalf("plain run %d differs: %+v vs %+v", i, plain[i], plain[0])
+		}
+		if cached[i].Cycles != cached[0].Cycles || cached[i].CacheMiss != cached[0].CacheMiss {
+			t.Fatalf("cached run %d differs: %+v vs %+v", i, cached[i], cached[0])
+		}
+	}
+}
+
+// TestCacheSimMatchesNaive drives the O(1) simulator and the historical
+// O(n) list implementation through the same pseudo-random access sequence
+// and requires identical per-access miss decisions.
+func TestCacheSimMatchesNaive(t *testing.T) {
+	const n = 64
+	for _, capacity := range []int{50, 200, 1000} {
+		sim := NewCacheSim(capacity)
+		sim.Grow(n)
+		naive := newNaiveICache(capacity)
+		state := uint64(12345)
+		for step := 0; step < 20000; step++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			id := int32((state >> 33) % n)
+			size := int(state>>55)%40 - 2 // includes <= 0 sizes
+			got := sim.Access(id, size)
+			want := naive.access(nameOf(id), size)
+			if got != want {
+				t.Fatalf("cap %d step %d id %d size %d: sim miss=%v naive miss=%v",
+					capacity, step, id, size, got, want)
+			}
+		}
+		// Reset must behave like a fresh cache.
+		sim.Reset()
+		if !sim.Access(0, 10) {
+			t.Fatalf("cap %d: access after Reset should miss", capacity)
+		}
+	}
+}
+
+// TestCacheSimOversized: entries larger than the capacity never evict
+// resident code (same guarantee the naive model gave).
+func TestCacheSimOversized(t *testing.T) {
+	sim := NewCacheSim(100)
+	sim.Grow(3)
+	sim.Access(0, 60)
+	if !sim.Access(1, 1000) {
+		t.Fatal("oversized must miss")
+	}
+	if sim.Access(0, 60) {
+		t.Fatal("oversized access must not evict resident entries")
+	}
+}

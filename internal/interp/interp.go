@@ -71,10 +71,15 @@ type machine struct {
 	res     Result
 	out     *fnvHash
 	cache   *icache
+	prof    *Profile
 }
 
 // Run executes the named entry function with the given arguments.
 func Run(m *ir.Module, entry string, args []int64, opt Options) (Result, error) {
+	return execute(m, entry, args, opt, nil)
+}
+
+func execute(m *ir.Module, entry string, args []int64, opt Options, prof *Profile) (Result, error) {
 	f := m.Func(entry)
 	if f == nil {
 		return Result{}, fmt.Errorf("interp: no function %q", entry)
@@ -88,6 +93,7 @@ func Run(m *ir.Module, entry string, args []int64, opt Options) (Result, error) 
 		globals: make(map[string]int64, len(m.Globals)),
 		fuel:    opt.Fuel,
 		out:     newFNV(),
+		prof:    prof,
 	}
 	if mc.fuel == 0 {
 		mc.fuel = DefaultFuel
@@ -99,7 +105,7 @@ func Run(m *ir.Module, entry string, args []int64, opt Options) (Result, error) 
 		}
 		mc.cache = newICache(limit)
 	}
-	ret, err := mc.call(f, args)
+	ret, err := mc.call(f, args, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -119,10 +125,16 @@ func (mc *machine) touch(name string) {
 	}
 }
 
-func (mc *machine) call(f *ir.Function, args []int64) (int64, error) {
+// call executes one frame of f. site is the !site id of the call instruction
+// that created the frame (0 for the root call), recorded when profiling.
+func (mc *machine) call(f *ir.Function, args []int64, site int32) (int64, error) {
 	mc.res.DynCalls++
 	mc.res.Cycles += costCallOverhead + int64(len(args))*costPerArg
 	mc.touch(f.Name)
+	var pfn int32
+	if mc.prof != nil {
+		pfn = mc.prof.enter(site, f.Name)
+	}
 
 	env := make(map[*ir.Value]int64, 16)
 	b := f.Entry()
@@ -165,7 +177,7 @@ func (mc *machine) call(f *ir.Function, args []int64) (int64, error) {
 					mc.res.Cycles += costCallOverhead
 				} else {
 					var err error
-					r, err = mc.call(callee, vals)
+					r, err = mc.call(callee, vals, int32(in.Site))
 					if err != nil {
 						return 0, err
 					}
@@ -192,6 +204,9 @@ func (mc *machine) call(f *ir.Function, args []int64) (int64, error) {
 				}
 			case ir.OpRet:
 				mc.touch(f.Name) // returning re-touches the caller's frame code
+				if mc.prof != nil {
+					mc.prof.leave(site, pfn)
+				}
 				return env[in.Args[0]], nil
 			default:
 				return 0, fmt.Errorf("interp: invalid op in %s", f.Name)

@@ -1,0 +1,110 @@
+package interp
+
+import (
+	"fmt"
+
+	"optinline/internal/ir"
+)
+
+// Profile records one baseline interpretation of a workload in enough detail
+// for the compile-side cycle pricer to re-price any inlining configuration
+// without running the interpreter again:
+//
+//   - Entries[f] and Hits[s] turn static per-body costs into dynamic totals
+//     (a frame executes its body once per entry, and inlining call site s
+//     deletes exactly the Hits[s] frames that s created);
+//   - Events is the exact i-cache touch sequence of the run, recorded
+//     independently of any cache geometry, so the LRU penalty can be
+//     re-simulated afterwards under any modelled cache size and any
+//     configuration's new function sizes.
+//
+// Profiles are collected under the baseline (no-inline) build, where every
+// call site still exists as a real call instruction.
+type Profile struct {
+	Entry string  // entry function name
+	Args  []int64 // entry arguments
+
+	Funcs []string // profile-local function index -> function name
+	// Entries counts frames created per function, parallel to Funcs.
+	Entries []int64
+	// Hits counts frames per creating call site, keyed by the !site id of
+	// the call instruction. Frames without a usable site (the root call, or
+	// calls whose instruction carries no site id) are not in this map; they
+	// are the per-function remainder Entries[f] - sum of incoming Hits.
+	Hits map[int32]int64
+	// Events is the ordered i-cache touch sequence: one event at frame entry
+	// and one when the frame's ret re-touches its code, exactly mirroring
+	// the running machine's touch points.
+	Events []Event
+	// Res is the observable result of the profiling run.
+	Res Result
+
+	idx map[string]int32
+}
+
+// Event is one i-cache touch in program order.
+type Event struct {
+	Site int32 // !site id of the call that created the frame; 0 for the root
+	Fn   int32 // profile-local function index (Profile.Funcs[Fn])
+}
+
+// Index returns the profile-local index of the named function.
+func (p *Profile) Index(name string) (int32, bool) {
+	fn, ok := p.idx[name]
+	return fn, ok
+}
+
+// enter records a frame creation and returns the function's profile index.
+func (p *Profile) enter(site int32, name string) int32 {
+	fn, ok := p.idx[name]
+	if !ok {
+		fn = int32(len(p.Funcs))
+		p.idx[name] = fn
+		p.Funcs = append(p.Funcs, name)
+		p.Entries = append(p.Entries, 0)
+	}
+	p.Entries[fn]++
+	if site > 0 {
+		p.Hits[site]++
+	}
+	p.Events = append(p.Events, Event{Site: site, Fn: fn})
+	return fn
+}
+
+// leave records the ret-side re-touch of the frame's code.
+func (p *Profile) leave(site, fn int32) {
+	p.Events = append(p.Events, Event{Site: site, Fn: fn})
+}
+
+// Collect executes the named entry function like Run while recording a
+// Profile of the run. The observable Result is identical to what Run
+// returns under the same Options.
+func Collect(m *ir.Module, entry string, args []int64, opt Options) (Result, *Profile, error) {
+	p := &Profile{
+		Entry: entry,
+		Args:  append([]int64(nil), args...),
+		Hits:  make(map[int32]int64),
+		idx:   make(map[string]int32),
+	}
+	res, err := execute(m, entry, args, opt, p)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	p.Res = res
+	return res, p, nil
+}
+
+// TotalFrames returns the number of frames the run created.
+func (p *Profile) TotalFrames() int64 {
+	var total int64
+	for _, n := range p.Entries {
+		total += n
+	}
+	return total
+}
+
+// String summarizes the profile for logs.
+func (p *Profile) String() string {
+	return fmt.Sprintf("profile{%s(%v): %d funcs, %d frames, %d events}",
+		p.Entry, p.Args, len(p.Funcs), p.TotalFrames(), len(p.Events))
+}

@@ -1,0 +1,115 @@
+package interp
+
+import (
+	"testing"
+
+	"optinline/internal/ir"
+)
+
+// TestCollectMatchesRun: profiling must not change the run itself.
+func TestCollectMatchesRun(t *testing.T) {
+	m := parseProg(t)
+	want, err := Run(m, "main", []int64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, p, err := Collect(m, "main", []int64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observable() != want.Observable() || got.Cycles != want.Cycles || got.Steps != want.Steps {
+		t.Fatalf("Collect result %+v differs from Run %+v", got, want)
+	}
+	if p.Res.Observable() != want.Observable() || p.Res.Cycles != want.Cycles {
+		t.Fatalf("Profile.Res %+v differs from Run %+v", p.Res, want)
+	}
+}
+
+// TestProfileCounts checks the bookkeeping invariants the pricer relies on:
+// two events per frame, entries = sum of per-site hits plus unattributed
+// frames, and hit counts that match the program's actual call tree.
+func TestProfileCounts(t *testing.T) {
+	m := parseProg(t)
+	const n = 4
+	_, p, err := Collect(m, "main", []int64{n}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := p.TotalFrames()
+	if int64(len(p.Events)) != 2*frames {
+		t.Fatalf("%d events for %d frames, want exactly 2 per frame", len(p.Events), frames)
+	}
+	// main called once (root), addsq n times via site 3, square 2n times via
+	// sites 1 and 2.
+	idx := func(name string) int32 {
+		i, ok := p.Index(name)
+		if !ok {
+			t.Fatalf("function %s missing from profile", name)
+		}
+		return i
+	}
+	if p.Entries[idx("main")] != 1 || p.Entries[idx("addsq")] != n || p.Entries[idx("square")] != 2*n {
+		t.Fatalf("entries wrong: %v (funcs %v)", p.Entries, p.Funcs)
+	}
+	if p.Hits[3] != n || p.Hits[1] != n || p.Hits[2] != n {
+		t.Fatalf("site hits wrong: %v", p.Hits)
+	}
+	// The root frame carries site 0 and is not in Hits.
+	var attributed int64
+	for _, h := range p.Hits {
+		attributed += h
+	}
+	if attributed != frames-1 {
+		t.Fatalf("attributed %d of %d frames; only the root should lack a site", attributed, frames)
+	}
+	// Event order starts and ends with the root frame.
+	first, last := p.Events[0], p.Events[len(p.Events)-1]
+	if first.Fn != idx("main") || first.Site != 0 || last.Fn != idx("main") || last.Site != 0 {
+		t.Fatalf("event sequence not bracketed by the root frame: first=%+v last=%+v", first, last)
+	}
+}
+
+// TestProfileEventsCacheIndependent: the recorded event sequence must not
+// depend on the cache model used while profiling.
+func TestProfileEventsCacheIndependent(t *testing.T) {
+	m := parseProg(t)
+	sizeOf := func(string) int { return 50 }
+	_, plain, err := Collect(m, "main", []int64{6}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := Collect(m, "main", []int64{6}, Options{SizeOf: sizeOf, CacheBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Events) != len(cached.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain.Events), len(cached.Events))
+	}
+	for i := range plain.Events {
+		if plain.Events[i] != cached.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, plain.Events[i], cached.Events[i])
+		}
+	}
+}
+
+// TestProfileExternalCalls: external calls create no frames and no events.
+func TestProfileExternalCalls(t *testing.T) {
+	src := `
+export func @f(%x) {
+entry:
+  %r = call @undefined_external(%x) !site 9
+  ret %r
+}
+`
+	m := ir.MustParse("ext", src)
+	_, p, err := Collect(m, "f", []int64{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalFrames() != 1 || len(p.Events) != 2 {
+		t.Fatalf("external call must not create frames: %s", p)
+	}
+	if len(p.Hits) != 0 {
+		t.Fatalf("external site must not be hit-counted: %v", p.Hits)
+	}
+}

@@ -28,6 +28,27 @@ type TuneOptions struct {
 	Rounds int
 	// Init selects the starting configuration.
 	Init TuneInit
+	// Objective selects what the session minimizes. Non-size objectives
+	// price cycles against a profile collected by interpreting the linked
+	// module's Entry with Args, and always run on the merged module —
+	// the i-cache couples components, so cycle prices are not
+	// component-separable (see tuneCyclesMerged); NoShard is ignored.
+	Objective TuneObjective
+	// Lambda weighs cycles against bytes for ObjectiveWeighted.
+	Lambda float64
+	// Entry names the profiled root for cycle objectives; "" means "entry".
+	Entry string
+	// Args are the profiled root's arguments.
+	Args []int64
+	// Fuel bounds the profiling interpretation; 0 uses the interpreter
+	// default.
+	Fuel int64
+	// CacheBytes sets the modelled i-cache capacity; 0 uses the
+	// interpreter default.
+	CacheBytes int
+	// NoCycleDelta forces the cycle pricer's whole-module oracle
+	// (differential; results are byte-identical).
+	NoCycleDelta bool
 }
 
 // TuneResult is the outcome of a cross-module tuning session.
@@ -42,6 +63,8 @@ type TuneResult struct {
 	Evaluations int64
 	ConfigCache stats.CacheStats
 	FuncCache   stats.CacheStats
+	// Cycle reports the cycle pricer's counters for cycle-aware sessions.
+	Cycle compile.CyclePricerStats
 }
 
 // Tune runs the paper's local autotuner over the linked module, sharded by
@@ -64,9 +87,12 @@ func (l *Linker) Tune(opts TuneOptions) (TuneResult, error) {
 		}
 	}
 	var err error
-	if opts.NoShard {
+	switch {
+	case opts.Objective != ObjectiveSize:
+		err = l.tuneCyclesMerged(opts, &res)
+	case opts.NoShard:
 		err = l.tuneMerged(opts, &res)
-	} else {
+	default:
 		err = l.tuneSharded(opts, &res)
 	}
 	if err != nil {

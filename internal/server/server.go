@@ -34,6 +34,7 @@ import (
 	"optinline/internal/compile"
 	"optinline/internal/diag"
 	"optinline/internal/heuristic"
+	"optinline/internal/interp"
 	"optinline/internal/search"
 	"optinline/internal/source"
 	"optinline/internal/stats"
@@ -203,8 +204,27 @@ type Server struct {
 	pruneMu sync.Mutex
 	prune   search.PruneStats
 
+	// cycleMu guards the cycle-pricer pool behind cycle-aware /tune
+	// objectives: cached baseline profiles keyed by compiler + profiling
+	// parameters, FIFO-bounded, with evicted pricers' counters folded into
+	// retiredCycle so /stats aggregates never go backwards.
+	cycleMu      sync.Mutex
+	cyclePricers map[string]*cyclePricerEntry
+	cycleOrder   []string
+	cycleBuilt   int64
+	cycleHits    int64
+	cycleEvict   int64
+	retiredCycle compile.CyclePricerStats
+
 	epMu sync.Mutex
 	eps  map[string]*endpointCounters
+}
+
+// cyclePricerEntry is a single-flight slot of the cycle-pricer pool.
+type cyclePricerEntry struct {
+	done   chan struct{}
+	pricer *compile.CyclePricer
+	err    error
 }
 
 type endpointCounters struct {
@@ -225,6 +245,8 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		pool:    make(map[string]*compilerEntry),
 		eps:     make(map[string]*endpointCounters),
+
+		cyclePricers: make(map[string]*cyclePricerEntry),
 	}
 	if !cfg.DisableSummaryCache {
 		s.ipcache = interproc.NewCache()
@@ -502,6 +524,96 @@ func (s *Server) addPrune(p search.PruneStats) {
 	s.pruneMu.Unlock()
 }
 
+// cycleProfile describes the profiling run behind a cycle-aware /tune
+// objective. Defaults are filled before keying so equivalent requests share
+// one baseline interpretation and pricer.
+type cycleProfile struct {
+	entry      string
+	args       []int64
+	fuel       int64
+	cacheBytes int
+	// noDelta pricers live under their own key: SetCycleDelta is a pricer-
+	// wide switch, so the oracle mode must never flip a shared pricer that
+	// a concurrent delta-mode session is probing.
+	noDelta bool
+}
+
+func (cp cycleProfile) key(compKey string) string {
+	return fmt.Sprintf("%s/%s/%v/%d/%d/%t",
+		compKey, cp.entry, cp.args, cp.fuel, cp.cacheBytes, cp.noDelta)
+}
+
+// cyclePricer returns the pooled pricer for (compiler, profile), building
+// it on first use. Single-flight like the compiler pool: concurrent first
+// requests share one baseline build + interpretation.
+func (s *Server) cyclePricer(comp *compile.Compiler, compKey string, cp cycleProfile) (*compile.CyclePricer, error) {
+	key := cp.key(compKey)
+	s.cycleMu.Lock()
+	if e, ok := s.cyclePricers[key]; ok {
+		s.cycleMu.Unlock()
+		<-e.done
+		if e.err == nil {
+			s.cycleMu.Lock()
+			s.cycleHits++
+			s.cycleMu.Unlock()
+		}
+		return e.pricer, e.err
+	}
+	e := &cyclePricerEntry{done: make(chan struct{})}
+	s.cyclePricers[key] = e
+	s.cycleMu.Unlock()
+
+	e.pricer, e.err = buildCyclePricer(comp, cp)
+
+	s.cycleMu.Lock()
+	if e.err != nil {
+		delete(s.cyclePricers, key) // failed profiles are not cached
+	} else {
+		s.cycleOrder = append(s.cycleOrder, key)
+		s.cycleBuilt++
+		s.evictPricersLocked()
+	}
+	s.cycleMu.Unlock()
+	close(e.done)
+	return e.pricer, e.err
+}
+
+func buildCyclePricer(comp *compile.Compiler, cp cycleProfile) (*compile.CyclePricer, error) {
+	built, err := comp.Build(callgraph.NewConfig())
+	if err != nil {
+		return nil, fmt.Errorf("build no-inline baseline: %w", err)
+	}
+	_, prof, err := interp.Collect(built, cp.entry, cp.args, interp.Options{Fuel: cp.fuel})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s%v: %w", cp.entry, cp.args, err)
+	}
+	p, err := comp.NewCyclePricer(prof, compile.CycleOptions{CacheBytes: cp.cacheBytes})
+	if err != nil {
+		return nil, err
+	}
+	if cp.noDelta {
+		p.SetCycleDelta(false)
+	}
+	return p, nil
+}
+
+// evictPricersLocked retires the oldest pricers beyond the pool bound
+// (shared with the compiler pool's), folding their counters into the
+// retired aggregate first so /stats totals are monotone.
+func (s *Server) evictPricersLocked() {
+	for len(s.cycleOrder) > s.cfg.MaxCompilers {
+		key := s.cycleOrder[0]
+		s.cycleOrder = s.cycleOrder[1:]
+		if e, ok := s.cyclePricers[key]; ok {
+			delete(s.cyclePricers, key)
+			if e.pricer != nil {
+				s.retiredCycle = s.retiredCycle.Add(e.pricer.Stats())
+			}
+			s.cycleEvict++
+		}
+	}
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	ep := s.ep("compile")
 	ep.count.Add(1)
@@ -676,7 +788,51 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if rounds <= 0 {
 		rounds = 4
 	}
-	res := autotune.Tune(comp, init, autotune.Options{Rounds: rounds, Workers: wr.jobs})
+	objective := req.Objective
+	if objective == "" {
+		objective = "size"
+	}
+	opts := autotune.Options{Rounds: rounds, Workers: wr.jobs}
+	var res autotune.Result
+	switch objective {
+	case "size":
+		res = autotune.Tune(comp, init, opts)
+	case "weighted", "cycles":
+		if req.Lambda < 0 {
+			s.fail(w, wr.ep, http.StatusBadRequest, "lambda must be >= 0")
+			return
+		}
+		cp := cycleProfile{
+			entry:      req.Entry,
+			args:       req.Args,
+			fuel:       req.Fuel,
+			cacheBytes: req.CacheBytes,
+			noDelta:    req.NoCycleDelta,
+		}
+		if cp.entry == "" {
+			cp.entry = "entry"
+		}
+		if cp.args == nil {
+			cp.args = []int64{7}
+		}
+		if cp.fuel <= 0 {
+			cp.fuel = 20_000_000
+		}
+		pricer, err := s.cyclePricer(comp, compilerKey(req.Name, req.Source, target), cp)
+		if err != nil {
+			s.fail(w, wr.ep, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		if objective == "cycles" {
+			res = autotune.TuneCycles(comp, pricer, init, opts)
+		} else {
+			res = autotune.TuneWeighted(comp, pricer, req.Lambda, init, opts)
+		}
+	default:
+		s.fail(w, wr.ep, http.StatusBadRequest,
+			"unknown objective %q (want size, weighted, or cycles)", objective)
+		return
+	}
 	out := TuneResponse{
 		Name:        req.Name,
 		Target:      targetName(target),
@@ -686,9 +842,20 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		InlineSites: res.Config.InlineSites(),
 		ConfigKey:   res.Config.Key(),
 	}
+	if objective != "size" {
+		// Size sessions keep the pre-objective response shape byte-for-byte;
+		// cycle-aware sessions add their fields. The values are worker- and
+		// delta-independent, so the body stays a pure function of the request.
+		out.Objective = objective
+		out.InitCycles = res.InitCycles
+		out.BestCycles = res.Cycles
+		if objective == "weighted" {
+			out.Lambda = req.Lambda
+		}
+	}
 	for _, rt := range res.Rounds {
 		out.Rounds = append(out.Rounds, TuneRound{
-			Round: rt.Round, Size: rt.Size, Inlined: rt.Inlined,
+			Round: rt.Round, Size: rt.Size, Cycles: rt.Cycles, Inlined: rt.Inlined,
 			NotInlined: rt.NotInlined, Toggles: rt.Toggles,
 		})
 	}
@@ -827,6 +994,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BoundEvals: s.prune.BoundEvals,
 	}
 	s.pruneMu.Unlock()
+
+	s.cycleMu.Lock()
+	cyc := s.retiredCycle
+	for _, e := range s.cyclePricers {
+		select {
+		case <-e.done:
+		default:
+			continue // still profiling; no counters yet
+		}
+		if e.pricer == nil {
+			continue
+		}
+		cyc = cyc.Add(e.pricer.Stats())
+	}
+	resp.CyclePricers = CyclePricerPoolStats{
+		Live:            len(s.cycleOrder),
+		Built:           s.cycleBuilt,
+		Hits:            s.cycleHits,
+		Evicted:         s.cycleEvict,
+		Repricings:      cyc.Repricings,
+		FullEvals:       cyc.FullEvals,
+		ConfigCacheHits: cyc.CacheHits,
+		ReplayEvents:    cyc.ReplayEvents,
+		CostCacheHits:   cyc.CostHits,
+		CostCacheMisses: cyc.CostMisses,
+	}
+	s.cycleMu.Unlock()
 
 	writeJSON(w, http.StatusOK, resp)
 }

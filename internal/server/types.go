@@ -112,31 +112,53 @@ type SearchResponse struct {
 // TuneRequest asks for a round-based autotuning session — the service form
 // of `inlinetune`.
 type TuneRequest struct {
-	Name    string `json:"name"`
-	Source  string `json:"source"`
-	Target  string `json:"target,omitempty"`
-	Init    string `json:"init,omitempty"` // clean | os (default)
-	Rounds  int    `json:"rounds,omitempty"`
-	Jobs    int    `json:"jobs,omitempty"`
-	DelayMs int    `json:"delayMs,omitempty"`
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Target string `json:"target,omitempty"`
+	Init   string `json:"init,omitempty"` // clean | os (default)
+	Rounds int    `json:"rounds,omitempty"`
+	// Objective selects what the session minimizes: size (default),
+	// weighted (bytes + lambda*cycles), or cycles. Cycle objectives profile
+	// Entry(Args...) on the no-inline baseline once — the profile and its
+	// pricer are cached and shared across requests — and reprice every
+	// probe incrementally.
+	Objective string  `json:"objective,omitempty"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	Entry     string  `json:"entry,omitempty"`      // profiled root; "" = entry
+	Args      []int64 `json:"args,omitempty"`       // profiled arguments; nil = [7]
+	Fuel      int64   `json:"fuel,omitempty"`       // profiling fuel; 0 = 20M
+	CacheBytes int    `json:"cacheBytes,omitempty"` // modelled i-cache; 0 = default
+	// NoCycleDelta prices every probe with the whole-module oracle instead
+	// of incremental repricing. Differential knob: the response must be
+	// byte-identical either way.
+	NoCycleDelta bool `json:"noCycleDelta,omitempty"`
+	Jobs         int  `json:"jobs,omitempty"`
+	DelayMs      int  `json:"delayMs,omitempty"`
 }
 
-// TuneRound is one round's trace (paper Table 4 shape).
+// TuneRound is one round's trace (paper Table 4 shape). Cycles is present
+// for cycle-aware objectives only.
 type TuneRound struct {
-	Round      int `json:"round"`
-	Size       int `json:"size"`
-	Inlined    int `json:"inlined"`
-	NotInlined int `json:"notInlined"`
-	Toggles    int `json:"toggles"`
+	Round      int   `json:"round"`
+	Size       int   `json:"size"`
+	Cycles     int64 `json:"cycles,omitempty"`
+	Inlined    int   `json:"inlined"`
+	NotInlined int   `json:"notInlined"`
+	Toggles    int   `json:"toggles"`
 }
 
-// TuneResponse reports the session.
+// TuneResponse reports the session. The cycle fields are present for
+// cycle-aware objectives only.
 type TuneResponse struct {
 	Name        string      `json:"name"`
 	Target      string      `json:"target"`
 	Init        string      `json:"init"`
+	Objective   string      `json:"objective,omitempty"`
+	Lambda      float64     `json:"lambda,omitempty"`
 	InitSize    int         `json:"initSize"`
+	InitCycles  int64       `json:"initCycles,omitempty"`
 	BestSize    int         `json:"bestSize"`
+	BestCycles  int64       `json:"bestCycles,omitempty"`
 	InlineSites []int       `json:"inlineSites"`
 	ConfigKey   string      `json:"configKey"`
 	Rounds      []TuneRound `json:"rounds"`
@@ -174,6 +196,27 @@ type StatsResponse struct {
 	Evaluations int64         `json:"evaluations"`
 	Delta       DeltaCounters `json:"delta"`
 	Prune       PruneCounters `json:"prune"`
+
+	// CyclePricers tracks the cached baseline profiles behind cycle-aware
+	// /tune objectives and aggregates their pricing counters.
+	CyclePricers CyclePricerPoolStats `json:"cyclePricers"`
+}
+
+// CyclePricerPoolStats reports the cycle-pricer pool: how many profiled
+// baselines are cached, how often requests reused one, and the aggregated
+// compile.CyclePricerStats of every pricer ever built.
+type CyclePricerPoolStats struct {
+	Live    int   `json:"live"` // profiles currently cached
+	Built   int64 `json:"built"`
+	Hits    int64 `json:"hits"`
+	Evicted int64 `json:"evicted"`
+
+	Repricings      int64 `json:"repricings"`
+	FullEvals       int64 `json:"fullEvals"` // whole-module (oracle) evaluations
+	ConfigCacheHits int64 `json:"configCacheHits"`
+	ReplayEvents    int64 `json:"replayEvents"`
+	CostCacheHits   int64 `json:"costCacheHits"`
+	CostCacheMisses int64 `json:"costCacheMisses"`
 }
 
 // EndpointStats counts one endpoint's traffic.
