@@ -151,6 +151,40 @@ fi
 # linker or generator regressions without paying search time.
 go test -run '^$' -bench 'LinkedPlanBuildScale' -benchtime=1x ./internal/link >/dev/null
 
+echo "== incremental re-link differential smoke =="
+# The warm relink session (unchanged components replayed from the
+# content-keyed result cache) and the -no-relink cold oracle (a fresh link
+# plus full search per step) must render byte-identical stdout over the
+# shipped edit scripts, for all three CLIs.
+relink_args=(examples/minc/linked/app.minc examples/minc/linked/mathlib.minc)
+relink_warm="$(go run ./cmd/inlinesearch -relink examples/minc/linked/edits.txt -link-dup rename "${relink_args[@]}" 2>/dev/null)"
+relink_cold="$(go run ./cmd/inlinesearch -relink examples/minc/linked/edits.txt -no-relink -link-dup rename "${relink_args[@]}" 2>/dev/null)"
+if [[ "${relink_warm}" != "${relink_cold}" ]]; then
+  echo "inlinesearch: -relink / -no-relink disagree:"
+  diff <(echo "${relink_warm}") <(echo "${relink_cold}") || true
+  exit 1
+fi
+relinktune_warm="$(go run ./cmd/inlinetune -relink examples/minc/linked/edits_tune.txt -rounds 3 -link-dup rename "${relink_args[@]}" 2>/dev/null)"
+relinktune_cold="$(go run ./cmd/inlinetune -relink examples/minc/linked/edits_tune.txt -rounds 3 -no-relink -link-dup rename "${relink_args[@]}" 2>/dev/null)"
+if [[ "${relinktune_warm}" != "${relinktune_cold}" ]]; then
+  echo "inlinetune: -relink / -no-relink disagree:"
+  diff <(echo "${relinktune_warm}") <(echo "${relinktune_cold}") || true
+  exit 1
+fi
+relinkcc_warm="$(go run ./cmd/mincc -inline optimal -relink examples/minc/linked/edits.txt -link-dup rename "${relink_args[@]}" 2>/dev/null)"
+relinkcc_cold="$(go run ./cmd/mincc -inline optimal -relink examples/minc/linked/edits.txt -no-relink -link-dup rename "${relink_args[@]}" 2>/dev/null)"
+if [[ "${relinkcc_warm}" != "${relinkcc_cold}" ]]; then
+  echo "mincc: -relink / -no-relink disagree:"
+  diff <(echo "${relinkcc_warm}") <(echo "${relinkcc_cold}") || true
+  exit 1
+fi
+# A few executions of the random-edit-script relink differential fuzzer
+# (the seed corpus runs in full under `go test -race ./...` above), plus
+# one iteration of the edit-one-TU bench to catch assertion failures
+# without paying bench time.
+go test -run '^$' -fuzz FuzzRelinkDifferential -fuzztime 30x ./internal/link >/dev/null
+go test -run '^$' -bench 'RelinkEditOneTU' -benchtime=1x ./internal/link >/dev/null
+
 echo "== inlined service smoke =="
 # Boot the daemon on an ephemeral port, replay a scaled corpus against it
 # with the load harness in verify mode (cross-client byte-identity plus a
@@ -178,6 +212,14 @@ if [[ -z "${inlined_addr}" ]]; then
 fi
 if ! "${inlined_dir}/inlineload" -addr "${inlined_addr}" -smoke; then
   echo "inlineload smoke replay failed against ${inlined_addr}"
+  kill "${inlined_pid}" 2>/dev/null || true
+  exit 1
+fi
+# Linked-session replay: two clients drive the same edit-patch-search
+# script through their own /link sessions; -verify byte-compares every
+# step across clients and against a cold single-threaded link+search.
+if ! "${inlined_dir}/inlineload" -addr "${inlined_addr}" -linked linked-tiny -clients 2 -steps 4 -verify; then
+  echo "inlineload linked replay failed against ${inlined_addr}"
   kill "${inlined_pid}" 2>/dev/null || true
   exit 1
 fi

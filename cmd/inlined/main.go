@@ -23,6 +23,12 @@
 //	-allow-delay          honor requests' delayMs field (testing only)
 //	-no-interproc-cache   recompute /analyze summaries from scratch
 //	                      (differential oracle for the summary cache)
+//	-max-link-sessions N  incremental re-link session registry bound
+//	                      (default 32, FIFO eviction)
+//	-no-relink-cache      re-solve every component from scratch instead of
+//	                      sharing the content-keyed result cache across link
+//	                      sessions (differential oracle: /link responses are
+//	                      byte-identical either way)
 //	-drain-timeout d      how long SIGTERM waits for in-flight work (default 30s)
 //
 // Endpoints: POST /analyze, POST /compile, POST /search, POST /tune
@@ -30,6 +36,16 @@
 // GET /stats, GET /healthz. On SIGTERM or SIGINT the daemon drains in two
 // phases: /healthz and new work answer 503 while in-flight requests
 // finish, then the listener shuts down and the cache store is synced.
+//
+// POST /link opens an incremental re-link session over named units (an id
+// reused replaces the session); POST /link/{id}/patch swaps one unit's
+// contents, recomputing symbol resolution only when the unit's link surface
+// changed; POST /link/{id}/search and /link/{id}/tune answer the optimal
+// search / lockstep autotune over the current units, re-solving only
+// components whose 128-bit content key is new and replaying the rest from
+// a result cache shared across all sessions; DELETE /link/{id} drops the
+// session. Bodies are deterministic; replay and cache counters are on
+// GET /stats under "linkSessions" and "relinkCache".
 //
 // /tune accepts an "objective" field (size, weighted, cycles): cycle-aware
 // objectives profile entry(args...) on the no-inline baseline once — the
@@ -66,19 +82,21 @@ func main() {
 
 func run() error {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7433", "listen address (use :0 for an ephemeral port)")
-		jobs         = flag.Int("jobs", 0, "global worker-token pool (0 = GOMAXPROCS)")
-		queueBound   = flag.Int("queue", 0, "max waiting requests before 503 (0 = 64, negative = none)")
-		timeout      = flag.Duration("timeout", 2*time.Minute, "per-request queueing deadline")
-		maxCompilers = flag.Int("max-compilers", 0, "per-module compiler pool bound (0 = 128)")
-		maxSpace     = flag.Uint64("max-space", 1<<16, "default search space cap")
-		cacheDir     = flag.String("cache-dir", "", "persist the per-function cache in this directory")
-		cacheMax     = flag.Int("cache-max-entries", 0, "LRU bound on cached functions (0 = unbounded)")
-		fsyncEvery   = flag.Int("fsync-every", 0, "fsync the store every N appended records (0 = default)")
-		compact      = flag.Bool("compact", false, "compact the -cache-dir store offline and exit")
-		allowDelay   = flag.Bool("allow-delay", false, "honor requests' delayMs field (testing only)")
-		noIPCache    = flag.Bool("no-interproc-cache", false, "recompute /analyze summaries from scratch")
-		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
+		addr          = flag.String("addr", "127.0.0.1:7433", "listen address (use :0 for an ephemeral port)")
+		jobs          = flag.Int("jobs", 0, "global worker-token pool (0 = GOMAXPROCS)")
+		queueBound    = flag.Int("queue", 0, "max waiting requests before 503 (0 = 64, negative = none)")
+		timeout       = flag.Duration("timeout", 2*time.Minute, "per-request queueing deadline")
+		maxCompilers  = flag.Int("max-compilers", 0, "per-module compiler pool bound (0 = 128)")
+		maxSpace      = flag.Uint64("max-space", 1<<16, "default search space cap")
+		cacheDir      = flag.String("cache-dir", "", "persist the per-function cache in this directory")
+		cacheMax      = flag.Int("cache-max-entries", 0, "LRU bound on cached functions (0 = unbounded)")
+		fsyncEvery    = flag.Int("fsync-every", 0, "fsync the store every N appended records (0 = default)")
+		compact       = flag.Bool("compact", false, "compact the -cache-dir store offline and exit")
+		allowDelay    = flag.Bool("allow-delay", false, "honor requests' delayMs field (testing only)")
+		noIPCache     = flag.Bool("no-interproc-cache", false, "recompute /analyze summaries from scratch")
+		maxLinkSess   = flag.Int("max-link-sessions", 0, "incremental re-link session bound (0 = 32)")
+		noRelinkCache = flag.Bool("no-relink-cache", false, "re-solve every component instead of sharing the relink result cache")
+		drainWait     = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -108,6 +126,8 @@ func run() error {
 		AllowDelay:      *allowDelay,
 
 		DisableSummaryCache: *noIPCache,
+		MaxLinkSessions:     *maxLinkSess,
+		DisableRelinkCache:  *noRelinkCache,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -23,6 +23,21 @@
 //	-smoke            tiny fixed corpus and 2 clients; exit non-zero on any
 //	                  failure (the ci.sh gate)
 //	-json             emit the measurement as JSON (BENCH_search.json shape)
+//	-linked name      replay the linked-session edit loop over the named
+//	                  linked profile (linked-tiny, or
+//	                  linked-s|linked-m|linked-x10|linked-x30)
+//	                  instead of the batch corpus: every client opens its own
+//	                  /link session over the profile's units and drives the
+//	                  same deterministic edit-patch-search script, so the
+//	                  daemon-side component result cache is hammered by
+//	                  identical content keys from many sessions at once
+//	-steps N          patch+search steps per client in -linked mode
+//	                  (default 6); edits cycle MutateLinkedTU's three kinds
+//
+// In -linked mode -verify byte-compares each step's patch and search
+// bodies across clients (session ids normalized away) and checks every
+// search against a cold single-threaded link+search of that step's unit
+// contents — the incremental session must be invisible in the bytes.
 package main
 
 import (
@@ -43,6 +58,8 @@ import (
 	"optinline/internal/codegen"
 	"optinline/internal/compile"
 	"optinline/internal/heuristic"
+	"optinline/internal/ir"
+	"optinline/internal/link"
 	"optinline/internal/search"
 	"optinline/internal/server"
 	"optinline/internal/workload"
@@ -84,6 +101,8 @@ func run() error {
 		verify   = flag.Bool("verify", false, "verify responses across clients and against local computation")
 		smoke    = flag.Bool("smoke", false, "tiny corpus, 2 clients, strict exit status (CI gate)")
 		asJSON   = flag.Bool("json", false, "emit the measurement as JSON")
+		linked   = flag.String("linked", "", "linked profile for the edit-patch-search replay (e.g. linked-s)")
+		steps    = flag.Int("steps", 6, "patch+search steps per client in -linked mode")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -99,6 +118,9 @@ func run() error {
 		*clients = 1
 	}
 	base := "http://" + *addr
+	if *linked != "" {
+		return runLinked(base, *linked, *clients, *steps, *maxSpace, *jobs, *verify, *asJSON)
+	}
 
 	corpus := buildCorpus(*scale)
 	reqs, expected, err := buildRequests(corpus, *mode, *maxSpace, *jobs, *verify)
@@ -452,6 +474,284 @@ func fetchStats(base string) (*server.StatsResponse, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// linkedStep is one scripted action of the -linked replay: an optional
+// patch (tu >= 0) followed by a search, with the unit contents the session
+// holds *after* the patch — the cold-link ground truth for -verify.
+type linkedStep struct {
+	tu            int // index into the profile's units; -1 = no patch
+	patchPayload  []byte
+	searchPayload []byte
+	state         []*ir.Module
+}
+
+// buildLinkedScript generates the profile's units and the deterministic
+// edit script every client replays: step 0 searches the pristine link, and
+// each later step patches unit (s-1) mod T with MutateLinkedTU(original, s)
+// — cycling body edits, local renames, and export flips — then searches.
+// Edits derive from the *original* units, so the state after step s is a
+// pure function of s and identical for every client and for the local
+// verifier.
+func buildLinkedScript(lp workload.LinkedProfile, steps int, maxSpace uint64, jobs int) ([]server.LinkUnit, []linkedStep, error) {
+	bench := workload.GenerateLinked(lp)
+	units := make([]server.LinkUnit, len(bench.Files))
+	state := make([]*ir.Module, len(bench.Files))
+	for i, f := range bench.Files {
+		state[i] = f.Module
+		units[i] = server.LinkUnit{Name: f.Name + ".ir", Source: f.Module.String()}
+	}
+	orig := append([]*ir.Module(nil), state...)
+
+	searchPayload, err := json.Marshal(server.LinkSearchRequest{MaxSpace: maxSpace, Jobs: jobs})
+	if err != nil {
+		return nil, nil, err
+	}
+	script := make([]linkedStep, 0, steps+1)
+	snapshot := func() []*ir.Module { return append([]*ir.Module(nil), state...) }
+	script = append(script, linkedStep{tu: -1, searchPayload: searchPayload, state: snapshot()})
+	for s := 1; s <= steps; s++ {
+		t := (s - 1) % len(orig)
+		m := workload.MutateLinkedTU(orig[t], s)
+		state[t] = m
+		payload, err := json.Marshal(server.LinkPatchRequest{
+			Unit: server.LinkUnit{Name: units[t].Name, Source: m.String()},
+			Jobs: jobs,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		script = append(script, linkedStep{
+			tu: t, patchPayload: payload, searchPayload: searchPayload, state: snapshot(),
+		})
+	}
+	return units, script, nil
+}
+
+// coldLinkedSearch is the -linked ground truth: a cold link of the step's
+// unit contents searched single-threaded with fresh caches, exactly what
+// `inlinesearch -link` computes for those files.
+func coldLinkedSearch(units []server.LinkUnit, state []*ir.Module, maxSpace uint64) (link.SearchResult, bool, error) {
+	tus := make([]link.TU, len(state))
+	for i, m := range state {
+		tus[i] = link.ModuleTU(units[i].Name, m)
+	}
+	l, err := link.New(tus, link.Options{DupExported: link.DupExportedRename})
+	if err != nil {
+		return link.SearchResult{}, false, err
+	}
+	return l.OptimalSearch(link.SearchOptions{
+		ShardOptions: link.ShardOptions{
+			Target:  codegen.TargetX86,
+			Compile: compile.Options{FnCache: compile.NewFnCache()},
+			Workers: 1,
+		},
+		MaxSpace: maxSpace,
+	})
+}
+
+// linkedLoadProfile resolves -linked's profile name. Besides the standard
+// family it accepts "linked-tiny", a 4-unit corpus whose components stay
+// under the default space cap — the full-family profiles abort the exact
+// search at small -max-space, which exercises only the abort path.
+func linkedLoadProfile(name string) (workload.LinkedProfile, bool) {
+	if lp, ok := workload.LinkedProfileByName(name); ok {
+		return lp, true
+	}
+	if name != "linked-tiny" {
+		return workload.LinkedProfile{}, false
+	}
+	return workload.LinkedProfile{
+		Name:       "linked-tiny",
+		TUs:        4,
+		EdgesPerTU: 5,
+		Cluster:    2,
+		ExtCalls:   2,
+		Shape: workload.Profile{
+			ConstArgProb: 0.3,
+			HubProb:      0.05,
+			BigBodyProb:  0.1,
+			LoopProb:     0.15,
+			RecProb:      0.05,
+			BranchProb:   0.3,
+		},
+	}, true
+}
+
+// runLinked drives the -linked replay: each client owns one /link session
+// and replays the same edit script, so concurrent sessions keep presenting
+// the daemon's shared component cache with identical content keys.
+func runLinked(base, profile string, clients, steps int, maxSpace uint64, jobs int, verify, asJSON bool) error {
+	lp, ok := linkedLoadProfile(profile)
+	if !ok {
+		return fmt.Errorf("unknown linked profile %q (want linked-tiny or inlinebench -list names)", profile)
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	units, script, err := buildLinkedScript(lp, steps, maxSpace, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "inlineload: linked %s: %d units, %d steps x %d clients\n",
+		profile, len(units), len(script), clients)
+	if _, err := fetchStats(base); err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+		firstBody = make(map[string][]byte, 2*len(script))
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		if len(failures) < 20 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+	// Bodies echo the per-client session id; normalize it away so the
+	// cross-client byte comparison sees only content.
+	record := func(key, id string, body []byte) {
+		norm := bytes.Replace(body, []byte(`"id":"`+id+`"`), []byte(`"id":"*"`), 1)
+		mu.Lock()
+		prev, seen := firstBody[key]
+		if !seen {
+			firstBody[key] = norm
+		}
+		mu.Unlock()
+		if verify && seen && !bytes.Equal(prev, norm) {
+			fail("%s: response diverged across clients:\n  %s\n  %s", key, truncate(prev), truncate(norm))
+		}
+	}
+
+	httpClient := &http.Client{Timeout: 5 * time.Minute}
+	call := func(path string, payload []byte) ([]byte, bool) {
+		t0 := time.Now()
+		status, body, err := doPost(httpClient, base+path, payload)
+		lat := time.Since(t0)
+		if err != nil {
+			fail("%s: %v", path, err)
+			return nil, false
+		}
+		if status != http.StatusOK {
+			fail("%s: status %d: %s", path, status, truncate(body))
+			return nil, false
+		}
+		mu.Lock()
+		latencies = append(latencies, lat)
+		mu.Unlock()
+		return body, true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := fmt.Sprintf("load-%d", c)
+			createPayload, err := json.Marshal(server.LinkCreateRequest{
+				ID: id, Units: units, DupPolicy: "rename", Jobs: jobs,
+			})
+			if err != nil {
+				fail("marshal create: %v", err)
+				return
+			}
+			body, ok := call("/link", createPayload)
+			if !ok {
+				return
+			}
+			record("linked/create", id, body)
+			for si, st := range script {
+				if st.tu >= 0 {
+					body, ok := call("/link/"+id+"/patch", st.patchPayload)
+					if !ok {
+						return
+					}
+					record(fmt.Sprintf("linked/step%02d/patch", si), id, body)
+				}
+				body, ok := call("/link/"+id+"/search", st.searchPayload)
+				if !ok {
+					return
+				}
+				record(fmt.Sprintf("linked/step%02d/search", si), id, body)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if body, ok := firstBody["linked/step00/search"]; ok {
+		var resp server.LinkSearchResponse
+		if json.Unmarshal(body, &resp) == nil && !resp.Searched {
+			fmt.Fprintf(os.Stderr, "inlineload: note: space %d exceeds -max-space %d; every step replays the abort path (use -linked linked-tiny or raise -max-space to solve components)\n",
+				resp.SpaceTotal, maxSpace)
+		}
+	}
+
+	if verify {
+		for si, st := range script {
+			body, ok := firstBody[fmt.Sprintf("linked/step%02d/search", si)]
+			if !ok {
+				continue
+			}
+			var resp server.LinkSearchResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				fail("step %d: bad search JSON: %v", si, err)
+				continue
+			}
+			want, searched, err := coldLinkedSearch(units, st.state, maxSpace)
+			if err != nil {
+				fail("step %d: cold link: %v", si, err)
+				continue
+			}
+			if resp.Searched != searched || resp.SpaceTotal != want.SpaceTotal {
+				fail("step %d: daemon searched=%v space=%d, cold link %v/%d",
+					si, resp.Searched, resp.SpaceTotal, searched, want.SpaceTotal)
+				continue
+			}
+			if searched && (resp.OptimalSize != want.Size || resp.NoInlineSize != want.NoInlineSize ||
+				resp.ConfigKey != want.Config.Key()) {
+				fail("step %d: daemon optimal %d/noInline %d/key %s, cold link %d/%d/%s",
+					si, resp.OptimalSize, resp.NoInlineSize, resp.ConfigKey,
+					want.Size, want.NoInlineSize, want.Config.Key())
+			}
+		}
+	}
+
+	st, statsErr := fetchStats(base)
+	if statsErr != nil {
+		fail("fetch /stats after run: %v", statsErr)
+	}
+	report(os.Stdout, asJSON, summary{
+		Clients:    clients,
+		Requests:   len(latencies),
+		Failures:   len(failures),
+		Elapsed:    elapsed,
+		Latencies:  latencies,
+		Mode:       "linked:" + profile,
+		Scale:      1,
+		Verified:   verify,
+		DaemonStat: st,
+	})
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "inlineload: daemon relink: %d searches, %d patches (%d plan reuses), cache %d hits / %d misses\n",
+			st.LinkSessions.Searches, st.LinkSessions.Patches, st.LinkSessions.PlanReuses,
+			st.RelinkCache.Hits, st.RelinkCache.Misses)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "inlineload: FAIL:", f)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d failures", len(failures))
+	}
+	if verify {
+		fmt.Fprintln(os.Stderr, "inlineload: verify: linked replay byte-identical across clients and size-identical to cold links")
+	}
+	return nil
 }
 
 func truncate(b []byte) string {

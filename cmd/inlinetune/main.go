@@ -13,6 +13,12 @@
 //	                      is byte-identical)
 //	-link-dup p           with -link: exported symbols defined in several
 //	                      units are an error (default) or renamed (rename)
+//	-relink script        replay an edit script (patch <tu> <path> / tune
+//	                      lines) against an incremental re-link session:
+//	                      content-unchanged components replay their recorded
+//	                      tuning trace, only dirty components probe edges
+//	-no-relink            with -relink: cold full link at every step
+//	                      (differential oracle — stdout is byte-identical)
 //	-init clean|os|both   starting configuration(s) (default both)
 //	-rounds N             tuning rounds (default 4)
 //	-target x86|wasm      size model (default x86)
@@ -51,6 +57,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -76,31 +83,33 @@ func main() {
 
 func run() error {
 	var (
-		initMode   = flag.String("init", "both", "starting point: clean|os|both")
-		rounds     = flag.Int("rounds", 4, "tuning rounds")
-		targetName = flag.String("target", "x86", "size model: x86|wasm")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel per-edge evaluations")
-		dot        = flag.Bool("dot", false, "print tuned call graph as DOT")
-		groups     = flag.Bool("groups", false, "also test per-callee group inlining (paper 5.2.1 extension)")
-		incr       = flag.Bool("incremental", false, "incremental rounds: only re-tune changed regions (paper 6 extension)")
-		noDelta    = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
-		exactComps = flag.Uint64("exact-components", 0, "re-solve components whose recursive space fits N evaluations exactly after the rounds (0 = off)")
-		noPrune    = flag.Bool("no-prune", false, "exhaustive recursion instead of branch-and-bound in the exact-component polish (differential oracle)")
-		noFnCache  = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
-		objective  = flag.String("objective", "size", "tuned objective: size|weighted|cycles|pareto")
-		lambda     = flag.Float64("lambda", 0.1, "cycle weight for -objective weighted")
-		lambdas    = flag.String("lambdas", "0.01,0.1,1", "interior weights for -objective pareto (comma-separated)")
-		entryName  = flag.String("entry", "entry", "profiled root function for cycle objectives")
-		entryArgs  = flag.String("args", "7", "profiled root arguments (comma-separated integers)")
-		fuel       = flag.Int64("fuel", 20_000_000, "profiling interpretation fuel")
-		cacheBytes = flag.Int("cache-bytes", 0, "modelled i-cache capacity in bytes (0 = interpreter default)")
+		initMode     = flag.String("init", "both", "starting point: clean|os|both")
+		rounds       = flag.Int("rounds", 4, "tuning rounds")
+		targetName   = flag.String("target", "x86", "size model: x86|wasm")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel per-edge evaluations")
+		dot          = flag.Bool("dot", false, "print tuned call graph as DOT")
+		groups       = flag.Bool("groups", false, "also test per-callee group inlining (paper 5.2.1 extension)")
+		incr         = flag.Bool("incremental", false, "incremental rounds: only re-tune changed regions (paper 6 extension)")
+		noDelta      = flag.Bool("no-delta", false, "disable the incremental delta-evaluation engine (differential oracle)")
+		exactComps   = flag.Uint64("exact-components", 0, "re-solve components whose recursive space fits N evaluations exactly after the rounds (0 = off)")
+		noPrune      = flag.Bool("no-prune", false, "exhaustive recursion instead of branch-and-bound in the exact-component polish (differential oracle)")
+		noFnCache    = flag.Bool("no-fncache", false, "disable the content-addressed per-function cache (differential oracle)")
+		objective    = flag.String("objective", "size", "tuned objective: size|weighted|cycles|pareto")
+		lambda       = flag.Float64("lambda", 0.1, "cycle weight for -objective weighted")
+		lambdas      = flag.String("lambdas", "0.01,0.1,1", "interior weights for -objective pareto (comma-separated)")
+		entryName    = flag.String("entry", "entry", "profiled root function for cycle objectives")
+		entryArgs    = flag.String("args", "7", "profiled root arguments (comma-separated integers)")
+		fuel         = flag.Int64("fuel", 20_000_000, "profiling interpretation fuel")
+		cacheBytes   = flag.Int("cache-bytes", 0, "modelled i-cache capacity in bytes (0 = interpreter default)")
 		noCycleDelta = flag.Bool("no-cycledelta", false, "cycle pricer evaluates whole configurations instead of repricing incrementally (differential oracle)")
-		cacheDir   = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		doLink     = flag.Bool("link", false, "link all argument files into one module and autotune it component-sharded")
-		noShard    = flag.Bool("no-shard", false, "with -link: whole-module tuner on one merged compiler (oracle)")
-		linkDup    = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
+		cacheDir     = flag.String("cache-dir", "", "persist the per-function content cache in this directory")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		doLink       = flag.Bool("link", false, "link all argument files into one module and autotune it component-sharded")
+		noShard      = flag.Bool("no-shard", false, "with -link: whole-module tuner on one merged compiler (oracle)")
+		linkDup      = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
+		relink       = flag.String("relink", "", "with -link: replay an edit script against an incremental session")
+		noRelink     = flag.Bool("no-relink", false, "with -relink: cold full link at every step (differential oracle)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -128,7 +137,7 @@ func run() error {
 			}
 		}()
 	}
-	if !*doLink && flag.NArg() != 1 {
+	if !*doLink && *relink == "" && flag.NArg() != 1 {
 		return fmt.Errorf("usage: inlinetune [flags] file.minc")
 	}
 	target := codegen.TargetX86
@@ -147,9 +156,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *doLink {
+	if *doLink || *relink != "" {
 		if cf.objective == "pareto" {
 			return fmt.Errorf("-objective pareto does not combine with -link")
+		}
+		if *relink != "" {
+			if *noShard {
+				return fmt.Errorf("-relink replay is always sharded; -no-shard applies to one-shot -link runs")
+			}
+			return runRelinkTune(flag.Args(), target, fncache, *cacheDir, *linkDup, *initMode,
+				*rounds, *workers, *noDelta, *noFnCache, cf, *relink, *noRelink)
 		}
 		return runLinkTune(flag.Args(), target, fncache, *cacheDir, *linkDup, *initMode,
 			*rounds, *workers, *noShard, *noDelta, *noFnCache, cf)
@@ -427,8 +443,7 @@ func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache
 		return err
 	}
 	pl := l.Plan()
-	fmt.Printf("linked %d TUs: %d functions, %d inlinable call sites (%d cross-TU, %d locals renamed), %d components\n",
-		len(pl.TUs), len(pl.Funcs), len(pl.Edges), pl.CrossTU, pl.Renamed, len(pl.Components))
+	printLinkTunePlanLine(pl)
 
 	opts := link.TuneOptions{
 		ShardOptions: link.ShardOptions{
@@ -463,29 +478,20 @@ func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache
 		opts.NoCycleDelta = cf.noCycleDelta
 	}
 	report := func(name string, tr link.TuneResult) {
+		if !cycleAware {
+			reportLinkTuneSize(pl, name, tr)
+			return
+		}
 		res := tr.Result
-		if cycleAware {
-			fmt.Printf("\n%s, objective %s (init %d bytes, %d cycles):\n",
-				name, objectiveLabel(cf), res.InitSize, res.InitCycles)
-			for _, r := range res.Rounds {
-				fmt.Printf("  round %d: %d bytes, %d cycles, %d inlined / %d not, %d toggles\n",
-					r.Round, r.Size, r.Cycles, r.Inlined, r.NotInlined, r.Toggles)
-			}
-			fmt.Printf("  best: %d bytes, %d cycles, inlining %d of %d sites\n",
-				res.Size, res.Cycles, res.Config.InlineCount(), len(pl.Edges))
-		} else {
-			fmt.Printf("\n%s (init %d bytes):\n", name, res.InitSize)
-			for _, r := range res.Rounds {
-				fmt.Printf("  round %d: %d bytes, %d inlined / %d not, %d toggles\n",
-					r.Round, r.Size, r.Inlined, r.NotInlined, r.Toggles)
-			}
-			fmt.Printf("  best: %d bytes, inlining %d of %d sites\n",
-				res.Size, res.Config.InlineCount(), len(pl.Edges))
+		fmt.Printf("\n%s, objective %s (init %d bytes, %d cycles):\n",
+			name, objectiveLabel(cf), res.InitSize, res.InitCycles)
+		for _, r := range res.Rounds {
+			fmt.Printf("  round %d: %d bytes, %d cycles, %d inlined / %d not, %d toggles\n",
+				r.Round, r.Size, r.Cycles, r.Inlined, r.NotInlined, r.Toggles)
 		}
-		for _, cs := range tr.Components {
-			fmt.Printf("    component %2d: %3d funcs, %3d sites, inlined %3d\n",
-				cs.Index, cs.Funcs, cs.Edges, cs.Inlined)
-		}
+		fmt.Printf("  best: %d bytes, %d cycles, inlining %d of %d sites\n",
+			res.Size, res.Cycles, res.Config.InlineCount(), len(pl.Edges))
+		printTuneComponents(tr)
 	}
 	tuneOne := func(init link.TuneInit) (link.TuneResult, error) {
 		o := opts
@@ -549,6 +555,228 @@ func runLinkTune(files []string, target codegen.Target, fncache *compile.FnCache
 
 	fmt.Fprintf(os.Stderr, "evaluations: %d compilations (config cache %v)\n", evals, best.ConfigCache)
 	fmt.Fprintf(os.Stderr, "function cache: %v\n", best.FuncCache)
+	if cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "inlinetune:", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fn content cache: %v\n", fncache.Stats())
+	return nil
+}
+
+func printLinkTunePlanLine(pl *link.Plan) {
+	fmt.Printf("linked %d TUs: %d functions, %d inlinable call sites (%d cross-TU, %d locals renamed), %d components\n",
+		len(pl.TUs), len(pl.Funcs), len(pl.Edges), pl.CrossTU, pl.Renamed, len(pl.Components))
+}
+
+func printTuneComponents(tr link.TuneResult) {
+	for _, cs := range tr.Components {
+		fmt.Printf("    component %2d: %3d funcs, %3d sites, inlined %3d\n",
+			cs.Index, cs.Funcs, cs.Edges, cs.Inlined)
+	}
+}
+
+// reportLinkTuneSize renders one size-objective tuning report. Both the
+// one-shot -link path and both -relink replay modes print through it, so
+// the -no-relink byte-diff gate holds by construction.
+func reportLinkTuneSize(pl *link.Plan, name string, tr link.TuneResult) {
+	res := tr.Result
+	fmt.Printf("\n%s (init %d bytes):\n", name, res.InitSize)
+	for _, r := range res.Rounds {
+		fmt.Printf("  round %d: %d bytes, %d inlined / %d not, %d toggles\n",
+			r.Round, r.Size, r.Inlined, r.NotInlined, r.Toggles)
+	}
+	fmt.Printf("  best: %d bytes, inlining %d of %d sites\n",
+		res.Size, res.Config.InlineCount(), len(pl.Edges))
+	printTuneComponents(tr)
+}
+
+// runRelinkTune replays a -relink edit script of patch and tune steps.
+// Warm mode drives an incremental link.Session: a tune step replays the
+// recorded per-round trace of every content-unchanged component and probes
+// edges only in dirty ones. -no-relink re-links and re-tunes from scratch
+// at every step — the differential oracle whose stdout must byte-match.
+// Cycle objectives are rejected up front in BOTH modes (the session's
+// typed link.CycleObjectiveError would only fire warm, and a mode-
+// dependent error would break the byte-diff).
+func runRelinkTune(files []string, target codegen.Target, fncache *compile.FnCache,
+	cacheDir, dupPolicy, initMode string, rounds, workers int,
+	noDelta, noFnCache bool, cf cycleFlags, script string, noRelink bool) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: inlinetune -relink script [flags] a.minc b.minc ...")
+	}
+	if cf.objective != "size" {
+		return fmt.Errorf("-relink replays the size objective only; -objective %s needs a whole-program profile that edits invalidate (run one-shot -link instead)", cf.objective)
+	}
+	switch initMode {
+	case "clean", "os", "both":
+	default:
+		return fmt.Errorf("unknown init mode %q", initMode)
+	}
+	var dup link.DupPolicy
+	switch dupPolicy {
+	case "error":
+		dup = link.DupExportedError
+	case "rename":
+		dup = link.DupExportedRename
+	default:
+		return fmt.Errorf("-link-dup: unknown policy %q (want error or rename)", dupPolicy)
+	}
+	scriptData, err := os.ReadFile(script)
+	if err != nil {
+		return fmt.Errorf("-relink: %w", err)
+	}
+	ops, err := link.ParseEditScript(scriptData)
+	if err != nil {
+		return fmt.Errorf("-relink %s: %w", script, err)
+	}
+	scriptDir := filepath.Dir(script)
+
+	tus := make([]link.TU, 0, len(files))
+	for _, path := range files {
+		path := path
+		tus = append(tus, link.LazyTU(path, func() (*ir.Module, error) {
+			return source.Load(path)
+		}))
+	}
+	var sess *link.Session
+	cur := append([]link.TU(nil), tus...) // -no-relink: current contents
+	if !noRelink {
+		sess, err = link.NewSession(tus, link.SessionOptions{Link: link.Options{DupExported: dup}})
+		if err != nil {
+			return err
+		}
+	} else if _, err := link.New(cur, link.Options{DupExported: dup}); err != nil {
+		return err
+	}
+
+	opts := link.TuneOptions{
+		ShardOptions: link.ShardOptions{
+			Target:  target,
+			Compile: compile.Options{FnCache: fncache},
+			Configure: func(c *compile.Compiler) {
+				if noDelta {
+					c.SetDelta(false)
+				}
+				if noFnCache {
+					c.SetFnCache(false)
+				}
+			},
+			Workers: workers,
+		},
+		Rounds: rounds,
+	}
+	for step, op := range ops {
+		switch op.Verb {
+		case "patch":
+			path := op.Path
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(scriptDir, path)
+			}
+			fmt.Printf("== step %d: patch %s <- %s ==\n", step+1, op.TU, op.Path)
+			tu := link.LazyTU(op.TU, func() (*ir.Module, error) { return source.Load(path) })
+			if noRelink {
+				idx := -1
+				for i := range cur {
+					if cur[i].Name == op.TU {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					return fmt.Errorf("step %d: link: no unit named %q", step+1, op.TU)
+				}
+				cur[idx] = tu
+				if _, err := link.New(cur, link.Options{DupExported: dup}); err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+			} else {
+				rep, err := sess.ReplaceNamed(tu)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				if rep.PlanReused {
+					fmt.Fprintf(os.Stderr, "step %d: body-only edit, plan reused\n", step+1)
+				} else {
+					fmt.Fprintf(os.Stderr, "step %d: link surface changed, plan rebuilt\n", step+1)
+				}
+			}
+		case "tune":
+			fmt.Printf("== step %d: tune ==\n", step+1)
+			var (
+				pl      *link.Plan
+				tuneOne func(link.TuneInit) (link.TuneResult, link.RelinkInfo, error)
+			)
+			if noRelink {
+				l, err := link.New(cur, link.Options{DupExported: dup})
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				pl = l.Plan()
+				tuneOne = func(init link.TuneInit) (link.TuneResult, link.RelinkInfo, error) {
+					o := opts
+					o.Init = init
+					tr, err := l.Tune(o)
+					return tr, link.RelinkInfo{}, err
+				}
+			} else {
+				pl = sess.Plan()
+				tuneOne = func(init link.TuneInit) (link.TuneResult, link.RelinkInfo, error) {
+					o := opts
+					o.Init = init
+					return sess.Tune(o)
+				}
+			}
+			printLinkTunePlanLine(pl)
+			reportInfo := func(init string, info link.RelinkInfo) {
+				if noRelink {
+					return
+				}
+				fmt.Fprintf(os.Stderr, "step %d (%s): components solved %d, replayed %d; residual solved %d, replayed %d\n",
+					step+1, init, info.ComponentsSolved, info.ComponentsReplayed, info.ResidualSolved, info.ResidualReplayed)
+			}
+			var best link.TuneResult
+			switch initMode {
+			case "clean":
+				tr, info, err := tuneOne(link.InitClean)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				reportLinkTuneSize(pl, "clean slate", tr)
+				reportInfo("clean", info)
+				best = tr
+			case "os":
+				tr, info, err := tuneOne(link.InitOs)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				reportLinkTuneSize(pl, "-Os initialized", tr)
+				reportInfo("os", info)
+				best = tr
+			case "both":
+				clean, cInfo, err := tuneOne(link.InitClean)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				inited, oInfo, err := tuneOne(link.InitOs)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				reportLinkTuneSize(pl, "clean slate", clean)
+				reportLinkTuneSize(pl, "-Os initialized", inited)
+				reportInfo("clean", cInfo)
+				reportInfo("os", oInfo)
+				best = clean
+				if inited.Result.Size < best.Result.Size {
+					best = inited
+				}
+			}
+			fmt.Printf("\nfinal: %d bytes, inlining %d of %d sites\n",
+				best.Result.Size, best.Result.Config.InlineCount(), len(pl.Edges))
+		case "search":
+			return fmt.Errorf("step %d: search steps replay with inlinesearch -relink", step+1)
+		}
+	}
 	if cacheDir != "" {
 		if err := fncache.Save(); err != nil {
 			fmt.Fprintln(os.Stderr, "inlinetune:", err)

@@ -13,6 +13,12 @@
 //	                               calls become candidates, file-local name
 //	                               collisions are renamed apart
 //	-link-dup error|rename         duplicate exported symbol policy for -link
+//	-relink script                 with -inline optimal: replay an edit script
+//	                               (patch <tu> <path> / search lines) against
+//	                               an incremental re-link session; unchanged
+//	                               components replay their cached optimum
+//	-no-relink                     with -relink: cold full link at every step
+//	                               (differential oracle — stdout is identical)
 //	-inline none|os|tune|optimal   inlining strategy (default os)
 //	-target x86|wasm               size model (default x86)
 //	-S                             print the pseudo-assembly listing
@@ -39,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -92,6 +99,8 @@ func run() error {
 		cacheStats = flag.Bool("cache-stats", false, "print content-cache counters to stderr")
 		doLink     = flag.Bool("link", false, "link all argument files into one module before inlining")
 		linkDup    = flag.String("link-dup", "error", "with -link: duplicate exported symbol policy: error|rename")
+		relink     = flag.String("relink", "", "replay an edit script against an incremental re-link session (-inline optimal only)")
+		noRelink   = flag.Bool("no-relink", false, "with -relink: cold full link at every step (differential oracle)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		args       intList
@@ -123,7 +132,7 @@ func run() error {
 			}
 		}()
 	}
-	if *doLink {
+	if *doLink || *relink != "" {
 		if flag.NArg() == 0 {
 			return fmt.Errorf("usage: mincc -link [flags] a.minc b.minc ...")
 		}
@@ -138,27 +147,29 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown target %q", *targetName)
 	}
+	if *relink != "" {
+		if *inlineMode != "optimal" {
+			return fmt.Errorf("-relink caches per-component optima; it requires -inline optimal (got -inline %s)", *inlineMode)
+		}
+		dup, err := parseDupPolicy(*linkDup)
+		if err != nil {
+			return err
+		}
+		fncache, err := compile.OpenFnCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		return runRelinkCC(*relink, flag.Args(), target, dup, fncache, *cacheDir,
+			*check, *noDelta, *noPrune, *noFnCache, *noRelink, *cacheStats)
+	}
 
 	var mod *ir.Module
 	if *doLink {
-		var dup link.DupPolicy
-		switch *linkDup {
-		case "error":
-			dup = link.DupExportedError
-		case "rename":
-			dup = link.DupExportedRename
-		default:
-			return fmt.Errorf("-link-dup: unknown policy %q (want error or rename)", *linkDup)
+		dup, err := parseDupPolicy(*linkDup)
+		if err != nil {
+			return err
 		}
-		tus := make([]link.TU, 0, flag.NArg())
-		for _, path := range flag.Args() {
-			path := path
-			tus = append(tus, link.LazyTU(path, func() (*ir.Module, error) {
-				return source.Load(path)
-			}))
-		}
-		var err error
-		if mod, err = link.Link(tus, link.Options{DupExported: dup}); err != nil {
+		if mod, err = link.Link(fileTUs(flag.Args()), link.Options{DupExported: dup}); err != nil {
 			return err
 		}
 	} else {
@@ -247,6 +258,155 @@ func run() error {
 		}
 		fmt.Printf("%s(%v) = %d  [%d steps, %d cycles, %d outputs]\n",
 			*entry, []int64(args), res.Ret, res.Steps, res.Cycles, res.OutputLen)
+	}
+	return nil
+}
+
+func parseDupPolicy(name string) (link.DupPolicy, error) {
+	switch name {
+	case "error":
+		return link.DupExportedError, nil
+	case "rename":
+		return link.DupExportedRename, nil
+	}
+	return 0, fmt.Errorf("-link-dup: unknown policy %q (want error or rename)", name)
+}
+
+func fileTUs(files []string) []link.TU {
+	tus := make([]link.TU, 0, len(files))
+	for _, path := range files {
+		path := path
+		tus = append(tus, link.LazyTU(path, func() (*ir.Module, error) {
+			return source.Load(path)
+		}))
+	}
+	return tus
+}
+
+// runRelinkCC replays a -relink edit script: patch steps swap one unit's
+// contents, search steps print the mincc one-line summary of the linked
+// optimum — computed from the search result alone, without materializing
+// the linked module. Warm mode drives an incremental link.Session;
+// -no-relink re-links and re-searches from scratch at every step, and the
+// two stdouts are byte-identical (the ci.sh gate diffs them).
+func runRelinkCC(script string, files []string, target codegen.Target, dup link.DupPolicy,
+	fncache *compile.FnCache, cacheDir string,
+	check, noDelta, noPrune, noFnCache, noRelink, cacheStats bool) error {
+	scriptData, err := os.ReadFile(script)
+	if err != nil {
+		return fmt.Errorf("-relink: %w", err)
+	}
+	ops, err := link.ParseEditScript(scriptData)
+	if err != nil {
+		return fmt.Errorf("-relink %s: %w", script, err)
+	}
+	scriptDir := filepath.Dir(script)
+
+	tus := fileTUs(files)
+	var sess *link.Session
+	cur := append([]link.TU(nil), tus...) // -no-relink: current contents
+	if !noRelink {
+		sess, err = link.NewSession(tus, link.SessionOptions{Link: link.Options{DupExported: dup}})
+		if err != nil {
+			return err
+		}
+	} else if _, err := link.New(cur, link.Options{DupExported: dup}); err != nil {
+		return err
+	}
+
+	opts := link.SearchOptions{
+		ShardOptions: link.ShardOptions{
+			Target:  target,
+			Compile: compile.Options{Check: check, FnCache: fncache},
+			Configure: func(c *compile.Compiler) {
+				if noDelta {
+					c.SetDelta(false)
+				}
+				if noFnCache {
+					c.SetFnCache(false)
+				}
+			},
+		},
+		MaxSpace: 1 << 22,
+		NoPrune:  noPrune,
+	}
+	for step, op := range ops {
+		switch op.Verb {
+		case "patch":
+			path := op.Path
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(scriptDir, path)
+			}
+			fmt.Printf("== step %d: patch %s <- %s ==\n", step+1, op.TU, op.Path)
+			tu := link.LazyTU(op.TU, func() (*ir.Module, error) { return source.Load(path) })
+			if noRelink {
+				idx := -1
+				for i := range cur {
+					if cur[i].Name == op.TU {
+						idx = i
+						break
+					}
+				}
+				if idx < 0 {
+					return fmt.Errorf("step %d: link: no unit named %q", step+1, op.TU)
+				}
+				cur[idx] = tu
+				if _, err := link.New(cur, link.Options{DupExported: dup}); err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+			} else {
+				rep, err := sess.ReplaceNamed(tu)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				if rep.PlanReused {
+					fmt.Fprintf(os.Stderr, "step %d: body-only edit, plan reused\n", step+1)
+				} else {
+					fmt.Fprintf(os.Stderr, "step %d: link surface changed, plan rebuilt\n", step+1)
+				}
+			}
+		case "search":
+			var (
+				pl  *link.Plan
+				res link.SearchResult
+				ok  bool
+			)
+			if noRelink {
+				l, err := link.New(cur, link.Options{DupExported: dup})
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				pl = l.Plan()
+				res, ok, err = l.OptimalSearch(opts)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+			} else {
+				pl = sess.Plan()
+				var info link.RelinkInfo
+				res, info, ok, err = sess.Search(opts)
+				if err != nil {
+					return fmt.Errorf("step %d: %w", step+1, err)
+				}
+				fmt.Fprintf(os.Stderr, "step %d: components solved %d, replayed %d; residual solved %d, replayed %d\n",
+					step+1, info.ComponentsSolved, info.ComponentsReplayed, info.ResidualSolved, info.ResidualReplayed)
+			}
+			if !ok {
+				return fmt.Errorf("step %d: search space too large for exhaustive search; use inlinesearch -relink -max-space", step+1)
+			}
+			fmt.Printf("linked(%d files): %d inlinable calls, %d inlined, .text %d bytes (%s, -inline optimal)\n",
+				len(files), len(pl.Edges), res.Config.InlineCount(), res.Size, target)
+		case "tune":
+			return fmt.Errorf("step %d: tune steps replay with inlinetune -relink", step+1)
+		}
+	}
+	if cacheDir != "" {
+		if err := fncache.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "mincc:", err)
+		}
+	}
+	if cacheStats {
+		fmt.Fprintf(os.Stderr, "fn content cache: %v\n", fncache.Stats())
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package link
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -121,6 +122,127 @@ func BenchmarkLinkedPlanBuildScale(b *testing.B) {
 			b.ReportMetric(float64(linkRetained), "merge-B")
 			if edges > 0 {
 				b.ReportMetric(float64(planRetained)/float64(edges), "plan-B/edge")
+			}
+		})
+	}
+}
+
+// BenchmarkRelinkEditOneTU is the headline incremental re-link
+// measurement: after editing one translation unit, a warm Session
+// re-solves only the dirty component and replays every other component's
+// cached result, while the cold baseline (what a batch CLI invocation
+// costs) re-links and re-solves the whole corpus. Each iteration applies a
+// fresh body-only edit to TU 0 (seed 3(i+1), always MutateLinkedTU kind 0,
+// so the plan is reused and exactly one component's content key changes)
+// and then re-queries. linked-s runs the exact search; linked-x10 — ten
+// components, so ~1/10 of the work should survive an edit — runs the
+// lockstep autotuner, the only tractable optimizer at 6400 sites.
+// "solved/op" and "replayed/op" report the dirty-component accounting.
+// Warm and cold answers are byte-identical by the -no-relink differential
+// (TestSession*, FuzzRelinkDifferential); this measures only time.
+func BenchmarkRelinkEditOneTU(b *testing.B) {
+	cases := []struct {
+		profile string
+		tune    bool
+		rounds  int
+	}{
+		{profile: "linked-s", tune: false},
+		{profile: "linked-x10", tune: true, rounds: 2},
+	}
+	for _, tc := range cases {
+		lp, ok := workload.LinkedProfileByName(tc.profile)
+		if !ok {
+			b.Fatalf("profile %s missing", tc.profile)
+		}
+		bench := workload.GenerateLinked(lp)
+		tus := CorpusTUs(bench)
+		editedTU := func(iter int) TU {
+			m := workload.MutateLinkedTU(bench.Files[0].Module, 3*(iter+1))
+			tu := ModuleTU(bench.Files[0].Name, m)
+			tu.LocalGlobals = []string{workload.LinkedScratchGlobal}
+			return tu
+		}
+		shard := func(fnc *compile.FnCache, workers int) ShardOptions {
+			return ShardOptions{
+				Target:  codegen.TargetX86,
+				Compile: compile.Options{FnCache: fnc},
+				Workers: workers,
+			}
+		}
+		mode := "search"
+		if tc.tune {
+			mode = "tune"
+		}
+
+		b.Run(tc.profile+"/"+mode+"/warm", func(b *testing.B) {
+			fnc := compile.NewFnCache()
+			sess, err := NewSession(tus, SessionOptions{Results: NewComponentCache()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			query := func() (RelinkInfo, error) {
+				if tc.tune {
+					_, info, err := sess.Tune(TuneOptions{
+						ShardOptions: shard(fnc, 1), Rounds: tc.rounds, Init: InitOs,
+					})
+					return info, err
+				}
+				_, info, ok, err := sess.Search(SearchOptions{ShardOptions: shard(fnc, 1)})
+				if err == nil && !ok {
+					err = fmt.Errorf("space capped")
+				}
+				return info, err
+			}
+			// Prime outside the timed loop: the pristine corpus solves once,
+			// as the daemon does when a session is created and first queried.
+			if _, err := query(); err != nil {
+				b.Fatal(err)
+			}
+			var solved, replayed int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Replace(0, editedTU(i)); err != nil {
+					b.Fatal(err)
+				}
+				info, err := query()
+				if err != nil {
+					b.Fatal(err)
+				}
+				solved += info.ComponentsSolved
+				replayed += info.ComponentsReplayed
+			}
+			b.ReportMetric(float64(solved)/float64(b.N), "solved/op")
+			b.ReportMetric(float64(replayed)/float64(b.N), "replayed/op")
+		})
+
+		b.Run(tc.profile+"/"+mode+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cur := append([]TU(nil), tus...)
+				cur[0] = editedTU(i)
+				l, err := New(cur, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fnc := compile.NewFnCache()
+				if tc.tune {
+					res, err := l.Tune(TuneOptions{
+						ShardOptions: shard(fnc, 1), Rounds: tc.rounds, Init: InitOs,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Result.FinalSize == 0 {
+						b.Fatal("degenerate tune")
+					}
+				} else {
+					res, ok, err := l.OptimalSearch(SearchOptions{ShardOptions: shard(fnc, 1)})
+					if err != nil || !ok {
+						b.Fatalf("ok=%v err=%v", ok, err)
+					}
+					if res.Size == 0 {
+						b.Fatal("degenerate optimum")
+					}
+				}
 			}
 		})
 	}

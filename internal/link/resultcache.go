@@ -1,0 +1,210 @@
+package link
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ComponentCache is the content-keyed store behind incremental re-link: it
+// maps 128-bit component content keys (key.go) to solved per-component
+// results — optimal configurations, sizes, tuning traces, residual sizes —
+// so a Session re-solves only components whose content actually changed and
+// replays the rest.
+//
+// Concurrency follows FnCache's single-flight discipline: the first caller
+// to miss claims the key and computes; concurrent callers for the same key
+// block on the claim and receive the fulfilled value. A claim that fails
+// (error or panic) is withdrawn — the entry is removed and waiters retry,
+// so one poisoned computation never wedges the key. Values are immutable
+// after fulfillment; replayers must not mutate what they receive.
+type ComponentCache struct {
+	mu      sync.Mutex
+	entries map[ResultKey]*ccEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type ccEntry struct {
+	done chan struct{}
+	val  any
+	ok   bool // false after withdrawal: waiters retry the key
+}
+
+// NewComponentCache returns an empty cache.
+func NewComponentCache() *ComponentCache {
+	return &ComponentCache{entries: make(map[ResultKey]*ccEntry)}
+}
+
+// defaultComponentCache backs CLI sessions (SessionOptions.Results nil), so
+// every -relink replay in one process shares solved components.
+var defaultComponentCache = NewComponentCache()
+
+// ComponentCacheStats is a counter snapshot.
+type ComponentCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats snapshots the counters. Entries counts fulfilled values only.
+func (cc *ComponentCache) Stats() ComponentCacheStats {
+	st := ComponentCacheStats{Hits: cc.hits.Load(), Misses: cc.misses.Load()}
+	cc.mu.Lock()
+	for _, e := range cc.entries {
+		select {
+		case <-e.done:
+			if e.ok {
+				st.Entries++
+			}
+		default:
+		}
+	}
+	cc.mu.Unlock()
+	return st
+}
+
+// ccClaim is an unfulfilled cache slot owned by the caller that missed; it
+// must be settled exactly once, by fulfill or withdraw.
+type ccClaim struct {
+	cc  *ComponentCache
+	key ResultKey
+	e   *ccEntry
+}
+
+func (c *ccClaim) fulfill(v any) {
+	c.e.val, c.e.ok = v, true
+	close(c.e.done)
+}
+
+func (c *ccClaim) withdraw() {
+	c.cc.mu.Lock()
+	if c.cc.entries[c.key] == c.e {
+		delete(c.cc.entries, c.key)
+	}
+	c.cc.mu.Unlock()
+	close(c.e.done) // e.ok false: waiters retry
+}
+
+// lookupOrClaim returns (value, true, nil) on a hit, or (nil, false, claim)
+// when the caller now owns the computation. It blocks while another caller
+// holds the claim and retries after withdrawals, so it must not be called
+// while holding a claim whose fulfillment depends on this call returning
+// (Tune uses tryClaim for exactly that reason).
+func (cc *ComponentCache) lookupOrClaim(key ResultKey) (any, bool, *ccClaim) {
+	for {
+		cc.mu.Lock()
+		e := cc.entries[key]
+		if e == nil {
+			e = &ccEntry{done: make(chan struct{})}
+			cc.entries[key] = e
+			cc.mu.Unlock()
+			cc.misses.Add(1)
+			return nil, false, &ccClaim{cc: cc, key: key, e: e}
+		}
+		cc.mu.Unlock()
+		<-e.done
+		if e.ok {
+			cc.hits.Add(1)
+			return e.val, true, nil
+		}
+	}
+}
+
+// tryClaim is the non-blocking variant: on a fulfilled hit it returns the
+// value; on an absent key it returns a claim; while another caller's claim
+// is in flight it returns (nil, false, nil) — the caller computes live and
+// unrecorded. Tune needs this because its fulfillments happen only after
+// the whole lockstep loop: blocking there could deadlock two sessions that
+// claim overlapping component sets in opposite orders.
+func (cc *ComponentCache) tryClaim(key ResultKey) (any, bool, *ccClaim) {
+	cc.mu.Lock()
+	e := cc.entries[key]
+	if e == nil {
+		e = &ccEntry{done: make(chan struct{})}
+		cc.entries[key] = e
+		cc.mu.Unlock()
+		cc.misses.Add(1)
+		return nil, false, &ccClaim{cc: cc, key: key, e: e}
+	}
+	cc.mu.Unlock()
+	select {
+	case <-e.done:
+		if e.ok {
+			cc.hits.Add(1)
+			return e.val, true, nil
+		}
+		// Withdrawn between lookup and wait: treat as busy; the next
+		// caller will claim afresh.
+		return nil, false, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// get is the single-flight convenience for computations that complete
+// before returning (search, residual sizes): hit, or compute-and-fulfill,
+// with the claim withdrawn on error or panic.
+func (cc *ComponentCache) get(key ResultKey, compute func() (any, error)) (v any, hit bool, err error) {
+	got, ok, claim := cc.lookupOrClaim(key)
+	if ok {
+		return got, true, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			claim.withdraw()
+			panic(r)
+		}
+	}()
+	v, err = compute()
+	if err != nil {
+		claim.withdraw()
+		return nil, false, err
+	}
+	claim.fulfill(v)
+	return v, false, nil
+}
+
+// Cached payloads. bits fields are inline labels over the component's edges
+// in ascending-site order (bit i of word i/64 = edge i inlined), the
+// site-number-free form that makes results portable across plans; sizes are
+// bytes of the component sub-module.
+//
+// searchOutcome caches one optimal search: the clean-slate size, the
+// optimal size, and the optimal labels.
+type searchOutcome struct {
+	emptySize int
+	size      int
+	bits      []uint64
+}
+
+// tuneOutcome caches one lockstep tuning run from a fixed (init, rounds)
+// request: the starting size/labels and one tuneRound per global round
+// actually stepped. A recorded trace is either rounds long or ends at a
+// round where the *whole link's* toggles hit zero — and a component's own
+// toggles are zero at its last recorded round in that case — so replaying
+// past the end by repeating the final entry with zero toggles is exact
+// (autotune.Session.Step replays fixpoints the same way).
+type tuneOutcome struct {
+	initSize int
+	initBits []uint64
+	rounds   []tuneRound
+}
+
+type tuneRound struct {
+	size    int
+	inlined int
+	toggles int
+	bits    []uint64
+}
+
+// round returns the trace entry for 1-based global round r, padding past
+// the recorded end with the converged fixpoint.
+func (t *tuneOutcome) round(r int) tuneRound {
+	if r <= len(t.rounds) {
+		return t.rounds[r-1]
+	}
+	last := t.rounds[len(t.rounds)-1]
+	last.toggles = 0
+	return last
+}

@@ -106,24 +106,8 @@ type SearchResult struct {
 // ok is false when a component's space exceeds MaxSpace (Components then
 // carries the per-component spaces for reporting).
 func (l *Linker) OptimalSearch(opts SearchOptions) (SearchResult, bool, error) {
-	p := l.plan
-	res := SearchResult{Components: make([]ComponentStat, len(p.Components))}
-	capped := false
-	for ci := range p.Components {
-		mg := p.ComponentMultigraph(ci)
-		space, over := search.SubspaceSize(mg, opts.MaxSpace)
-		over = over || (opts.MaxSpace > 0 && space > opts.MaxSpace)
-		res.Components[ci] = ComponentStat{
-			Index:  ci,
-			Funcs:  len(p.Components[ci]),
-			Edges:  len(mg.Edges),
-			Space:  space,
-			Capped: over,
-		}
-		capped = capped || over
-		res.SpaceTotal = satAdd(res.SpaceTotal, space)
-	}
-	if capped {
+	res := SearchResult{Components: make([]ComponentStat, len(l.plan.Components))}
+	if capped := planSpaces(l.plan, opts.MaxSpace, &res); capped {
 		return res, false, nil
 	}
 	var err error
@@ -138,47 +122,84 @@ func (l *Linker) OptimalSearch(opts SearchOptions) (SearchResult, bool, error) {
 	return res, true, nil
 }
 
+// planSpaces fills the plan-derived part of a SearchResult — per-component
+// funcs/edges/space and the saturating space total — and reports whether any
+// component exceeds maxSpace. Both search modes and the incremental Session
+// share this prologue, so all paths abort identically without compiling.
+func planSpaces(p *Plan, maxSpace uint64, res *SearchResult) bool {
+	capped := false
+	for ci := range p.Components {
+		mg := p.ComponentMultigraph(ci)
+		space, over := search.SubspaceSize(mg, maxSpace)
+		over = over || (maxSpace > 0 && space > maxSpace)
+		res.Components[ci] = ComponentStat{
+			Index:  ci,
+			Funcs:  len(p.Components[ci]),
+			Edges:  len(mg.Edges),
+			Space:  space,
+			Capped: over,
+		}
+		capped = capped || over
+		res.SpaceTotal = satAdd(res.SpaceTotal, space)
+	}
+	return capped
+}
+
+// compOut is one component's solved search outcome plus the solving
+// compiler's diagnostics.
+type compOut struct {
+	cfg       *callgraph.Config
+	size      int
+	emptySize int
+	evals     int64
+	prune     search.PruneStats
+	cc, fc    stats.CacheStats
+}
+
+// solveComponent materializes one component sub-module and searches it; the
+// unit of work both the sharded search and a Session's dirty-component path
+// run.
+func (l *Linker) solveComponent(ci int, opts SearchOptions) (compOut, error) {
+	mod, err := l.Component(ci)
+	if err != nil {
+		return compOut{}, err
+	}
+	c := compile.NewWithOptions(mod, opts.Target, opts.Compile)
+	if opts.Configure != nil {
+		opts.Configure(c)
+	}
+	emptySize := c.Size(callgraph.NewConfig())
+	sres, ok := search.Optimal(c, search.Options{
+		Workers:  opts.Workers,
+		MaxSpace: opts.MaxSpace,
+		NoPrune:  opts.NoPrune,
+	})
+	if !ok {
+		// Unreachable: the per-component space was bounded from the
+		// plan before any compiler was built.
+		return compOut{}, fmt.Errorf("link: component %d space exceeded cap after plan check", ci)
+	}
+	return compOut{
+		cfg:       sres.Config,
+		size:      sres.Size,
+		emptySize: emptySize,
+		evals:     c.Evaluations(),
+		prune:     sres.Prune,
+		cc:        c.ConfigCacheStats(),
+		fc:        c.FuncCacheStats(),
+	}, nil
+}
+
 // searchSharded materializes and searches one sub-module per component.
 func (l *Linker) searchSharded(opts SearchOptions, res *SearchResult) error {
 	p := l.plan
-	type compOut struct {
-		cfg       *callgraph.Config
-		size      int
-		emptySize int
-		evals     int64
-		prune     search.PruneStats
-		cc, fc    stats.CacheStats
-	}
 	outs := make([]compOut, len(p.Components))
 	run := func(ci int) error {
-		mod, err := l.Component(ci)
+		o, err := l.solveComponent(ci, opts)
 		if err != nil {
 			return err
 		}
-		c := compile.NewWithOptions(mod, opts.Target, opts.Compile)
-		if opts.Configure != nil {
-			opts.Configure(c)
-		}
-		emptySize := c.Size(callgraph.NewConfig())
-		sres, ok := search.Optimal(c, search.Options{
-			Workers:  opts.Workers,
-			MaxSpace: opts.MaxSpace,
-			NoPrune:  opts.NoPrune,
-		})
-		if !ok {
-			// Unreachable: the per-component space was bounded from the
-			// plan before any compiler was built.
-			return fmt.Errorf("link: component %d space exceeded cap after plan check", ci)
-		}
-		outs[ci] = compOut{
-			cfg:       sres.Config,
-			size:      sres.Size,
-			emptySize: emptySize,
-			evals:     c.Evaluations(),
-			prune:     sres.Prune,
-			cc:        c.ConfigCacheStats(),
-			fc:        c.FuncCacheStats(),
-		}
+		outs[ci] = o
 		return nil
 	}
 	if err := eachComponent(len(p.Components), opts.workers(), run); err != nil {

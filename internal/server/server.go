@@ -35,6 +35,7 @@ import (
 	"optinline/internal/diag"
 	"optinline/internal/heuristic"
 	"optinline/internal/interp"
+	"optinline/internal/link"
 	"optinline/internal/search"
 	"optinline/internal/source"
 	"optinline/internal/stats"
@@ -76,6 +77,14 @@ type Config struct {
 	// process-wide content-addressed summary cache. The differential
 	// oracle for the cache: responses must be byte-identical either way.
 	DisableSummaryCache bool
+	// MaxLinkSessions bounds the incremental re-link session registry
+	// behind /link (FIFO eviction). <= 0 selects 32.
+	MaxLinkSessions int
+	// DisableRelinkCache makes every link session re-solve each component
+	// from scratch instead of sharing the process-wide content-keyed result
+	// cache. The differential oracle for the cache: /link responses must be
+	// byte-identical either way.
+	DisableRelinkCache bool
 }
 
 func (c Config) normalized() Config {
@@ -101,6 +110,9 @@ func (c Config) normalized() Config {
 	}
 	if c.FnCache == nil {
 		c.FnCache = compile.NewFnCache()
+	}
+	if c.MaxLinkSessions <= 0 {
+		c.MaxLinkSessions = 32
 	}
 	return c
 }
@@ -218,6 +230,12 @@ type Server struct {
 
 	epMu sync.Mutex
 	eps  map[string]*endpointCounters
+
+	// linkReg registers the incremental re-link sessions behind /link;
+	// relinkCache is the content-keyed component result cache they share
+	// (nil when the daemon disables it).
+	linkReg     linkRegistry
+	relinkCache *link.ComponentCache
 }
 
 // cyclePricerEntry is a single-flight slot of the cycle-pricer pool.
@@ -251,10 +269,19 @@ func New(cfg Config) *Server {
 	if !cfg.DisableSummaryCache {
 		s.ipcache = interproc.NewCache()
 	}
+	s.linkReg.sessions = make(map[string]*linkSession)
+	if !cfg.DisableRelinkCache {
+		s.relinkCache = link.NewComponentCache()
+	}
 	s.mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /search", s.handleSearch)
 	s.mux.HandleFunc("POST /tune", s.handleTune)
+	s.mux.HandleFunc("POST /link", s.handleLinkCreate)
+	s.mux.HandleFunc("POST /link/{id}/patch", s.handleLinkPatch)
+	s.mux.HandleFunc("POST /link/{id}/search", s.handleLinkSearch)
+	s.mux.HandleFunc("POST /link/{id}/tune", s.handleLinkTune)
+	s.mux.HandleFunc("DELETE /link/{id}", s.handleLinkDelete)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -1021,6 +1048,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CostCacheMisses: cyc.CostMisses,
 	}
 	s.cycleMu.Unlock()
+
+	resp.LinkSessions = s.linkReg.stats()
+	if s.relinkCache != nil {
+		cst := s.relinkCache.Stats()
+		resp.RelinkCache = RelinkCacheCounters{
+			Hits: cst.Hits, Misses: cst.Misses, Entries: cst.Entries,
+		}
+	}
 
 	writeJSON(w, http.StatusOK, resp)
 }

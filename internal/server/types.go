@@ -122,12 +122,12 @@ type TuneRequest struct {
 	// Entry(Args...) on the no-inline baseline once — the profile and its
 	// pricer are cached and shared across requests — and reprice every
 	// probe incrementally.
-	Objective string  `json:"objective,omitempty"`
-	Lambda    float64 `json:"lambda,omitempty"`
-	Entry     string  `json:"entry,omitempty"`      // profiled root; "" = entry
-	Args      []int64 `json:"args,omitempty"`       // profiled arguments; nil = [7]
-	Fuel      int64   `json:"fuel,omitempty"`       // profiling fuel; 0 = 20M
-	CacheBytes int    `json:"cacheBytes,omitempty"` // modelled i-cache; 0 = default
+	Objective  string  `json:"objective,omitempty"`
+	Lambda     float64 `json:"lambda,omitempty"`
+	Entry      string  `json:"entry,omitempty"`      // profiled root; "" = entry
+	Args       []int64 `json:"args,omitempty"`       // profiled arguments; nil = [7]
+	Fuel       int64   `json:"fuel,omitempty"`       // profiling fuel; 0 = 20M
+	CacheBytes int     `json:"cacheBytes,omitempty"` // modelled i-cache; 0 = default
 	// NoCycleDelta prices every probe with the whole-module oracle instead
 	// of incremental repricing. Differential knob: the response must be
 	// byte-identical either way.
@@ -162,6 +162,139 @@ type TuneResponse struct {
 	InlineSites []int       `json:"inlineSites"`
 	ConfigKey   string      `json:"configKey"`
 	Rounds      []TuneRound `json:"rounds"`
+}
+
+// LinkUnit is one translation unit of a linked session: a named source
+// text, dispatched on Name's extension exactly like the work endpoints.
+type LinkUnit struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// LinkCreateRequest — POST /link — opens (or, reusing an id, replaces) an
+// incremental re-link session over the units. The session holds the
+// resolved plan; later patch/search/tune requests address it by id.
+type LinkCreateRequest struct {
+	ID string `json:"id"`
+	// Units are linked in order; unit names must be unique (they are the
+	// patch addresses).
+	Units []LinkUnit `json:"units"`
+	// Target is fixed at creation; every search/tune of the session prices
+	// against it.
+	Target string `json:"target,omitempty"` // x86 (default) | wasm
+	// DupPolicy: error (default) rejects exported symbols defined in
+	// several units; rename renames the copies apart.
+	DupPolicy string `json:"dupPolicy,omitempty"`
+	Jobs      int    `json:"jobs,omitempty"`
+	DelayMs   int    `json:"delayMs,omitempty"`
+}
+
+// LinkPlanSummary is the deterministic shape of a session's resolved plan.
+type LinkPlanSummary struct {
+	TUs           int `json:"tus"`
+	Functions     int `json:"functions"`
+	Sites         int `json:"sites"`
+	CrossTU       int `json:"crossTu"`
+	Renamed       int `json:"renamed"`
+	ExternalCalls int `json:"externalCalls"`
+	Components    int `json:"components"`
+}
+
+// LinkCreateResponse confirms the session and reports its plan.
+type LinkCreateResponse struct {
+	ID     string          `json:"id"`
+	Target string          `json:"target"`
+	Plan   LinkPlanSummary `json:"plan"`
+}
+
+// LinkPatchRequest — POST /link/{id}/patch — swaps one unit's contents.
+// The unit is addressed by Unit.Name, which must match an existing unit.
+type LinkPatchRequest struct {
+	Unit    LinkUnit `json:"unit"`
+	Jobs    int      `json:"jobs,omitempty"`
+	DelayMs int      `json:"delayMs,omitempty"`
+}
+
+// LinkPatchResponse reports the patch. PlanReused is deterministic: true
+// exactly when the new contents expose the same link surface (names,
+// exports, call spellings, globals) as the old, so only fingerprints moved.
+type LinkPatchResponse struct {
+	ID         string          `json:"id"`
+	Unit       string          `json:"unit"`
+	PlanReused bool            `json:"planReused"`
+	Plan       LinkPlanSummary `json:"plan"`
+}
+
+// LinkSearchRequest — POST /link/{id}/search — runs the component-sharded
+// optimal search over the session's current units. Components whose content
+// key is already in the shared result cache replay without compiling;
+// replay counters are on /stats, never in this body, which stays a pure
+// function of the session contents.
+type LinkSearchRequest struct {
+	MaxSpace uint64 `json:"maxSpace,omitempty"` // per component; 0 selects the server default
+	Jobs     int    `json:"jobs,omitempty"`
+	DelayMs  int    `json:"delayMs,omitempty"`
+}
+
+// LinkComponentStat is one component's deterministic search statistics.
+type LinkComponentStat struct {
+	Index     int    `json:"index"`
+	Funcs     int    `json:"funcs"`
+	Sites     int    `json:"sites"`
+	Space     uint64 `json:"space"`
+	Capped    bool   `json:"capped,omitempty"`
+	Inlined   int    `json:"inlined"`
+	SizeDelta int    `json:"sizeDelta"`
+}
+
+// LinkSearchResponse mirrors inlinesearch's linked report. When any
+// component's recursive space exceeds MaxSpace the search does not run:
+// Searched is false and only the component spaces are meaningful.
+type LinkSearchResponse struct {
+	ID             string              `json:"id"`
+	Target         string              `json:"target"`
+	Searched       bool                `json:"searched"`
+	SpaceTotal     uint64              `json:"spaceTotal"`
+	NoInlineSize   int                 `json:"noInlineSize,omitempty"`
+	OptimalSize    int                 `json:"optimalSize,omitempty"`
+	InlinableSites int                 `json:"inlinableSites"`
+	InlineSites    []int               `json:"inlineSites,omitempty"`
+	ConfigKey      string              `json:"configKey,omitempty"`
+	Components     []LinkComponentStat `json:"components"`
+}
+
+// LinkTuneRequest — POST /link/{id}/tune — runs the per-component lockstep
+// autotuner over the session's current units. Only the size objective is
+// cacheable per component; cycle objectives are rejected with 400.
+type LinkTuneRequest struct {
+	Init      string `json:"init,omitempty"` // clean | os (default)
+	Rounds    int    `json:"rounds,omitempty"`
+	Objective string `json:"objective,omitempty"` // size (default); others are 400
+	Jobs      int    `json:"jobs,omitempty"`
+	DelayMs   int    `json:"delayMs,omitempty"`
+}
+
+// LinkTuneComponent is one component's deterministic tuning statistics.
+type LinkTuneComponent struct {
+	Index   int `json:"index"`
+	Funcs   int `json:"funcs"`
+	Sites   int `json:"sites"`
+	Inlined int `json:"inlined"`
+}
+
+// LinkTuneResponse reports the session's tuning trace.
+type LinkTuneResponse struct {
+	ID             string              `json:"id"`
+	Target         string              `json:"target"`
+	Init           string              `json:"init"`
+	InitSize       int                 `json:"initSize"`
+	BestSize       int                 `json:"bestSize"`
+	FinalSize      int                 `json:"finalSize"`
+	InlinableSites int                 `json:"inlinableSites"`
+	InlineSites    []int               `json:"inlineSites"`
+	ConfigKey      string              `json:"configKey"`
+	Rounds         []TuneRound         `json:"rounds"`
+	Components     []LinkTuneComponent `json:"components"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -200,6 +333,36 @@ type StatsResponse struct {
 	// CyclePricers tracks the cached baseline profiles behind cycle-aware
 	// /tune objectives and aggregates their pricing counters.
 	CyclePricers CyclePricerPoolStats `json:"cyclePricers"`
+
+	// LinkSessions tracks the incremental re-link sessions behind /link and
+	// aggregates their patch/search/tune counters (live + retired).
+	LinkSessions LinkSessionPoolStats `json:"linkSessions"`
+
+	// RelinkCache is the process-wide content-keyed component result cache
+	// shared by every link session (all zero when the daemon disables it).
+	RelinkCache RelinkCacheCounters `json:"relinkCache"`
+}
+
+// LinkSessionPoolStats reports the link-session registry and the
+// aggregated link.RelinkStats of every session ever created.
+type LinkSessionPoolStats struct {
+	Live     int   `json:"live"`
+	Created  int64 `json:"created"`
+	Replaced int64 `json:"replaced"` // creations that displaced an existing id
+	Evicted  int64 `json:"evicted"`
+
+	Patches      int64 `json:"patches"`
+	PlanReuses   int64 `json:"planReuses"`
+	PlanRebuilds int64 `json:"planRebuilds"`
+	Searches     int64 `json:"searches"`
+	Tunes        int64 `json:"tunes"`
+}
+
+// RelinkCacheCounters mirrors link.ComponentCacheStats for the wire.
+type RelinkCacheCounters struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
 }
 
 // CyclePricerPoolStats reports the cycle-pricer pool: how many profiled

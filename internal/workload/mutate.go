@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+
+	"optinline/internal/ir"
+)
+
+// MutateLinkedTU returns a deterministic structural variant of a generated
+// translation unit — the edit generator behind the incremental re-link
+// benchmarks, the inlineload -linked replay, and the relink differential
+// fuzzer. The seed selects both the edit kind and its placement, cycling
+// through three classes that exercise the two halves of Session.Replace:
+//
+//	seed%3 == 0  body edit: bump one OpConst literal. The function's
+//	             fingerprint changes (its component goes dirty) but the
+//	             link surface is untouched, so the plan is reused.
+//	seed%3 == 1  rename one file-local function and every intra-unit call
+//	             to it: the link surface changes and the plan rebuilds.
+//	seed%3 == 2  export one file-local function: cross-TU symbol
+//	             resolution changes (the name may newly win or force
+//	             renames elsewhere), rebuilding the plan.
+//
+// Kinds 1 and 2 fall back to the body edit when the unit has no local
+// function. The input module is never modified; function order and
+// call-site numbering are preserved so the variant drops in as a patched
+// TU. Same (module, seed) in, same variant out.
+func MutateLinkedTU(m *ir.Module, seed int) *ir.Module {
+	if seed < 0 {
+		seed = -seed
+	}
+	kind := seed % 3
+	var renameOld, renameNew, exportName string
+	switch kind {
+	case 1:
+		renameOld, renameNew = pickRename(m, seed)
+	case 2:
+		exportName = pickLocal(m, seed)
+	}
+	out := ir.NewModule(m.Name)
+	for _, g := range m.Globals {
+		out.AddGlobal(g)
+	}
+	for _, f := range m.Funcs {
+		nf := f.Clone()
+		if renameOld != "" {
+			if nf.Name == renameOld {
+				nf.Name = renameNew
+			}
+			for _, b := range nf.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpCall && in.Callee == renameOld {
+						in.Callee = renameNew
+					}
+				}
+			}
+		}
+		if exportName != "" && nf.Name == exportName {
+			nf.Exported = true
+		}
+		out.AddFunc(nf)
+	}
+	if renameOld == "" && exportName == "" {
+		mutateConst(out, seed)
+	}
+	return out
+}
+
+// mutateConst bumps one OpConst literal, rotating the starting function by
+// seed so successive seeds touch different bodies.
+func mutateConst(m *ir.Module, seed int) {
+	n := len(m.Funcs)
+	for off := 0; off < n; off++ {
+		f := m.Funcs[(seed/3+off)%n]
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpConst {
+					in.Const += int64(1 + seed%7)
+					return
+				}
+			}
+		}
+	}
+}
+
+// pickLocal returns the seed-selected non-exported function name, or "".
+func pickLocal(m *ir.Module, seed int) string {
+	var locals []string
+	for _, f := range m.Funcs {
+		if !f.Exported {
+			locals = append(locals, f.Name)
+		}
+	}
+	if len(locals) == 0 {
+		return ""
+	}
+	return locals[(seed/3)%len(locals)]
+}
+
+// pickRename returns a seed-selected local function and a fresh name for
+// it, or "", "".
+func pickRename(m *ir.Module, seed int) (old, next string) {
+	old = pickLocal(m, seed)
+	if old == "" {
+		return "", ""
+	}
+	next = fmt.Sprintf("%s_v%d", old, seed%97)
+	for k := 2; m.Func(next) != nil; k++ {
+		next = fmt.Sprintf("%s_v%d_%d", old, seed%97, k)
+	}
+	return old, next
+}
